@@ -1,0 +1,365 @@
+// Benchmarks regenerating the paper's tables and figures — one benchmark
+// per artifact (DESIGN.md maps each id to its runner). The benchmarks use
+// scaled-down presets so the full suite finishes on a laptop; the tebench
+// CLI runs the same experiments at -scale full.
+//
+// Each iteration runs one complete experiment, so ns/op here means
+// "wall time to regenerate the artifact", not a micro-measurement.
+package harpte_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"harpte/internal/core"
+	"harpte/internal/dataset"
+	"harpte/internal/experiments"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+// benchDataset memoizes the generated dataset across benchmarks in one run.
+var benchDataset *dataset.Dataset
+
+func getDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	if benchDataset == nil {
+		benchDataset = dataset.Generate(experiments.AnonNetConfig(experiments.Small))
+	}
+	return benchDataset
+}
+
+// quickTransfer returns a fast Fig-4/16 configuration.
+func quickTransfer() experiments.TransferConfig {
+	return experiments.TransferConfig{Scale: experiments.Small, Epochs: 12, Stride: 6, Seed: 1}
+}
+
+func quickSchemes() experiments.SchemesConfig {
+	return experiments.SchemesConfig{Scale: experiments.Small, Epochs: 10, NumTMs: 24, Seed: 1}
+}
+
+func BenchmarkTab1DesignMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Tab1(1)
+		if !res.Checks["HARP"]["topology"] {
+			b.Fatal("HARP must model topology")
+		}
+	}
+}
+
+func BenchmarkFig01TopologyVariation(b *testing.B) {
+	ds := getDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig1(ds, 16); len(r.TotalNodes) == 0 {
+			b.Fatal("empty census")
+		}
+	}
+}
+
+func BenchmarkFig03CapacityVariation(b *testing.B) {
+	ds := getDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig3(ds); r.TunnelsAdded <= 0 {
+			b.Fatal("no tunnel churn")
+		}
+	}
+}
+
+func BenchmarkFig04Transferability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(quickTransfer())
+		b.ReportMetric(r.NormMLU.Median(), "median-NormMLU")
+		b.ReportMetric(r.NormMLU.Max(), "max-NormMLU")
+	}
+}
+
+func BenchmarkFig05HARPvsDOTE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ClusterConfig{Scale: experiments.Small, Epochs: 12, Clusters: 1, Seed: 1}
+		r := experiments.Fig5(cfg)
+		b.ReportMetric(r.HARP[0].Median(), "HARP-median")
+		b.ReportMetric(r.DOTE[0].Median(), "DOTE-median")
+	}
+}
+
+func BenchmarkFig06RAUAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ClusterConfig{Scale: experiments.Small, Epochs: 12, Seed: 1}
+		r := experiments.Fig6(cfg)
+		b.ReportMetric(r.HARP.Median(), "HARP-median")
+		b.ReportMetric(r.NoRAU.Median(), "NoRAU-median")
+	}
+}
+
+func BenchmarkFig07TunnelShuffle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7(quickSchemes())
+		b.ReportMetric(r.Shuffled["HARP"].Mean(), "HARP-shuffled")
+		b.ReportMetric(r.Shuffled["DOTE"].Mean(), "DOTE-shuffled")
+	}
+}
+
+func BenchmarkFig08PartialFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(quickSchemes())
+		b.ReportMetric(r.PerScheme["HARP"].Quantile(0.9), "HARP-p90")
+		b.ReportMetric(r.PerScheme["DOTE"].Quantile(0.9), "DOTE-p90")
+	}
+}
+
+func BenchmarkFig09GeantFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.FailureConfig{SchemesConfig: quickSchemes(), MaxFailures: 5}
+		r := experiments.Fig9(cfg)
+		b.ReportMetric(r.Pooled["HARP"].Median(), "HARP-pooled-median")
+	}
+}
+
+func BenchmarkFig10And17AbileneFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.FailureConfig{SchemesConfig: quickSchemes(), MaxFailures: 6}
+		r := experiments.Fig10And17(cfg)
+		b.ReportMetric(r.Pooled["HARP"].Median(), "HARP-pooled-median")
+		b.ReportMetric(r.Pooled["DOTE"].Median(), "DOTE-pooled-median")
+	}
+}
+
+func BenchmarkFig11ComputationTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(experiments.Fig11Config{Scale: experiments.Small, Seed: 1, Repeats: 1})
+		if len(r.Rows) != 5 {
+			b.Fatal("expected 5 topologies")
+		}
+	}
+}
+
+func BenchmarkFig12PredictedMatrices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Fig12Config{Scale: experiments.Small, Epochs: 10, Stride: 6, Seed: 1}
+		rs := experiments.Fig12(cfg, traffic.LinReg{Window: 12})
+		b.ReportMetric(rs[0].HARPPred.Median(), "HARP-Pred-median")
+		b.ReportMetric(rs[0].SolverPred.Median(), "Solver-Pred-median")
+	}
+}
+
+func BenchmarkFig15DatasetCapacity(b *testing.B) {
+	ds := getDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig15(ds); r.MultiValueFraction <= 0 {
+			b.Fatal("no capacity variation")
+		}
+	}
+}
+
+func BenchmarkFig16SingleVsMultiCluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig16(quickTransfer())
+		b.ReportMetric(r.PerModel["train_ABC"].Quantile(0.95), "ABC-p95")
+		b.ReportMetric(r.PerModel["train_A"].Quantile(0.95), "A-p95")
+	}
+}
+
+func BenchmarkFig18TEALConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Fig18Config{Scale: experiments.Small, Epochs: 12, Seed: 1}
+		r := experiments.Fig18(cfg)
+		b.ReportMetric(r.KDL[len(r.KDL)-1], "KDL-final")
+		b.ReportMetric(r.AnonNet[len(r.AnonNet)-1], "AnonNet-final")
+	}
+}
+
+// ---- ablation benches for the design choices DESIGN.md calls out ----
+
+// ablationEval trains a HARP variant on a fixed Abilene workload and
+// reports its mean test NormMLU.
+func ablationEval(b *testing.B, cfg core.Config) float64 {
+	b.Helper()
+	g := topology.Abilene()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	tms := traffic.Series(g, 24, traffic.DefaultSeriesConfig(60), 3)
+	var instances []*experiments.Instance
+	for _, tm := range tms {
+		instances = append(instances, &experiments.Instance{
+			Problem: p, Demand: traffic.DemandVector(tm, set.Flows),
+		})
+	}
+	trainIdx, valIdx, testIdx := experiments.SplitTrainValTest(len(instances))
+	pick := func(idx []int) []*experiments.Instance {
+		o := make([]*experiments.Instance, len(idx))
+		for i, j := range idx {
+			o[i] = instances[j]
+		}
+		return o
+	}
+	trainI, valI, testI := pick(trainIdx), pick(valIdx), pick(testIdx)
+	m := core.New(cfg)
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 15
+	m.Fit(experiments.HarpSamples(m, trainI), experiments.HarpSamples(m, valI), tc)
+	experiments.ComputeOptimal(testI)
+	d := experiments.NewDistribution(experiments.EvalHarp(m, testI, experiments.HarpSamples(m, testI)))
+	return d.Mean()
+}
+
+func BenchmarkAblationRAUIters(b *testing.B) {
+	for _, iters := range []int{3, 7, 14} {
+		iters := iters
+		b.Run(benchName("rau", iters), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.RAUIterations = iters
+				b.ReportMetric(ablationEval(b, cfg), "mean-NormMLU")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationGNNDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 3} {
+		depth := depth
+		b.Run(benchName("gnn", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.GNNLayers = depth
+				b.ReportMetric(ablationEval(b, cfg), "mean-NormMLU")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSetTransVsMeanPool(b *testing.B) {
+	for _, meanPool := range []bool{false, true} {
+		meanPool := meanPool
+		name := "settrans"
+		if meanPool {
+			name = "meanpool"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.MeanPoolTunnels = meanPool
+				b.ReportMetric(ablationEval(b, cfg), "mean-NormMLU")
+			}
+		})
+	}
+}
+
+func BenchmarkSolverComparison(b *testing.B) {
+	g := topology.Geant()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, newBenchRng()), 110)
+	demand := traffic.DemandVector(tm, set.Flows)
+	for _, method := range []string{"simplex", "mwu"} {
+		method := method
+		b.Run(method, func(b *testing.B) {
+			var mlu float64
+			for i := 0; i < b.N; i++ {
+				r, err := lp.SolveWithOptions(p, demand, lp.Options{Method: method})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mlu = r.MLU
+			}
+			b.ReportMetric(mlu, "MLU")
+		})
+	}
+}
+
+// ---- micro-benchmarks of the core substrates ----
+
+func BenchmarkHARPForwardGEANT(b *testing.B) {
+	g := topology.Geant()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	m := core.New(core.DefaultConfig())
+	ctx := m.Context(p)
+	tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, newBenchRng()), 110)
+	demand := traffic.DemandVector(tm, set.Flows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Splits(ctx, demand)
+	}
+}
+
+func BenchmarkYenKShortestGEANT(b *testing.B) {
+	g := topology.Geant()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if paths := tunnels.KShortestPaths(g, 0, 21, 8); len(paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+func BenchmarkDatasetGeneration(b *testing.B) {
+	cfg := experiments.AnonNetConfig(experiments.Small)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if ds := dataset.Generate(cfg); len(ds.Clusters) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return fmt.Sprintf("%s-%02d", prefix, v)
+}
+
+func newBenchRng() *rand.Rand { return rand.New(rand.NewSource(9)) }
+
+// ---- §7 future-work extension benches ----
+
+func BenchmarkExtDemandShift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := quickSchemes()
+		r := experiments.ExtDemandShift(cfg)
+		b.ReportMetric(r.Same.Median(), "same-median")
+		b.ReportMetric(r.Shifted.Median(), "shifted-median")
+		b.ReportMetric(r.Transposed.Median(), "transposed-median")
+	}
+}
+
+func BenchmarkExtObjectives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := quickSchemes()
+		r := experiments.ExtObjectives(cfg)
+		b.ReportMetric(r.ThroughputRatio, "throughput-ratio")
+		b.ReportMetric(r.FairnessRatio, "fairness-ratio")
+	}
+}
+
+func BenchmarkLPSimplexAbilene(b *testing.B) {
+	g := topology.Abilene()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, newBenchRng()), 60)
+	demand := traffic.DemandVector(tm, set.Flows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.SolveWithOptions(p, demand, lp.Options{Method: "simplex"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxMinFairnessEvaluator(b *testing.B) {
+	g := topology.Geant()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	splits := p.UniformSplits()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rates := p.MaxMinRates(splits); len(rates) != p.NumFlows() {
+			b.Fatal("bad rates")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command tegen generates and inspects the synthetic AnonNet-like dataset
+// (see internal/dataset). It prints the §5.1 characterization — cluster
+// structure, topology census, capacity variation — and can dump a compact
+// JSON description of the series for external tooling.
+//
+// Usage:
+//
+//	tegen [-nodes N] [-snapshots N] [-seed N] [-k N] [-json out.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"harpte/internal/dataset"
+	"harpte/internal/experiments"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 24, "initial node count")
+		snapshots = flag.Int("snapshots", 400, "snapshot count")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		k         = flag.Int("k", 4, "tunnels per flow")
+		jsonOut   = flag.String("json", "", "write a JSON summary to this file")
+		dumpDir   = flag.String("dump", "", "write per-cluster topology and traffic files to this directory")
+	)
+	flag.Parse()
+
+	cfg := dataset.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg.Snapshots = *snapshots
+	cfg.Seed = *seed
+	cfg.TunnelsPerFlow = *k
+	ds := dataset.Generate(cfg)
+
+	fmt.Printf("generated %d snapshots in %d clusters\n", len(ds.Snapshots), len(ds.Clusters))
+	fmt.Print(experiments.Fig1(ds, 12).Table)
+	fmt.Print(experiments.Fig3(ds).Table)
+	fmt.Print(experiments.Fig15(ds).Table)
+
+	if *jsonOut != "" {
+		if err := writeJSON(ds, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "tegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("summary written to %s\n", *jsonOut)
+	}
+	if *dumpDir != "" {
+		if err := dumpFiles(ds, *dumpDir); err != nil {
+			fmt.Fprintln(os.Stderr, "tegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cluster files written to %s\n", *dumpDir)
+	}
+}
+
+// dumpFiles writes, per cluster, the base topology (cluster<N>.topo) and
+// the traffic-matrix series of its snapshots (cluster<N>.tms) in the text
+// formats of internal/topology and internal/traffic, so external tools and
+// the harpcli -topofile/-tmfile flags can consume them.
+func dumpFiles(ds *dataset.Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, c := range ds.Clusters {
+		tf, err := os.Create(filepath.Join(dir, fmt.Sprintf("cluster%02d.topo", c.ID)))
+		if err != nil {
+			return err
+		}
+		if err := topology.Write(tf, c.Base); err != nil {
+			tf.Close()
+			return err
+		}
+		tf.Close()
+
+		var tms []*tensor.Dense
+		for _, si := range c.Snapshots {
+			tms = append(tms, ds.Snapshots[si].TM)
+		}
+		mf, err := os.Create(filepath.Join(dir, fmt.Sprintf("cluster%02d.tms", c.ID)))
+		if err != nil {
+			return err
+		}
+		if err := traffic.WriteTMs(mf, tms); err != nil {
+			mf.Close()
+			return err
+		}
+		mf.Close()
+	}
+	return nil
+}
+
+// summary is the JSON shape written by -json.
+type summary struct {
+	Snapshots int              `json:"snapshots"`
+	Clusters  []clusterSummary `json:"clusters"`
+}
+
+type clusterSummary struct {
+	ID        int `json:"id"`
+	Snapshots int `json:"snapshots"`
+	Nodes     int `json:"nodes"`
+	Links     int `json:"links"`
+	Flows     int `json:"flows"`
+	Tunnels   int `json:"tunnels"`
+}
+
+func writeJSON(ds *dataset.Dataset, path string) error {
+	s := summary{Snapshots: len(ds.Snapshots)}
+	for _, c := range ds.Clusters {
+		s.Clusters = append(s.Clusters, clusterSummary{
+			ID:        c.ID,
+			Snapshots: len(c.Snapshots),
+			Nodes:     c.Base.NumNodes,
+			Links:     c.Base.NumEdges() / 2,
+			Flows:     len(c.Tunnels.Flows),
+			Tunnels:   c.Tunnels.NumTunnels(),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&s)
+}

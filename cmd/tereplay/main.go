@@ -1,0 +1,113 @@
+// Command tereplay simulates HARP operating as a live TE controller: it
+// trains on the first clusters of a synthetic AnonNet-like series, then
+// replays the remaining snapshots in order — recomputing split ratios per
+// snapshot exactly as the controller would at each interval — and reports
+// the NormMLU timeline, flagging topology events and failures as they
+// stream past.
+//
+// Usage:
+//
+//	tereplay [-nodes N] [-snapshots N] [-seed N] [-epochs N] [-every N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harpte/internal/core"
+	"harpte/internal/dataset"
+	"harpte/internal/experiments"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/traffic"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 14, "initial node count")
+		snapshots = flag.Int("snapshots", 300, "snapshot count")
+		seed      = flag.Int64("seed", 1, "seed")
+		epochs    = flag.Int("epochs", 30, "training epochs")
+		every     = flag.Int("every", 4, "replay every N-th snapshot")
+	)
+	flag.Parse()
+
+	cfg := experiments.AnonNetConfig(experiments.Small)
+	cfg.Nodes = *nodes
+	cfg.Snapshots = *snapshots
+	cfg.Seed = *seed
+	ds := dataset.Generate(cfg)
+	fmt.Printf("dataset: %d snapshots, %d clusters\n", len(ds.Snapshots), len(ds.Clusters))
+
+	// Train on the earliest substantial clusters, as the fig4 protocol does.
+	trainClusters := map[int]bool{}
+	var trainInst, valInst []*experiments.Instance
+	picked := 0
+	for ci := range ds.Clusters {
+		if len(ds.Clusters[ci].Snapshots) < 8 {
+			continue
+		}
+		inst := experiments.ClusterInstances(ds, ci, 1)
+		if picked < 3 {
+			trainInst = append(trainInst, inst...)
+			trainClusters[ci] = true
+		} else if picked < 5 {
+			valInst = append(valInst, inst...)
+			trainClusters[ci] = true
+		} else {
+			break
+		}
+		picked++
+	}
+	model := core.New(core.DefaultConfig())
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = *epochs
+	fmt.Printf("training on %d snapshots (%d validation)...\n", len(trainInst), len(valInst))
+	res := model.Fit(experiments.HarpSamples(model, trainInst),
+		experiments.HarpSamples(model, valInst), tc)
+	fmt.Printf("trained: best val MLU %.4f\n\n", res.BestValMLU)
+
+	fmt.Println("  t  cluster  event            HARP-MLU  optimal   NormMLU")
+	var norms []float64
+	lastCluster := -1
+	for si := 0; si < len(ds.Snapshots); si += *every {
+		snap := ds.Snapshots[si]
+		if trainClusters[snap.Cluster] {
+			continue // skip the training/validation window
+		}
+		c := ds.Clusters[snap.Cluster]
+		p := te.NewProblem(snap.Graph, c.Tunnels)
+		d := traffic.DemandVector(snap.TM, c.Tunnels.Flows)
+		splits := model.Splits(model.Context(p), d)
+		mlu := p.MLU(splits, d)
+		opt := lp.Solve(p, d).MLU
+		norm := te.NormMLU(mlu, opt)
+		norms = append(norms, norm)
+
+		var events []string
+		if snap.Cluster != lastCluster {
+			events = append(events, "new-cluster/tunnels")
+			lastCluster = snap.Cluster
+		}
+		for id := range snap.Graph.Edges {
+			if !snap.Graph.IsActive(id) {
+				events = append(events, "link-down")
+				break
+			}
+		}
+		marker := ""
+		if norm > 1.2 {
+			marker = "  <-- degraded"
+		}
+		fmt.Printf("%4d  %6d  %-16s %8.4f  %8.4f  %7.3f%s\n",
+			si, snap.Cluster, strings.Join(events, ","), mlu, opt, norm, marker)
+	}
+	if len(norms) == 0 {
+		fmt.Fprintln(os.Stderr, "tereplay: no test snapshots (dataset too small?)")
+		os.Exit(1)
+	}
+	d := experiments.NewDistribution(norms)
+	fmt.Printf("\nreplayed %d snapshots: %s\n", len(norms), d.CDFRow())
+}

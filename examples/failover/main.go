@@ -1,0 +1,99 @@
+// Failover: what happens to GEANT when links fail?
+//
+// This example trains HARP on the healthy GEANT topology, then walks every
+// single-link failure scenario and compares three reactions:
+//
+//   - HARP recomputing splits on the failed topology (no rescaling —
+//     the recurrent adjustment unit steers traffic off dead tunnels);
+//   - the pre-failure splits with local rescaling (what a fixed-topology
+//     scheme like DOTE must do); and
+//   - the exact LP optimum on the failed topology.
+//
+// Run with:
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harpte/internal/core"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+func main() {
+	log.SetFlags(0)
+	g := topology.Geant()
+	set := tunnels.Compute(g, 4)
+	healthy := te.NewProblem(g, set)
+	fmt.Printf("GEANT: %d nodes, %d links, %d flows\n",
+		g.NumNodes, g.NumEdges()/2, healthy.NumFlows())
+
+	// Train HARP on healthy traffic (capped below access capacity so core
+	// links are the binding constraint, as in real WAN matrices).
+	cfg := traffic.DefaultSeriesConfig(520)
+	cfg.NoiseSigma = 0.3
+	tms := traffic.Series(g, 36, cfg, 7)
+	for _, tm := range tms {
+		traffic.CapToAccess(tm, g, 0.35)
+	}
+	model := core.New(core.DefaultConfig())
+	hctx := model.Context(healthy)
+	var train, val []core.Sample
+	for i, tm := range tms[:32] {
+		s := core.Sample{Ctx: hctx, Demand: traffic.DemandVector(tm, set.Flows)}
+		if i < 27 {
+			train = append(train, s)
+		} else {
+			val = append(val, s)
+		}
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 40
+	model.Fit(train, val, tc)
+
+	// The test matrix and the splits HARP chose before any failure.
+	demand := traffic.DemandVector(tms[34], set.Flows)
+	preSplits := model.Splits(hctx, demand)
+	fmt.Printf("healthy MLU: HARP %.4f, optimal %.4f\n\n",
+		healthy.MLU(preSplits, demand), lp.Solve(healthy, demand).MLU)
+
+	fmt.Println("link failure -> MLU (HARP recompute | rescale old splits | optimal)")
+	worstHARP, worstRescale := 0.0, 0.0
+	healthyOpt := lp.Solve(healthy, demand).MLU
+	for _, link := range g.UndirectedLinks() {
+		failedG := g.WithFailedLink(link[0], link[1])
+		if !failedG.Connected() {
+			continue
+		}
+		failed := te.NewProblem(failedG, set)
+		optMLU := lp.Solve(failed, demand).MLU
+		if optMLU > 10*healthyOpt {
+			// This failure strands a flow (every provisioned tunnel crosses
+			// the link); no TE scheme can route around it — skip.
+			fmt.Printf("  %2d<->%-2d   (strands a flow; skipped)\n", link[0], link[1])
+			continue
+		}
+
+		harpMLU := failed.MLU(model.Splits(model.Context(failed), demand), demand)
+		rescaled := te.Rescale(failed, preSplits)
+		rescaleMLU := failed.MLU(rescaled, demand)
+
+		hn, rn := te.NormMLU(harpMLU, optMLU), te.NormMLU(rescaleMLU, optMLU)
+		if hn > worstHARP {
+			worstHARP = hn
+		}
+		if rn > worstRescale {
+			worstRescale = rn
+		}
+		fmt.Printf("  %2d<->%-2d   %.4f (%.2fx) | %.4f (%.2fx) | %.4f\n",
+			link[0], link[1], harpMLU, hn, rescaleMLU, rn, optMLU)
+	}
+	fmt.Printf("\nworst-case NormMLU: HARP recompute %.2f, rescaling %.2f\n",
+		worstHARP, worstRescale)
+}

@@ -1,0 +1,90 @@
+// Predicted: TE when only forecasts of the traffic matrix are available
+// (§5.7 of the paper).
+//
+// Both an optimization solver and HARP can be fed a *predicted* matrix, but
+// they degrade differently on the *true* one: the solver over-fits the
+// forecast, while HARP-Pred — trained with predicted inputs and true-matrix
+// loss — learns to hedge against forecast error.
+//
+// Run with:
+//
+//	go run ./examples/predicted
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harpte/internal/core"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+func main() {
+	log.SetFlags(0)
+	g := topology.Geant()
+	set := tunnels.Compute(g, 4)
+	problem := te.NewProblem(g, set)
+
+	// A hard-to-forecast traffic series: heavy per-cell noise and bursts,
+	// capped below access capacity so core links are the binding
+	// constraint (as in real WAN matrices).
+	cfg := traffic.DefaultSeriesConfig(520)
+	cfg.NoiseSigma = 0.45
+	cfg.BurstProb = 0.3
+	cfg.BurstScale = 4
+	tms := traffic.Series(g, 80, cfg, 5)
+	for _, tm := range tms {
+		traffic.CapToAccess(tm, g, 0.35)
+	}
+	predictor := traffic.MovAvg{Window: 12}
+
+	// HARP-Pred training samples: input = forecast, loss = truth.
+	model := core.New(core.DefaultConfig())
+	ctx := model.Context(problem)
+	var train, val []core.Sample
+	for i := 12; i < 56; i++ {
+		predicted := predictor.Predict(tms[:i])
+		s := core.Sample{
+			Ctx:        ctx,
+			Demand:     traffic.DemandVector(predicted, set.Flows),
+			LossDemand: traffic.DemandVector(tms[i], set.Flows),
+		}
+		if i < 48 {
+			train = append(train, s)
+		} else {
+			val = append(val, s)
+		}
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 30
+	model.Fit(train, val, tc)
+
+	fmt.Println("snapshot  HARP-Pred  Solver-Pred   (NormMLU vs optimum on the true matrix)")
+	var harpSum, solverSum float64
+	n := 0
+	for i := 56; i < len(tms); i++ {
+		predicted := predictor.Predict(tms[:i])
+		predDemand := traffic.DemandVector(predicted, set.Flows)
+		trueDemand := traffic.DemandVector(tms[i], set.Flows)
+		optTrue := lp.Solve(problem, trueDemand).MLU
+
+		// HARP-Pred: forecast in, evaluate on truth.
+		harpMLU := problem.MLU(model.Splits(ctx, predDemand), trueDemand)
+		// Solver-Pred: optimal for the forecast, evaluated on truth.
+		solverMLU := problem.MLU(lp.Solve(problem, predDemand).Splits, trueDemand)
+
+		hn := te.NormMLU(harpMLU, optTrue)
+		sn := te.NormMLU(solverMLU, optTrue)
+		harpSum += hn
+		solverSum += sn
+		n++
+		fmt.Printf("   %2d      %.3f      %.3f\n", i, hn, sn)
+	}
+	fmt.Printf("\nmean NormMLU: HARP-Pred %.3f vs Solver-Pred %.3f\n",
+		harpSum/float64(n), solverSum/float64(n))
+	fmt.Println("(the paper reports HARP-Pred winning by 5-10% median across predictors)")
+}

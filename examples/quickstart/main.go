@@ -1,0 +1,69 @@
+// Quickstart: train HARP on the Abilene backbone and compare its routing
+// against the exact LP optimum on held-out traffic.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"harpte/internal/core"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A topology: the 12-node Abilene research backbone.
+	g := topology.Abilene()
+
+	// 2. Tunnels: 4 shortest paths per source-destination pair.
+	set := tunnels.Compute(g, 4)
+	problem := te.NewProblem(g, set)
+	fmt.Printf("Abilene: %d nodes, %d directed links, %d flows, %d tunnels\n",
+		g.NumNodes, g.NumEdges(), problem.NumFlows(), set.NumTunnels())
+
+	// 3. Traffic: a synthetic diurnal gravity-model series.
+	tms := traffic.Series(g, 40, traffic.DefaultSeriesConfig(60), 1)
+
+	// 4. A HARP model. The whole model is a few thousand parameters —
+	//    the same four shared modules are reused for every tunnel.
+	model := core.New(core.DefaultConfig())
+	fmt.Printf("HARP parameters: %d\n", model.NumParams())
+	ctx := model.Context(problem)
+
+	// 5. Train on the first 30 matrices (last 5 of them as validation).
+	var train, val []core.Sample
+	for i, tm := range tms[:30] {
+		s := core.Sample{Ctx: ctx, Demand: traffic.DemandVector(tm, set.Flows)}
+		if i < 25 {
+			train = append(train, s)
+		} else {
+			val = append(val, s)
+		}
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 30
+	tc.Log = os.Stdout
+	result := model.Fit(train, val, tc)
+	fmt.Printf("best validation MLU: %.4f\n", result.BestValMLU)
+
+	// 6. Evaluate on the held-out matrices against the LP optimum.
+	fmt.Println("\nheld-out performance (NormMLU = HARP MLU / optimal MLU):")
+	for i, tm := range tms[30:] {
+		demand := traffic.DemandVector(tm, set.Flows)
+		splits := model.Splits(ctx, demand)
+		harpMLU := problem.MLU(splits, demand)
+		opt := lp.Solve(problem, demand)
+		fmt.Printf("  matrix %2d: HARP %.4f  optimal %.4f  NormMLU %.3f\n",
+			i, harpMLU, opt.MLU, te.NormMLU(harpMLU, opt.MLU))
+	}
+}

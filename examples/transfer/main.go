@@ -1,0 +1,95 @@
+// Transfer: the headline property — one HARP model, many topologies.
+//
+// This example trains a single HARP model on a WAN, then evaluates the SAME
+// model (no retraining) as the network evolves: nodes are added, tunnels are
+// recomputed, link capacities change, and node ids are relabeled. A scheme
+// without HARP's invariances cannot even be *applied* to most of these
+// variants, because its input/output dimensions are frozen.
+//
+// Run with:
+//
+//	go run ./examples/transfer
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"harpte/internal/core"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(11))
+
+	// The base WAN: a 20-node random carrier topology.
+	base := topology.RandomConnected("wan-v1", 20, 3.2, []float64{40, 100, 400}, 3)
+	set := tunnels.Compute(base, 4)
+	problem := te.NewProblem(base, set)
+
+	model := core.New(core.DefaultConfig())
+	ctx := model.Context(problem)
+	tms := traffic.Series(base, 30, traffic.DefaultSeriesConfig(160), 2)
+	var train, val []core.Sample
+	for i, tm := range tms {
+		s := core.Sample{Ctx: ctx, Demand: traffic.DemandVector(tm, set.Flows)}
+		if i < 24 {
+			train = append(train, s)
+		} else {
+			val = append(val, s)
+		}
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 30
+	model.Fit(train, val, tc)
+
+	report := func(label string, p *te.Problem) {
+		tm := traffic.Gravity(p.Graph.NumNodes, traffic.GravityWeights(p.Graph, rng), 160)
+		demand := traffic.DemandVector(tm, p.Tunnels.Flows)
+		mlu := p.MLU(model.Splits(model.Context(p), demand), demand)
+		opt := lp.Solve(p, demand).MLU
+		fmt.Printf("  %-34s flows=%4d  NormMLU %.3f\n", label, p.NumFlows(), te.NormMLU(mlu, opt))
+	}
+
+	fmt.Println("one trained model, applied unchanged to topology variants:")
+	report("v1 (training topology)", problem)
+
+	// Variant A: add two nodes and three links, recompute tunnels.
+	v2 := base.Clone()
+	v2.Name = "wan-v2"
+	grown := topology.New("wan-v2", v2.NumNodes+2)
+	for _, e := range v2.Edges {
+		if _, dup := grown.EdgeID(e.Src, e.Dst); !dup {
+			grown.AddEdge(e.Src, e.Dst, e.Capacity)
+		}
+	}
+	grown.AddBidirectional(20, 3, 100)
+	grown.AddBidirectional(20, 7, 100)
+	grown.AddBidirectional(21, 20, 40)
+	report("v2 (+2 nodes, +3 links, new tunnels)", te.NewProblem(grown, tunnels.Compute(grown, 4)))
+
+	// Variant B: a partial failure halves one link.
+	l := base.UndirectedLinks()[2]
+	report("v1 with one link at 50% capacity", te.NewProblem(base.WithPartialFailure(l[0], l[1], 0.5), set))
+
+	// Variant C: a complete link failure.
+	report("v1 with one link failed", te.NewProblem(base.WithFailedLink(l[0], l[1]), set))
+
+	// Variant D: tunnels shuffled (order must not matter).
+	report("v1 with tunnel order shuffled", te.NewProblem(base, set.Shuffled(rng)))
+
+	// Variant E: node ids relabeled (isomorphic network).
+	perm := rng.Perm(base.NumNodes)
+	permuted := base.Permute(perm)
+	permSet := &tunnels.Set{K: set.K, PerFlow: set.PerFlow}
+	for _, f := range set.Flows {
+		permSet.Flows = append(permSet.Flows, tunnels.Flow{Src: perm[f.Src], Dst: perm[f.Dst]})
+	}
+	report("v1 with node ids relabeled", te.NewProblem(permuted, permSet))
+}

@@ -1,0 +1,3 @@
+module harpte
+
+go 1.22

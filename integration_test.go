@@ -1,0 +1,177 @@
+// Integration tests exercising the full pipeline across modules: synthetic
+// dataset → tunnel provisioning → TE problem → LP optimum → HARP training →
+// serialization → evaluation on unseen topology variants. These complement
+// the per-package unit tests; each test here crosses at least three module
+// boundaries.
+package harpte_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"harpte/internal/core"
+	"harpte/internal/dataset"
+	"harpte/internal/experiments"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+// TestEndToEndPipeline runs the full life of a TE controller: generate a
+// WAN series, train on the early clusters, persist the model, reload it,
+// and verify it routes unseen snapshots acceptably.
+func TestEndToEndPipeline(t *testing.T) {
+	cfg := experiments.AnonNetConfig(experiments.Small)
+	cfg.Nodes = 10
+	cfg.Snapshots = 150
+	cfg.TunnelsPerFlow = 3
+	cfg.Seed = 42
+	ds := dataset.Generate(cfg)
+	if len(ds.Clusters) < 6 {
+		t.Fatalf("dataset too small: %d clusters", len(ds.Clusters))
+	}
+
+	var train, val, test []*experiments.Instance
+	for ci := range ds.Clusters {
+		inst := experiments.ClusterInstances(ds, ci, 1)
+		switch {
+		case ci < 3:
+			train = append(train, inst...)
+		case ci < 5:
+			val = append(val, inst...)
+		case len(test) < 20:
+			test = append(test, inst...)
+		}
+	}
+
+	model := core.New(core.DefaultConfig())
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 20
+	model.Fit(experiments.HarpSamples(model, train), experiments.HarpSamples(model, val), tc)
+
+	// Persist and reload.
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	experiments.ComputeOptimal(test)
+	var worst float64
+	for _, in := range test {
+		splits := loaded.Splits(loaded.Context(in.Problem), in.Demand)
+		norm := in.NormMLUOf(splits)
+		if math.IsNaN(norm) {
+			t.Fatal("NaN NormMLU")
+		}
+		if norm > worst {
+			worst = norm
+		}
+	}
+	if worst > 3.0 {
+		t.Fatalf("reloaded model degraded badly on unseen clusters: worst NormMLU %.3f", worst)
+	}
+}
+
+// TestOptimizerAgreesWithEvaluator closes the loop between the lp and te
+// packages on a real topology: the solver's claimed MLU must be exactly
+// what the evaluator computes for the returned splits.
+func TestOptimizerAgreesWithEvaluator(t *testing.T) {
+	g := topology.B4()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	tms := traffic.Series(g, 5, traffic.DefaultSeriesConfig(150), 8)
+	for i, tm := range tms {
+		traffic.CapToAccess(tm, g, 0.4)
+		d := traffic.DemandVector(tm, set.Flows)
+		r := lp.Solve(p, d)
+		if got := p.MLU(r.Splits, d); math.Abs(got-r.MLU) > 1e-9 {
+			t.Fatalf("tm %d: solver MLU %v but evaluator says %v", i, r.MLU, got)
+		}
+	}
+}
+
+// TestFailureRecoveryLoop crosses topology perturbation, rescaling and
+// recomputation: for every Ring link failure, HARP recomputation must be at
+// least as good as naive uniform splits.
+func TestFailureRecoveryLoop(t *testing.T) {
+	g := topology.Ring(8, 10)
+	set := tunnels.Compute(g, 2)
+	p := te.NewProblem(g, set)
+	model := core.New(core.DefaultConfig())
+	tms := traffic.Series(g, 12, traffic.DefaultSeriesConfig(25), 4)
+	var samples []core.Sample
+	ctx := model.Context(p)
+	for _, tm := range tms {
+		samples = append(samples, core.Sample{Ctx: ctx, Demand: traffic.DemandVector(tm, set.Flows)})
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 15
+	model.Fit(samples[:10], samples[10:], tc)
+
+	d := traffic.DemandVector(tms[11], set.Flows)
+	for _, fg := range g.SingleLinkFailures() {
+		fp := te.NewProblem(fg, set)
+		harpMLU := fp.MLU(model.Splits(model.Context(fp), d), d)
+		uniformMLU := fp.MLU(fp.UniformSplits(), d)
+		if harpMLU > uniformMLU*1.05 {
+			t.Fatalf("HARP (%.4f) worse than uniform (%.4f) under failure", harpMLU, uniformMLU)
+		}
+	}
+}
+
+// TestPredictorPipelineIntegration drives predictors → HARP-Pred sample
+// plumbing → evaluation against true-matrix optimum.
+func TestPredictorPipelineIntegration(t *testing.T) {
+	g := topology.Abilene()
+	g.EdgeNodes = []int{0, 4, 9, 11}
+	set := tunnels.Compute(g, 3)
+	p := te.NewProblem(g, set)
+	tms := traffic.Series(g, 20, traffic.DefaultSeriesConfig(40), 6)
+	pred := traffic.LinReg{Window: 8}
+	model := core.New(core.DefaultConfig())
+	ctx := model.Context(p)
+
+	var samples []core.Sample
+	for i := 8; i < 18; i++ {
+		forecast := pred.Predict(tms[:i])
+		samples = append(samples, core.Sample{
+			Ctx:        ctx,
+			Demand:     traffic.DemandVector(forecast, set.Flows),
+			LossDemand: traffic.DemandVector(tms[i], set.Flows),
+		})
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 15
+	model.Fit(samples[:8], samples[8:], tc)
+
+	forecast := pred.Predict(tms[:19])
+	predD := traffic.DemandVector(forecast, set.Flows)
+	trueD := traffic.DemandVector(tms[19], set.Flows)
+	mlu := p.MLU(model.Splits(ctx, predD), trueD)
+	opt := lp.Solve(p, trueD).MLU
+	if norm := te.NormMLU(mlu, opt); norm > 2.0 || math.IsNaN(norm) {
+		t.Fatalf("HARP-Pred pipeline NormMLU %.3f", norm)
+	}
+}
+
+// TestFairnessOfOptimalAllocations crosses lp and the fairness evaluator:
+// LP-optimal splits on a symmetric ring should be perfectly fair.
+func TestFairnessOfOptimalAllocations(t *testing.T) {
+	g := topology.Ring(6, 10)
+	g.EdgeNodes = []int{0, 3}
+	set := tunnels.Compute(g, 2)
+	p := te.NewProblem(g, set)
+	d := traffic.DemandVector(traffic.Gravity(g.NumNodes, []float64{1, 0, 0, 1, 0, 0}, 10), set.Flows)
+	r := lp.Solve(p, d)
+	rates := p.MaxMinRates(r.Splits)
+	if fi := te.FairnessIndex(rates); fi < 0.99 {
+		t.Fatalf("symmetric ring fairness index %.3f", fi)
+	}
+}

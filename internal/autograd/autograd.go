@@ -1,0 +1,688 @@
+// Package autograd implements a tape-based reverse-mode automatic
+// differentiation engine over dense 2-D tensors.
+//
+// The design is define-by-run: every operation computes its value eagerly
+// and appends a node to the Tape. Calling Tape.Backward walks the tape in
+// reverse, invoking each node's stored adjoint closure. Because nodes are
+// appended in execution order, the tape order is already a valid reverse
+// topological order for backpropagation.
+//
+// Parameters (NewParam) and constants (NewConst) are leaves and never appear
+// on the tape; their gradients (for parameters) accumulate across Backward
+// calls until an optimizer consumes and zeroes them. This mirrors the
+// PyTorch training loop HARP's reference implementation uses, which keeps
+// the model code in internal/core close to the paper's description.
+//
+// Values are computed eagerly, so model code may inspect intermediate
+// numeric values mid-forward (HARP's recurrent adjustment unit does this to
+// locate per-tunnel bottleneck links) and use them to choose gather indices;
+// gradients then flow through the chosen indices, which is exactly the
+// subgradient semantics the paper's PyTorch implementation gets from
+// advanced indexing.
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"harpte/internal/tensor"
+)
+
+// Tensor is a node in the computation graph: a value, an optional gradient
+// buffer, and (for non-leaf nodes) an adjoint closure.
+type Tensor struct {
+	Val      *tensor.Dense
+	Grad     *tensor.Dense // allocated iff needGrad
+	needGrad bool
+	back     func() // propagates t.Grad into parents' Grad; nil for leaves
+}
+
+// Rows returns the number of rows of the value.
+func (t *Tensor) Rows() int { return t.Val.Rows }
+
+// Cols returns the number of columns of the value.
+func (t *Tensor) Cols() int { return t.Val.Cols }
+
+// NeedsGrad reports whether this tensor participates in differentiation.
+func (t *Tensor) NeedsGrad() bool { return t.needGrad }
+
+// ZeroGrad clears the accumulated gradient (no-op for non-grad tensors).
+func (t *Tensor) ZeroGrad() {
+	if t.Grad != nil {
+		t.Grad.Zero()
+	}
+}
+
+// NewParam wraps v as a trainable leaf. The caller retains ownership of v.
+func NewParam(v *tensor.Dense) *Tensor {
+	return &Tensor{Val: v, Grad: tensor.New(v.Rows, v.Cols), needGrad: true}
+}
+
+// NewConst wraps v as a non-trainable leaf.
+func NewConst(v *tensor.Dense) *Tensor {
+	return &Tensor{Val: v}
+}
+
+// Tape records operations for reverse-mode differentiation. The zero value
+// is ready to use. A Tape is not safe for concurrent use; run independent
+// samples on independent tapes.
+type Tape struct {
+	nodes []*Tensor
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded nodes so the tape can be reused. Leaf tensors
+// (parameters, constants) are unaffected.
+func (tp *Tape) Reset() { tp.nodes = tp.nodes[:0] }
+
+// Len returns the number of recorded operations, exposed for tests.
+func (tp *Tape) Len() int { return len(tp.nodes) }
+
+// node creates a non-leaf tensor, allocating a gradient buffer when any
+// parent requires one, and appends it to the tape.
+func (tp *Tape) node(val *tensor.Dense, back func(), parents ...*Tensor) *Tensor {
+	need := false
+	for _, p := range parents {
+		if p.needGrad {
+			need = true
+			break
+		}
+	}
+	t := &Tensor{Val: val, needGrad: need}
+	if need {
+		t.Grad = tensor.New(val.Rows, val.Cols)
+		t.back = back
+	}
+	tp.nodes = append(tp.nodes, t)
+	return t
+}
+
+// Custom registers an externally computed operation. val is the forward
+// result; back must add the adjoint contribution of the output gradient into
+// each parent's Grad. This is the extension point fused layers (attention,
+// layer norm) use.
+func (tp *Tape) Custom(val *tensor.Dense, back func(out *Tensor), parents ...*Tensor) *Tensor {
+	var t *Tensor
+	t = tp.node(val, func() { back(t) }, parents...)
+	return t
+}
+
+// Backward seeds d(loss)/d(loss) = 1 and propagates gradients through every
+// node recorded since the last Reset. loss must be a 1×1 tensor produced on
+// this tape.
+func (tp *Tape) Backward(loss *Tensor) {
+	if loss.Val.Rows != 1 || loss.Val.Cols != 1 {
+		panic(fmt.Sprintf("autograd: Backward expects 1x1 loss, got %dx%d", loss.Val.Rows, loss.Val.Cols))
+	}
+	if !loss.needGrad {
+		panic("autograd: loss does not depend on any parameter")
+	}
+	loss.Grad.Data[0] = 1
+	for i := len(tp.nodes) - 1; i >= 0; i-- {
+		n := tp.nodes[i]
+		if n.back != nil {
+			n.back()
+		}
+	}
+}
+
+// ---- elementwise and linear-algebra operations ----
+
+// MatMul returns a × b.
+func (tp *Tape) MatMul(a, b *Tensor) *Tensor {
+	out := tensor.New(a.Rows(), b.Cols())
+	tensor.MatMulAcc(out, a.Val, b.Val) // out is freshly zeroed
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad { // dA += dOut x B^T
+			tensor.MatMulABTAcc(a.Grad, t.Grad, b.Val)
+		}
+		if b.needGrad { // dB += A^T x dOut
+			tensor.MatMulATBAcc(b.Grad, a.Val, t.Grad)
+		}
+	}, a, b)
+	return t
+}
+
+// Add returns a + b (same shape).
+func (tp *Tape) Add(a, b *Tensor) *Tensor {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.AddInto(out, a.Val, b.Val)
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			tensor.AxpyInto(a.Grad, t.Grad, 1)
+		}
+		if b.needGrad {
+			tensor.AxpyInto(b.Grad, t.Grad, 1)
+		}
+	}, a, b)
+	return t
+}
+
+// Sub returns a - b (same shape).
+func (tp *Tape) Sub(a, b *Tensor) *Tensor {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.SubInto(out, a.Val, b.Val)
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			tensor.AxpyInto(a.Grad, t.Grad, 1)
+		}
+		if b.needGrad {
+			tensor.AxpyInto(b.Grad, t.Grad, -1)
+		}
+	}, a, b)
+	return t
+}
+
+// Mul returns the Hadamard product a ⊙ b.
+func (tp *Tape) Mul(a, b *Tensor) *Tensor {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.MulInto(out, a.Val, b.Val)
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += t.Grad.Data[i] * b.Val.Data[i]
+			}
+		}
+		if b.needGrad {
+			for i := range b.Grad.Data {
+				b.Grad.Data[i] += t.Grad.Data[i] * a.Val.Data[i]
+			}
+		}
+	}, a, b)
+	return t
+}
+
+// Scale returns s·a.
+func (tp *Tape) Scale(a *Tensor, s float64) *Tensor {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.ScaleInto(out, a.Val, s)
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			tensor.AxpyInto(a.Grad, t.Grad, s)
+		}
+	}, a)
+	return t
+}
+
+// AddScalar returns a + s (broadcast).
+func (tp *Tape) AddScalar(a *Tensor, s float64) *Tensor {
+	out := a.Val.Clone()
+	for i := range out.Data {
+		out.Data[i] += s
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			tensor.AxpyInto(a.Grad, t.Grad, 1)
+		}
+	}, a)
+	return t
+}
+
+// AddRow returns a + v broadcast over rows; v must be 1×a.Cols (a bias row).
+func (tp *Tape) AddRow(a, v *Tensor) *Tensor {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.AddRowVecInto(out, a.Val, v.Val)
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			tensor.AxpyInto(a.Grad, t.Grad, 1)
+		}
+		if v.needGrad {
+			for i := 0; i < t.Grad.Rows; i++ {
+				row := t.Grad.Row(i)
+				for j := range row {
+					v.Grad.Data[j] += row[j]
+				}
+			}
+		}
+	}, a, v)
+	return t
+}
+
+// ---- activations ----
+
+// ReLU returns max(a, 0) elementwise.
+func (tp *Tape) ReLU(a *Tensor) *Tensor {
+	out := a.Val.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := range a.Grad.Data {
+				if a.Val.Data[i] > 0 {
+					a.Grad.Data[i] += t.Grad.Data[i]
+				}
+			}
+		}
+	}, a)
+	return t
+}
+
+// LeakyReLU returns a for a>0 and alpha·a otherwise.
+func (tp *Tape) LeakyReLU(a *Tensor, alpha float64) *Tensor {
+	out := a.Val.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = alpha * v
+		}
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := range a.Grad.Data {
+				g := t.Grad.Data[i]
+				if a.Val.Data[i] <= 0 {
+					g *= alpha
+				}
+				a.Grad.Data[i] += g
+			}
+		}
+	}, a)
+	return t
+}
+
+// Tanh returns tanh(a) elementwise.
+func (tp *Tape) Tanh(a *Tensor) *Tensor {
+	out := a.Val.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := range a.Grad.Data {
+				y := t.Val.Data[i]
+				a.Grad.Data[i] += t.Grad.Data[i] * (1 - y*y)
+			}
+		}
+	}, a)
+	return t
+}
+
+// Sigmoid returns 1/(1+exp(-a)) elementwise.
+func (tp *Tape) Sigmoid(a *Tensor) *Tensor {
+	out := a.Val.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := range a.Grad.Data {
+				y := t.Val.Data[i]
+				a.Grad.Data[i] += t.Grad.Data[i] * y * (1 - y)
+			}
+		}
+	}, a)
+	return t
+}
+
+// ---- shape operations ----
+
+// ConcatCols concatenates tensors with equal row counts side by side.
+func (tp *Tape) ConcatCols(parts ...*Tensor) *Tensor {
+	rows := parts[0].Rows()
+	total := 0
+	for _, p := range parts {
+		if p.Rows() != rows {
+			panic("autograd: ConcatCols row mismatch")
+		}
+		total += p.Cols()
+	}
+	out := tensor.New(rows, total)
+	off := 0
+	for _, p := range parts {
+		for i := 0; i < rows; i++ {
+			copy(out.Row(i)[off:off+p.Cols()], p.Val.Row(i))
+		}
+		off += p.Cols()
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		off := 0
+		for _, p := range parts {
+			if p.needGrad {
+				for i := 0; i < rows; i++ {
+					src := t.Grad.Row(i)[off : off+p.Cols()]
+					dst := p.Grad.Row(i)
+					for j := range dst {
+						dst[j] += src[j]
+					}
+				}
+			}
+			off += p.Cols()
+		}
+	}, parts...)
+	return t
+}
+
+// ConcatRows stacks tensors with equal column counts vertically.
+func (tp *Tape) ConcatRows(parts ...*Tensor) *Tensor {
+	cols := parts[0].Cols()
+	total := 0
+	for _, p := range parts {
+		if p.Cols() != cols {
+			panic("autograd: ConcatRows column mismatch")
+		}
+		total += p.Rows()
+	}
+	out := tensor.New(total, cols)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off*cols:], p.Val.Data)
+		off += p.Rows()
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		off := 0
+		for _, p := range parts {
+			if p.needGrad {
+				src := t.Grad.Data[off*cols : (off+p.Rows())*cols]
+				for j := range p.Grad.Data {
+					p.Grad.Data[j] += src[j]
+				}
+			}
+			off += p.Rows()
+		}
+	}, parts...)
+	return t
+}
+
+// GatherRows returns the matrix whose i-th row is a's idx[i]-th row.
+// Backward scatter-adds, so repeated indices accumulate gradient — this is
+// what makes bottleneck-link selection differentiable in the RAU.
+func (tp *Tape) GatherRows(a *Tensor, idx []int) *Tensor {
+	out := tensor.New(len(idx), a.Cols())
+	for i, src := range idx {
+		copy(out.Row(i), a.Val.Row(src))
+	}
+	// Copy idx so later mutation by the caller cannot corrupt backward.
+	own := append([]int(nil), idx...)
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i, src := range own {
+				dst := a.Grad.Row(src)
+				g := t.Grad.Row(i)
+				for j := range dst {
+					dst[j] += g[j]
+				}
+			}
+		}
+	}, a)
+	return t
+}
+
+// Reshape returns a tensor with the same data viewed as rows×cols.
+func (tp *Tape) Reshape(a *Tensor, rows, cols int) *Tensor {
+	if rows*cols != a.Rows()*a.Cols() {
+		panic("autograd: Reshape size mismatch")
+	}
+	out := tensor.FromSlice(rows, cols, append([]float64(nil), a.Val.Data...))
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += t.Grad.Data[i]
+			}
+		}
+	}, a)
+	return t
+}
+
+// RepeatRow tiles the 1×c tensor a into an n×c tensor; backward sums rows.
+func (tp *Tape) RepeatRow(a *Tensor, n int) *Tensor {
+	if a.Rows() != 1 {
+		panic("autograd: RepeatRow expects a row vector")
+	}
+	out := tensor.New(n, a.Cols())
+	for i := 0; i < n; i++ {
+		copy(out.Row(i), a.Val.Data)
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := 0; i < n; i++ {
+				row := t.Grad.Row(i)
+				for j := range row {
+					a.Grad.Data[j] += row[j]
+				}
+			}
+		}
+	}, a)
+	return t
+}
+
+// ---- reductions ----
+
+// SumAll returns the 1×1 sum of all entries.
+func (tp *Tape) SumAll(a *Tensor) *Tensor {
+	out := tensor.FromSlice(1, 1, []float64{a.Val.Sum()})
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			g := t.Grad.Data[0]
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += g
+			}
+		}
+	}, a)
+	return t
+}
+
+// MeanAll returns the 1×1 mean of all entries.
+func (tp *Tape) MeanAll(a *Tensor) *Tensor {
+	n := float64(len(a.Val.Data))
+	out := tensor.FromSlice(1, 1, []float64{a.Val.Sum() / n})
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			g := t.Grad.Data[0] / n
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += g
+			}
+		}
+	}, a)
+	return t
+}
+
+// Max returns the 1×1 maximum entry; the gradient flows to the (first)
+// argmax, the standard subgradient used when training directly on MLU.
+func (tp *Tape) Max(a *Tensor) *Tensor {
+	v, idx := a.Val.Max()
+	out := tensor.FromSlice(1, 1, []float64{v})
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			a.Grad.Data[idx] += t.Grad.Data[0]
+		}
+	}, a)
+	return t
+}
+
+// SmoothMax returns temp·log Σ exp(a/temp), a differentiable upper bound on
+// max(a) that spreads gradient over near-maximal entries. Used as an
+// optional training objective variant (ablation).
+func (tp *Tape) SmoothMax(a *Tensor, temp float64) *Tensor {
+	// Stabilized log-sum-exp.
+	m, _ := a.Val.Max()
+	var s float64
+	for _, v := range a.Val.Data {
+		s += math.Exp((v - m) / temp)
+	}
+	out := tensor.FromSlice(1, 1, []float64{m + temp*math.Log(s)})
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			g := t.Grad.Data[0]
+			for i, v := range a.Val.Data {
+				a.Grad.Data[i] += g * math.Exp((v-m)/temp) / s
+			}
+		}
+	}, a)
+	return t
+}
+
+// ---- softmax ----
+
+// SoftmaxRows applies a numerically stable softmax independently to each
+// row. HARP/DOTE lay out unnormalized splits as a flows×tunnels matrix so a
+// row softmax implements the per-flow normalization of Figure 2.
+func (tp *Tape) SoftmaxRows(a *Tensor) *Tensor {
+	out := tensor.New(a.Rows(), a.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		softmaxRow(out.Row(i), a.Val.Row(i))
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := 0; i < a.Rows(); i++ {
+				y := t.Val.Row(i)
+				g := t.Grad.Row(i)
+				da := a.Grad.Row(i)
+				var dot float64
+				for j := range y {
+					dot += y[j] * g[j]
+				}
+				for j := range y {
+					da[j] += y[j] * (g[j] - dot)
+				}
+			}
+		}
+	}, a)
+	return t
+}
+
+func softmaxRow(dst, src []float64) {
+	m := src[0]
+	for _, v := range src[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var s float64
+	for j, v := range src {
+		e := math.Exp(v - m)
+		dst[j] = e
+		s += e
+	}
+	for j := range dst {
+		dst[j] /= s
+	}
+}
+
+// ---- sparse structural operators ----
+
+// CSRMul returns c × x for a constant sparse matrix c (e.g. normalized
+// adjacency, tunnel-edge incidence). Backward: dx += cᵀ·dout.
+func (tp *Tape) CSRMul(c *tensor.CSR, x *Tensor) *Tensor {
+	out := tensor.New(c.Rows, x.Cols())
+	c.MulDense(out, x.Val)
+	var t *Tensor
+	t = tp.node(out, func() {
+		if x.needGrad {
+			c.MulDenseTAcc(x.Grad, t.Grad)
+		}
+	}, x)
+	return t
+}
+
+// Div returns the elementwise quotient a / b (same shape). The caller must
+// ensure b stays away from zero; the RAU uses it only with positive
+// denominators (utilizations).
+func (tp *Tape) Div(a, b *Tensor) *Tensor {
+	out := tensor.New(a.Rows(), a.Cols())
+	for i := range out.Data {
+		out.Data[i] = a.Val.Data[i] / b.Val.Data[i]
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += t.Grad.Data[i] / b.Val.Data[i]
+			}
+		}
+		if b.needGrad {
+			for i := range b.Grad.Data {
+				bv := b.Val.Data[i]
+				b.Grad.Data[i] -= t.Grad.Data[i] * a.Val.Data[i] / (bv * bv)
+			}
+		}
+	}, a, b)
+	return t
+}
+
+// Squash returns x/(1+x) elementwise, a bounded monotone feature map for
+// potentially huge non-negative quantities (utilizations on failed links).
+func (tp *Tape) Squash(a *Tensor) *Tensor {
+	out := tensor.New(a.Rows(), a.Cols())
+	for i, v := range a.Val.Data {
+		out.Data[i] = v / (1 + v)
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := range a.Grad.Data {
+				d := 1 + a.Val.Data[i]
+				a.Grad.Data[i] += t.Grad.Data[i] / (d * d)
+			}
+		}
+	}, a)
+	return t
+}
+
+// Log1p returns scale·ln(1+x) elementwise (x must be ≥ 0), a monotone
+// feature map that stays informative across many orders of magnitude —
+// HARP's RAU uses it for utilizations that can reach 1e5 on failed links.
+func (tp *Tape) Log1p(a *Tensor, scale float64) *Tensor {
+	out := tensor.New(a.Rows(), a.Cols())
+	for i, v := range a.Val.Data {
+		out.Data[i] = scale * math.Log1p(v)
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += t.Grad.Data[i] * scale / (1 + a.Val.Data[i])
+			}
+		}
+	}, a)
+	return t
+}
+
+// SliceCols returns columns [start, end) of a as a new tensor.
+func (tp *Tape) SliceCols(a *Tensor, start, end int) *Tensor {
+	if start < 0 || end > a.Cols() || start >= end {
+		panic("autograd: SliceCols range invalid")
+	}
+	w := end - start
+	out := tensor.New(a.Rows(), w)
+	for i := 0; i < a.Rows(); i++ {
+		copy(out.Row(i), a.Val.Row(i)[start:end])
+	}
+	var t *Tensor
+	t = tp.node(out, func() {
+		if a.needGrad {
+			for i := 0; i < a.Rows(); i++ {
+				dst := a.Grad.Row(i)[start:end]
+				src := t.Grad.Row(i)
+				for j := range src {
+					dst[j] += src[j]
+				}
+			}
+		}
+	}, a)
+	return t
+}

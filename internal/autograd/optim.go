@@ -1,0 +1,93 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+
+	"harpte/internal/tensor"
+)
+
+// Adam is the Adam optimizer (Kingma & Ba), the optimizer the paper trains
+// HARP with. The zero value is not usable; construct with NewAdam.
+type Adam struct {
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	GradClip     float64 // global-norm clip; 0 disables
+
+	step int
+	m, v map[*Tensor]*tensor.Dense
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8) and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Tensor]*tensor.Dense),
+		v: make(map[*Tensor]*tensor.Dense),
+	}
+}
+
+// Step applies one Adam update to every parameter using its accumulated
+// gradient and then zeroes the gradients.
+func (o *Adam) Step(params []*Tensor) {
+	o.step++
+	if o.GradClip > 0 {
+		var norm float64
+		for _, p := range params {
+			for _, g := range p.Grad.Data {
+				norm += g * g
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > o.GradClip {
+			scale := o.GradClip / norm
+			for _, p := range params {
+				tensor.ScaleInto(p.Grad, p.Grad, scale)
+			}
+		}
+	}
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.step))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.step))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = tensor.New(p.Rows(), p.Cols())
+			o.m[p] = m
+			o.v[p] = tensor.New(p.Rows(), p.Cols())
+		}
+		v := o.v[p]
+		for i, g := range p.Grad.Data {
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mh := m.Data[i] / bc1
+			vh := v.Data[i] / bc2
+			p.Val.Data[i] -= o.LR * mh / (math.Sqrt(vh) + o.Eps)
+		}
+		p.Grad.Zero()
+	}
+}
+
+// XavierParam returns a trainable rows×cols parameter initialized with
+// Glorot-uniform values drawn from rng.
+func XavierParam(rng *rand.Rand, rows, cols int) *Tensor {
+	bound := math.Sqrt(6.0 / float64(rows+cols))
+	d := tensor.New(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return NewParam(d)
+}
+
+// ZeroParam returns a trainable rows×cols parameter initialized to zero
+// (typical for biases).
+func ZeroParam(rows, cols int) *Tensor { return NewParam(tensor.New(rows, cols)) }
+
+// OnesParam returns a trainable rows×cols parameter initialized to one
+// (typical for layer-norm gains).
+func OnesParam(rows, cols int) *Tensor {
+	d := tensor.New(rows, cols)
+	d.Fill(1)
+	return NewParam(d)
+}

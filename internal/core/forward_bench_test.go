@@ -1,0 +1,26 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"harpte/internal/te"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+func BenchmarkForwardGeant(b *testing.B) {
+	g := topology.Geant()
+	set := tunnels.Compute(g, 8)
+	p := te.NewProblem(g, set)
+	m := New(DefaultConfig())
+	c := m.Context(p)
+	rng := rand.New(rand.NewSource(1))
+	tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, rng), 100)
+	d := traffic.DemandVector(tm, set.Flows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Splits(c, d)
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelFile is the on-disk representation of a trained model.
+type modelFile struct {
+	Cfg    Config
+	Params [][]float64
+}
+
+// Save writes the model configuration and parameters to w (gob encoding).
+func (m *Model) Save(w io.Writer) error {
+	mf := modelFile{Cfg: m.Cfg, Params: m.snapshot()}
+	if err := gob.NewEncoder(w).Encode(&mf); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	m := New(mf.Cfg)
+	if len(mf.Params) != len(m.params) {
+		return nil, fmt.Errorf("core: model file has %d parameter tensors, expected %d",
+			len(mf.Params), len(m.params))
+	}
+	for i, p := range m.params {
+		if len(mf.Params[i]) != len(p.Val.Data) {
+			return nil, fmt.Errorf("core: parameter %d has %d values, expected %d",
+				i, len(mf.Params[i]), len(p.Val.Data))
+		}
+		copy(p.Val.Data, mf.Params[i])
+	}
+	return m, nil
+}

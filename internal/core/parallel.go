@@ -1,0 +1,95 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"harpte/internal/autograd"
+)
+
+// This file implements data-parallel training. Replicas share the primary
+// model's weight buffers (autograd tensors expose their value storage) but
+// own private gradient buffers, so each worker can run forward/backward
+// concurrently; the shard gradients are then reduced into the primary and
+// a single optimizer step is applied — synchronous data parallelism, the
+// same semantics as the sequential TrainStep.
+
+// shadow returns a replica whose parameters alias m's values but carry
+// fresh gradient buffers. Construction order is deterministic, so params
+// align index-by-index.
+func (m *Model) shadow() *Model {
+	s := New(m.Cfg)
+	for i := range s.params {
+		s.params[i].Val = m.params[i].Val
+	}
+	return s
+}
+
+// replicas lazily builds and caches n-1 shadow replicas (the primary model
+// is the n-th worker).
+func (m *Model) replicas(n int) []*Model {
+	m.repMu.Lock()
+	defer m.repMu.Unlock()
+	for len(m.reps) < n-1 {
+		m.reps = append(m.reps, m.shadow())
+	}
+	return m.reps[:n-1]
+}
+
+// ParallelTrainStep is TrainStep with the batch sharded across workers
+// (default GOMAXPROCS). It produces the same gradient as the sequential
+// version up to floating-point summation order and returns the mean loss.
+func (m *Model) ParallelTrainStep(opt *autograd.Adam, batch []Sample, workers int) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers == 1 {
+		return m.TrainStep(opt, batch)
+	}
+	models := append([]*Model{m}, m.replicas(workers)...)
+	scale := 1 / float64(len(batch))
+	losses := make([]float64, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := models[w]
+			for i := w; i < len(batch); i += workers {
+				s := batch[i]
+				tp := autograd.NewTape()
+				fr := worker.Forward(tp, s.Ctx, s.Demand)
+				loss := worker.LossMLU(tp, s.Ctx, fr.Splits, s.lossDemand())
+				loss = tp.Scale(loss, scale)
+				tp.Backward(loss)
+				losses[w] += loss.Val.Data[0]
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Reduce replica gradients into the primary, then step once.
+	for _, rep := range models[1:] {
+		for i, p := range m.params {
+			rg := rep.params[i].Grad
+			for j, g := range rg.Data {
+				p.Grad.Data[j] += g
+			}
+			rg.Zero()
+		}
+	}
+	opt.Step(m.params)
+
+	var total float64
+	for _, l := range losses {
+		total += l
+	}
+	return total
+}

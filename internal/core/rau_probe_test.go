@@ -1,0 +1,69 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"harpte/internal/autograd"
+	"harpte/internal/te"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+	"math/rand"
+)
+
+func TestRAUProbe(t *testing.T) {
+	if os.Getenv("HARP_PROBE") == "" {
+		t.Skip("HARP_PROBE")
+	}
+	g := topology.Geant()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	m := New(DefaultConfig())
+	ctx := m.Context(p)
+	tms := traffic.Series(g, 24, traffic.DefaultSeriesConfig(110), 3)
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	var train, val []Sample
+	for i, tm := range tms {
+		s := Sample{Ctx: ctx, Demand: traffic.DemandVector(tm, set.Flows)}
+		if i < 20 {
+			train = append(train, s)
+		} else {
+			val = append(val, s)
+		}
+	}
+	tc := DefaultTrainConfig()
+	tc.Epochs = 25
+	m.Fit(train, val, tc)
+
+	// Fail a link and trace the forward.
+	l := g.UndirectedLinks()[0]
+	failedG := g.WithFailedLink(l[0], l[1])
+	fp := te.NewProblem(failedG, set)
+	fctx := m.Context(fp)
+	d := traffic.DemandVector(tms[23], set.Flows)
+	tp := autograd.NewTape()
+	fr := m.Forward(tp, fctx, d)
+	mlu := fp.MLU(fr.Splits.Val, d)
+	opt := 0.0
+	t.Logf("failed-link MLU=%.4f (healthy opt unknown) utilMax=%v", mlu, fr.MLU.Val.Data[0])
+	_ = opt
+	// Which link is the argmax?
+	util := fp.Utilizations(fr.Splits.Val, d)
+	best, idx := util.Max()
+	e := failedG.Edges[idx]
+	t.Logf("max util %.3f on edge %d->%d cap=%.4f", best, e.Src, e.Dst, e.Capacity)
+	// Weight left on tunnels crossing the dead link:
+	var worst float64
+	for f := 0; f < fp.NumFlows(); f++ {
+		for k := 0; k < set.K; k++ {
+			if !te.TunnelAlive(failedG, set.Tunnel(f, k)) {
+				if w := fr.Splits.Val.At(f, k); w > worst {
+					worst = w
+				}
+			}
+		}
+	}
+	t.Logf("worst dead split %.5f", worst)
+}

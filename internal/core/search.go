@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// This file implements the paper's hyperparameter protocol (§4, Appendix
+// A.2): train every combination in a grid, track the best-on-validation
+// model per combination (Fit already snapshots per epoch), and return the
+// overall winner.
+
+// GridResult records one grid point's outcome.
+type GridResult struct {
+	Config     Config
+	LR         float64
+	BatchSize  int
+	ValMLU     float64
+	Epochs     int
+	ParamCount int
+}
+
+// Grid enumerates the Appendix-A.2 search space for HARP. Zero-valued
+// fields fall back to the base config's value.
+type Grid struct {
+	GNNLayers      []int
+	SetTransLayers []int
+	RAUIterations  []int
+	LearningRates  []float64
+	BatchSizes     []int
+}
+
+// DefaultGrid returns the paper's HARP search space: GNN layers (2,3,6),
+// SETTRANS layers (2,3), RAU iterations (3,7,14), learning rate
+// (1e-3,2e-3,4e-3,7e-3), batch size (32,256) — shrink it for CPU runs.
+func DefaultGrid() Grid {
+	return Grid{
+		GNNLayers:      []int{2, 3, 6},
+		SetTransLayers: []int{2, 3},
+		RAUIterations:  []int{3, 7, 14},
+		LearningRates:  []float64{1e-3, 2e-3, 4e-3, 7e-3},
+		BatchSizes:     []int{32, 256},
+	}
+}
+
+// SmallGrid returns a 8-point grid that finishes quickly on a CPU.
+func SmallGrid() Grid {
+	return Grid{
+		GNNLayers:      []int{2},
+		SetTransLayers: []int{1},
+		RAUIterations:  []int{3, 8},
+		LearningRates:  []float64{2e-3, 5e-3},
+		BatchSizes:     []int{8, 16},
+	}
+}
+
+// points expands the grid against a base model/train config.
+func (g Grid) points(base Config, baseTC TrainConfig) []gridPoint {
+	orDefaultI := func(xs []int, d int) []int {
+		if len(xs) == 0 {
+			return []int{d}
+		}
+		return xs
+	}
+	orDefaultF := func(xs []float64, d float64) []float64 {
+		if len(xs) == 0 {
+			return []float64{d}
+		}
+		return xs
+	}
+	var out []gridPoint
+	for _, gnn := range orDefaultI(g.GNNLayers, base.GNNLayers) {
+		for _, st := range orDefaultI(g.SetTransLayers, base.SetTransLayers) {
+			for _, rau := range orDefaultI(g.RAUIterations, base.RAUIterations) {
+				for _, lr := range orDefaultF(g.LearningRates, baseTC.LR) {
+					for _, bs := range orDefaultI(g.BatchSizes, baseTC.BatchSize) {
+						cfg := base
+						cfg.GNNLayers = gnn
+						cfg.SetTransLayers = st
+						cfg.RAUIterations = rau
+						tc := baseTC
+						tc.LR = lr
+						tc.BatchSize = bs
+						out = append(out, gridPoint{cfg: cfg, tc: tc})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+type gridPoint struct {
+	cfg Config
+	tc  TrainConfig
+}
+
+// GridSearch trains one model per grid point (concurrently — points are
+// independent) and returns the best model by validation MLU plus all
+// results sorted best-first. The contexts inside the samples are shared
+// read-only across goroutines, which Context guarantees is safe.
+func GridSearch(grid Grid, base Config, baseTC TrainConfig, train, val []Sample) (*Model, []GridResult, error) {
+	points := grid.points(base, baseTC)
+	if len(points) == 0 {
+		return nil, nil, fmt.Errorf("core: empty hyperparameter grid")
+	}
+	models := make([]*Model, len(points))
+	results := make([]GridResult, len(points))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(points) {
+		workers = len(points)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				pt := points[i]
+				m := New(pt.cfg)
+				fit := m.Fit(train, val, pt.tc)
+				models[i] = m
+				results[i] = GridResult{
+					Config:     pt.cfg,
+					LR:         pt.tc.LR,
+					BatchSize:  pt.tc.BatchSize,
+					ValMLU:     fit.BestValMLU,
+					Epochs:     fit.Epochs,
+					ParamCount: m.NumParams(),
+				}
+			}
+		}()
+	}
+	for i := range points {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return results[order[a]].ValMLU < results[order[b]].ValMLU
+	})
+	sorted := make([]GridResult, len(order))
+	for i, j := range order {
+		sorted[i] = results[j]
+	}
+	return models[order[0]], sorted, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestGridSearchPicksBest(t *testing.T) {
+	p := twoPathProblem()
+	m0 := New(tinyConfig()) // only used to build shareable contexts
+	c := m0.Context(p)
+	d := demandVec(p, map[[2]int]float64{{0, 1}: 9, {1, 0}: 3})
+	samples := []Sample{{Ctx: c, Demand: d}}
+
+	grid := Grid{
+		RAUIterations: []int{0, 6}, // NoRAU vs RAU — RAU should win
+		LearningRates: []float64{5e-3},
+		BatchSizes:    []int{1},
+	}
+	base := tinyConfig()
+	tc := DefaultTrainConfig()
+	tc.Epochs = 60
+	best, results, err := GridSearch(grid, base, tc, samples, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected 2 grid points, got %d", len(results))
+	}
+	// Results sorted best-first.
+	if results[0].ValMLU > results[1].ValMLU {
+		t.Fatal("results not sorted by validation MLU")
+	}
+	// The returned model must reproduce the winning validation score.
+	if got := best.MeanMLU(samples); got > results[0].ValMLU+1e-9 {
+		t.Fatalf("best model MLU %v exceeds reported %v", got, results[0].ValMLU)
+	}
+	if best.Cfg.RAUIterations != results[0].Config.RAUIterations {
+		t.Fatal("returned model config mismatch")
+	}
+}
+
+func TestGridSearchEmptyGridUsesBase(t *testing.T) {
+	p := twoPathProblem()
+	m0 := New(tinyConfig())
+	c := m0.Context(p)
+	d := demandVec(p, map[[2]int]float64{{0, 1}: 4})
+	samples := []Sample{{Ctx: c, Demand: d}}
+	tc := DefaultTrainConfig()
+	tc.Epochs = 2
+	_, results, err := GridSearch(Grid{}, tinyConfig(), tc, samples, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("empty grid should collapse to the base config, got %d points", len(results))
+	}
+}
+
+func TestDefaultGridMatchesPaper(t *testing.T) {
+	g := DefaultGrid()
+	// Appendix A.2: 3 GNN depths × 2 SETTRANS depths × 3 RAU counts ×
+	// 4 learning rates × 2 batch sizes = 144 combinations.
+	n := len(g.GNNLayers) * len(g.SetTransLayers) * len(g.RAUIterations) *
+		len(g.LearningRates) * len(g.BatchSizes)
+	if n != 144 {
+		t.Fatalf("paper grid should have 144 points, got %d", n)
+	}
+}

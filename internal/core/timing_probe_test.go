@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"harpte/internal/autograd"
+	"harpte/internal/te"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+// TestTimingProbe logs forward/backward wall times on GEANT-scale input so
+// experiment presets can be sized sensibly. Run with -v to see the numbers.
+func TestTimingProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing probe")
+	}
+	g := topology.Geant()
+	set := tunnels.Compute(g, 8)
+	p := te.NewProblem(g, set)
+	m := New(DefaultConfig())
+	c := m.Context(p)
+	rng := rand.New(rand.NewSource(1))
+	tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, rng), 100)
+	d := traffic.DemandVector(tm, set.Flows)
+	t.Logf("GEANT: flows=%d tunnels=%d edges=%d params=%d",
+		p.NumFlows(), set.NumTunnels(), g.NumEdges(), m.NumParams())
+
+	start := time.Now()
+	m.Splits(c, d)
+	t.Logf("forward: %v", time.Since(start))
+
+	opt := autograd.NewAdam(1e-3)
+	start = time.Now()
+	m.TrainStep(opt, []Sample{{Ctx: c, Demand: d}})
+	t.Logf("train step (1 sample): %v", time.Since(start))
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"harpte/internal/autograd"
+	"harpte/internal/tensor"
+)
+
+// Sample is one training/evaluation instance. Demand feeds the model;
+// LossDemand (nil = Demand) is what the loss is computed against — the
+// HARP-Pred split of §5.7 sets Demand to the *predicted* matrix's flows and
+// LossDemand to the true ones.
+type Sample struct {
+	Ctx        *Context
+	Demand     *tensor.Dense
+	LossDemand *tensor.Dense
+}
+
+func (s Sample) lossDemand() *tensor.Dense {
+	if s.LossDemand != nil {
+		return s.LossDemand
+	}
+	return s.Demand
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs    int
+	LR        float64
+	BatchSize int
+	GradClip  float64
+	Seed      int64
+	// Log receives one line per epoch when non-nil.
+	Log io.Writer
+	// Patience stops training after this many epochs without validation
+	// improvement (0 disables early stopping).
+	Patience int
+	// Workers > 1 shards each batch across goroutines
+	// (ParallelTrainStep); 0 or 1 trains sequentially.
+	Workers int
+}
+
+// DefaultTrainConfig returns settings that converge on the bundled
+// datasets within seconds to minutes on a CPU.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, LR: 2e-3, BatchSize: 8, GradClip: 5, Seed: 1}
+}
+
+// TrainStep accumulates gradients over the batch (mean loss) and applies
+// one optimizer step. It returns the mean loss.
+func (m *Model) TrainStep(opt *autograd.Adam, batch []Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var total float64
+	scale := 1 / float64(len(batch))
+	for _, s := range batch {
+		tp := autograd.NewTape()
+		fr := m.Forward(tp, s.Ctx, s.Demand)
+		loss := m.LossMLU(tp, s.Ctx, fr.Splits, s.lossDemand())
+		loss = tp.Scale(loss, scale)
+		tp.Backward(loss)
+		total += loss.Val.Data[0]
+	}
+	opt.Step(m.params)
+	return total
+}
+
+// FitResult reports the outcome of Fit.
+type FitResult struct {
+	Epochs        int
+	BestValMLU    float64
+	TrainLoss     []float64 // mean loss per epoch
+	ValMLUHistory []float64 // mean hard MLU on the validation set per epoch
+}
+
+// Fit trains the model, tracking the parameter snapshot that minimizes the
+// mean validation MLU and restoring it before returning — the paper's
+// "train for sufficient epochs, save the model after every epoch, pick the
+// best on the validation set" protocol (§4), collapsed into one call.
+func (m *Model) Fit(train, val []Sample, tc TrainConfig) FitResult {
+	if tc.Epochs <= 0 {
+		tc.Epochs = 1
+	}
+	if tc.BatchSize <= 0 {
+		tc.BatchSize = 8
+	}
+	if tc.LR <= 0 {
+		tc.LR = 2e-3
+	}
+	opt := autograd.NewAdam(tc.LR)
+	opt.GradClip = tc.GradClip
+	rng := rand.New(rand.NewSource(tc.Seed))
+	if len(val) == 0 {
+		// Without a validation set, select the best epoch on the training
+		// set (better than keeping whatever the last epoch produced).
+		val = train
+	}
+
+	res := FitResult{BestValMLU: math.Inf(1)}
+	var best [][]float64
+	badEpochs := 0
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		order := rng.Perm(len(train))
+		var epochLoss float64
+		batches := 0
+		for at := 0; at < len(order); at += tc.BatchSize {
+			end := at + tc.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := make([]Sample, 0, end-at)
+			for _, i := range order[at:end] {
+				batch = append(batch, train[i])
+			}
+			if tc.Workers > 1 {
+				epochLoss += m.ParallelTrainStep(opt, batch, tc.Workers)
+			} else {
+				epochLoss += m.TrainStep(opt, batch)
+			}
+			batches++
+		}
+		if batches > 0 {
+			epochLoss /= float64(batches)
+		}
+		res.TrainLoss = append(res.TrainLoss, epochLoss)
+
+		valMLU := m.MeanMLU(val)
+		res.ValMLUHistory = append(res.ValMLUHistory, valMLU)
+		if valMLU < res.BestValMLU {
+			res.BestValMLU = valMLU
+			best = m.snapshot()
+			badEpochs = 0
+		} else {
+			badEpochs++
+		}
+		if tc.Log != nil {
+			fmt.Fprintf(tc.Log, "epoch %3d  loss %.4f  val-MLU %.4f\n", epoch, epochLoss, valMLU)
+		}
+		res.Epochs = epoch + 1
+		if tc.Patience > 0 && badEpochs >= tc.Patience {
+			break
+		}
+	}
+	if best != nil {
+		m.restore(best)
+	}
+	return res
+}
+
+// MeanMLU evaluates the mean hard MLU over the samples (loss demand).
+func (m *Model) MeanMLU(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return math.Inf(1)
+	}
+	var total float64
+	for _, s := range samples {
+		splits := m.Splits(s.Ctx, s.Demand)
+		total += s.Ctx.inner.p.MLU(splits, s.lossDemand())
+	}
+	return total / float64(len(samples))
+}
+
+func (m *Model) snapshot() [][]float64 {
+	out := make([][]float64, len(m.params))
+	for i, p := range m.params {
+		out[i] = append([]float64(nil), p.Val.Data...)
+	}
+	return out
+}
+
+func (m *Model) restore(snap [][]float64) {
+	for i, p := range m.params {
+		copy(p.Val.Data, snap[i])
+	}
+}

@@ -1,0 +1,334 @@
+// Package dataset synthesizes an AnonNet-like snapshot series: a private
+// WAN observed over multiple weeks whose topology evolves organically
+// (nodes/links added and removed, edge-node churn) while failures and
+// planned maintenance continually vary link capacities.
+//
+// The generator is calibrated to the statistics the paper publishes for
+// AnonNet (§5.1, Figures 1, 3 and 15):
+//
+//   - snapshots group into clusters; a new cluster starts when the active
+//     node set changes, a link is added, or the edge-node set changes;
+//   - within a cluster link capacities still vary (partial failures of the
+//     sub-links/circuits a link aggregates), with ~40% of links showing >1
+//     capacity value inside a large cluster and some links fully failing;
+//   - across the full series most links see several capacity values and
+//     ~20% of links are completely unavailable in at least one snapshot;
+//   - tunnel sets are recomputed per cluster, producing the ~20% tunnel
+//     churn between the first and last clusters shown in Figure 3c.
+//
+// Link capacity follows the paper's physical story: each link is a bundle
+// of sub-links, each sub-link an aggregation of circuits; maintenance and
+// failures deactivate circuits, quantizing capacity into multiple levels.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+// Snapshot is one observation: the topology with the capacities in effect,
+// the traffic matrix, and the cluster the snapshot belongs to.
+type Snapshot struct {
+	Graph   *topology.Graph
+	TM      *tensor.Dense
+	Cluster int
+}
+
+// Cluster groups contiguous snapshots sharing a tunnel configuration.
+type Cluster struct {
+	ID      int
+	Base    *topology.Graph // topology at cluster start (full capacities)
+	Tunnels *tunnels.Set
+	// Snapshots indexes into Dataset.Snapshots.
+	Snapshots []int
+}
+
+// Dataset is the full synthetic AnonNet-like series.
+type Dataset struct {
+	Snapshots []Snapshot
+	Clusters  []Cluster
+}
+
+// Config controls generation.
+type Config struct {
+	// Nodes is the initial node count ("several tens" for AnonNet).
+	Nodes int
+	// AvgDegree controls initial link density.
+	AvgDegree float64
+	// Snapshots is the total number of snapshots to generate.
+	Snapshots int
+	// ClusterEvery is the mean number of snapshots between cluster-opening
+	// topology events.
+	ClusterEvery int
+	// TunnelsPerFlow is K (the paper uses 15 for AnonNet).
+	TunnelsPerFlow int
+	// EdgeNodeFraction of nodes carry traffic.
+	EdgeNodeFraction float64
+	// SubLinks is the number of sub-links a link bundles; capacities
+	// quantize in units of Capacity/SubLinks.
+	SubLinks int
+	// PartialFailProb is the per-snapshot probability that a link loses
+	// (or recovers) sub-link capacity.
+	PartialFailProb float64
+	// FullFailProb is the per-snapshot probability that some link fails
+	// completely for a stretch of snapshots.
+	FullFailProb float64
+	// TrafficTotal is the mean aggregate demand per snapshot.
+	TrafficTotal float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration that preserves the
+// paper's qualitative statistics (a full-scale config would only be
+// larger, not different in kind).
+func DefaultConfig() Config {
+	return Config{
+		Nodes:            24,
+		AvgDegree:        3.5,
+		Snapshots:        780,
+		ClusterEvery:     10,
+		TunnelsPerFlow:   15,
+		EdgeNodeFraction: 0.5,
+		SubLinks:         4,
+		PartialFailProb:  0.02,
+		FullFailProb:     0.002,
+		TrafficTotal:     120,
+		Seed:             1,
+	}
+}
+
+// linkState tracks the live sub-link count of each undirected link.
+type linkState struct {
+	u, v        int
+	subCapacity float64 // capacity contributed by one sub-link
+	liveSub     int     // currently active sub-links
+	totalSub    int
+	fullOutage  int     // snapshots of complete outage remaining
+	failMult    float64 // per-link flakiness multiplier (some links are much
+	// more failure-prone than others, matching the heavy-tailed unique-value
+	// distribution of Figure 15)
+}
+
+func (l *linkState) capacity() float64 {
+	if l.fullOutage > 0 || l.liveSub == 0 {
+		return topology.FailedCapacity
+	}
+	return float64(l.liveSub) * l.subCapacity
+}
+
+// Generate builds the dataset.
+func Generate(cfg Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := topology.RandomConnected("AnonNet", cfg.Nodes, cfg.AvgDegree, []float64{40, 100, 400}, cfg.Seed)
+
+	// Sub-link state per undirected link.
+	var links []*linkState
+	for _, l := range base.UndirectedLinks() {
+		id, _ := base.EdgeID(l[0], l[1])
+		links = append(links, &linkState{
+			u: l[0], v: l[1],
+			subCapacity: base.Edges[id].Capacity / float64(cfg.SubLinks),
+			liveSub:     cfg.SubLinks,
+			totalSub:    cfg.SubLinks,
+			failMult:    math.Exp(rng.NormFloat64()),
+		})
+	}
+
+	numEdgeNodes := int(float64(cfg.Nodes)*cfg.EdgeNodeFraction + 0.5)
+	if numEdgeNodes < 2 {
+		numEdgeNodes = 2
+	}
+	edgeNodes := append([]int(nil), rng.Perm(cfg.Nodes)[:numEdgeNodes]...)
+	weights := make([]float64, cfg.Nodes+cfg.Snapshots) // room for added nodes
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()
+	}
+
+	ds := &Dataset{}
+	numNodes := cfg.Nodes
+	trafficCfg := traffic.DefaultSeriesConfig(cfg.TrafficTotal)
+
+	newCluster := true
+	var cur *Cluster
+	for t := 0; t < cfg.Snapshots; t++ {
+		// ---- topology events that OPEN a new cluster ----
+		if t > 0 && rng.Float64() < 1/float64(cfg.ClusterEvery) {
+			switch ev := rng.Float64(); {
+			case ev < 0.15 && numNodes < cfg.Nodes+cfg.Nodes/4:
+				// Organic growth: new node attached by two links.
+				attach1 := rng.Intn(numNodes)
+				attach2 := rng.Intn(numNodes)
+				numNodes++
+				n := numNodes - 1
+				capacity := []float64{40, 100}[rng.Intn(2)]
+				links = append(links, &linkState{
+					u: n, v: attach1,
+					subCapacity: capacity / float64(cfg.SubLinks),
+					liveSub:     cfg.SubLinks, totalSub: cfg.SubLinks,
+					failMult: math.Exp(rng.NormFloat64()),
+				})
+				if attach2 != attach1 && !hasLink(links, n, attach2) {
+					links = append(links, &linkState{
+						u: n, v: attach2,
+						subCapacity: capacity / float64(cfg.SubLinks),
+						liveSub:     cfg.SubLinks, totalSub: cfg.SubLinks,
+						failMult: math.Exp(rng.NormFloat64()),
+					})
+				}
+				if rng.Float64() < 0.3 {
+					edgeNodes = append(edgeNodes, n)
+				}
+			case ev < 0.30:
+				// New link between existing nodes (skip existing pairs).
+				u, v := rng.Intn(numNodes), rng.Intn(numNodes)
+				if u != v && !hasLink(links, u, v) {
+					capacity := []float64{40, 100, 400}[rng.Intn(3)]
+					links = append(links, &linkState{
+						u: u, v: v,
+						subCapacity: capacity / float64(cfg.SubLinks),
+						liveSub:     cfg.SubLinks, totalSub: cfg.SubLinks,
+						failMult: math.Exp(rng.NormFloat64()),
+					})
+				}
+			case ev < 0.38:
+				// Edge-node churn: retire one edge node or promote a
+				// non-edge node. The retire probability is mean-reverting
+				// around the initial edge count, so the edge set oscillates
+				// rather than trends (the paper's Figure 1a shape).
+				retireP := 0.5 + 0.2*float64(len(edgeNodes)-numEdgeNodes)
+				if retireP < 0.2 {
+					retireP = 0.2
+				}
+				if retireP > 0.8 {
+					retireP = 0.8
+				}
+				if rng.Float64() < retireP && len(edgeNodes) > 3 {
+					i := rng.Intn(len(edgeNodes))
+					edgeNodes = append(edgeNodes[:i], edgeNodes[i+1:]...)
+				} else {
+					isEdge := make(map[int]bool, len(edgeNodes))
+					for _, e := range edgeNodes {
+						isEdge[e] = true
+					}
+					var candidates []int
+					for n := 0; n < numNodes; n++ {
+						if !isEdge[n] {
+							candidates = append(candidates, n)
+						}
+					}
+					if len(candidates) > 0 {
+						edgeNodes = append(edgeNodes, candidates[rng.Intn(len(candidates))])
+					}
+				}
+			default:
+				// Active-node maintenance: the active-node set changes (a
+				// router drains and returns), which opens a new cluster per
+				// §5.1 even though the total topology and edge-node set are
+				// unchanged. This is the most common cluster boundary in
+				// practice, which is why the paper's first↔last tunnel churn
+				// stays moderate (≈20%) despite 78 clusters.
+			}
+			newCluster = true
+		}
+
+		// ---- capacity events (do NOT open a cluster, per §5.1) ----
+		for _, l := range links {
+			if l.fullOutage > 0 {
+				l.fullOutage--
+				continue
+			}
+			if rng.Float64() < cfg.PartialFailProb*l.failMult {
+				if rng.Float64() < 0.5 && l.liveSub < l.totalSub {
+					l.liveSub++ // recovery
+				} else if l.liveSub > 0 {
+					l.liveSub--
+				}
+			}
+			if rng.Float64() < cfg.FullFailProb*l.failMult {
+				// Real outages persist: at 1-second snapshot granularity a
+				// repair takes thousands of snapshots. Persistence is what
+				// gives training sets failure examples while the fraction
+				// of links that EVER fail stays low (Figure 15).
+				l.fullOutage = 5 + rng.Intn(20)
+			}
+		}
+
+		// ---- materialize topology ----
+		g := topology.New("AnonNet", numNodes)
+		g.EdgeNodes = append([]int(nil), edgeNodes...)
+		for _, l := range links {
+			g.AddBidirectional(l.u, l.v, l.capacity())
+		}
+
+		if newCluster {
+			// Tunnels are recomputed on the cluster's base topology with
+			// full (non-failed) capacities, as operators do after
+			// maintenance windows.
+			baseG := topology.New("AnonNet", numNodes)
+			baseG.EdgeNodes = append([]int(nil), edgeNodes...)
+			for _, l := range links {
+				baseG.AddBidirectional(l.u, l.v, float64(l.totalSub)*l.subCapacity)
+			}
+			ds.Clusters = append(ds.Clusters, Cluster{
+				ID:      len(ds.Clusters),
+				Base:    baseG,
+				Tunnels: tunnels.Compute(baseG, cfg.TunnelsPerFlow),
+			})
+			cur = &ds.Clusters[len(ds.Clusters)-1]
+			newCluster = false
+		}
+
+		// ---- traffic ----
+		tm := traffic.Gravity(numNodes, edgeWeights(weights, edgeNodes, numNodes), snapshotTotal(trafficCfg, t, rng))
+		perturb(tm, rng, trafficCfg.NoiseSigma)
+
+		cur.Snapshots = append(cur.Snapshots, len(ds.Snapshots))
+		ds.Snapshots = append(ds.Snapshots, Snapshot{Graph: g, TM: tm, Cluster: cur.ID})
+	}
+	return ds
+}
+
+func hasLink(links []*linkState, u, v int) bool {
+	for _, l := range links {
+		if (l.u == u && l.v == v) || (l.u == v && l.v == u) {
+			return true
+		}
+	}
+	return false
+}
+
+func edgeWeights(weights []float64, edgeNodes []int, n int) []float64 {
+	w := make([]float64, n)
+	for _, e := range edgeNodes {
+		if e < n {
+			w[e] = weights[e]
+		}
+	}
+	return w
+}
+
+func snapshotTotal(cfg traffic.SeriesConfig, t int, rng *rand.Rand) float64 {
+	total := cfg.Total
+	if cfg.DiurnalPeriod > 0 {
+		phase := 2 * math.Pi * float64(t) / float64(cfg.DiurnalPeriod)
+		total *= 1 + cfg.DiurnalAmplitude*math.Sin(phase)
+	}
+	return total * (0.9 + 0.2*rng.Float64())
+}
+
+func perturb(tm *tensor.Dense, rng *rand.Rand, sigma float64) {
+	if sigma <= 0 {
+		return
+	}
+	for i := range tm.Data {
+		if tm.Data[i] > 0 {
+			tm.Data[i] *= math.Exp(rng.NormFloat64() * sigma)
+		}
+	}
+}

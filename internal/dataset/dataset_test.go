@@ -1,0 +1,281 @@
+package dataset
+
+import (
+	"testing"
+
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+)
+
+// smallConfig keeps generation fast for unit tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 12
+	cfg.Snapshots = 120
+	cfg.ClusterEvery = 8
+	cfg.TunnelsPerFlow = 4
+	cfg.Seed = 3
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if len(a.Snapshots) != len(b.Snapshots) || len(a.Clusters) != len(b.Clusters) {
+		t.Fatal("nondeterministic sizes")
+	}
+	for i := range a.Snapshots {
+		if a.Snapshots[i].Cluster != b.Snapshots[i].Cluster {
+			t.Fatalf("snapshot %d cluster differs", i)
+		}
+		if a.Snapshots[i].Graph.NumEdges() != b.Snapshots[i].Graph.NumEdges() {
+			t.Fatalf("snapshot %d edges differ", i)
+		}
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	cfg := smallConfig()
+	ds := Generate(cfg)
+	if len(ds.Snapshots) != cfg.Snapshots {
+		t.Fatalf("snapshots = %d", len(ds.Snapshots))
+	}
+	if len(ds.Clusters) < 5 {
+		t.Fatalf("too few clusters: %d", len(ds.Clusters))
+	}
+	// Every snapshot belongs to exactly one cluster, contiguously.
+	count := 0
+	for _, c := range ds.Clusters {
+		count += len(c.Snapshots)
+		for j := 1; j < len(c.Snapshots); j++ {
+			if c.Snapshots[j] != c.Snapshots[j-1]+1 {
+				t.Fatal("cluster snapshots not contiguous")
+			}
+		}
+	}
+	if count != cfg.Snapshots {
+		t.Fatalf("cluster partition covers %d of %d", count, cfg.Snapshots)
+	}
+}
+
+func TestClusterTunnelsMatchTopology(t *testing.T) {
+	ds := Generate(smallConfig())
+	for ci, c := range ds.Clusters {
+		if c.Tunnels.NumTunnels() == 0 {
+			t.Fatalf("cluster %d has no tunnels", ci)
+		}
+		// Tunnel edge ids must be valid on every snapshot of the cluster
+		// (same structure, different capacities).
+		for _, si := range c.Snapshots {
+			g := ds.Snapshots[si].Graph
+			if g.NumEdges() != c.Base.NumEdges() {
+				t.Fatalf("cluster %d snapshot %d edge count mismatch", ci, si)
+			}
+			for i := range g.Edges {
+				if g.Edges[i].Src != c.Base.Edges[i].Src || g.Edges[i].Dst != c.Base.Edges[i].Dst {
+					t.Fatalf("cluster %d snapshot %d edge %d endpoints differ", ci, si, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCapacityVariationStats(t *testing.T) {
+	ds := Generate(smallConfig())
+	all := make([]int, len(ds.Snapshots))
+	for i := range all {
+		all[i] = i
+	}
+	stats := ds.CapacityVariation(all)
+	if len(stats.UniqueValues) == 0 {
+		t.Fatal("no links measured")
+	}
+	multi := 0
+	fullFail := 0
+	for i, u := range stats.UniqueValues {
+		if u < 1 {
+			t.Fatal("link with zero capacity values")
+		}
+		if u > 1 {
+			multi++
+		}
+		if stats.MinMaxRatio[i] == 0 {
+			fullFail++
+		}
+		if stats.MinMaxRatio[i] < 0 || stats.MinMaxRatio[i] > 1 {
+			t.Fatalf("ratio out of range: %v", stats.MinMaxRatio[i])
+		}
+	}
+	// The generator must produce real capacity churn (paper: 80% of links
+	// see >1 value; 20% fully fail at least once).
+	if float64(multi)/float64(len(stats.UniqueValues)) < 0.5 {
+		t.Fatalf("only %d/%d links vary in capacity", multi, len(stats.UniqueValues))
+	}
+	if fullFail == 0 {
+		t.Fatal("no link ever fully failed")
+	}
+}
+
+func TestCensusTrends(t *testing.T) {
+	ds := Generate(smallConfig())
+	census := ds.Census()
+	if len(census) != len(ds.Snapshots) {
+		t.Fatal("census length mismatch")
+	}
+	first, last := census[0], census[len(census)-1]
+	if last.TotalNodes < first.TotalNodes {
+		t.Fatal("organic growth should not shrink the node count")
+	}
+	sawInactive := false
+	for _, tp := range census {
+		if tp.ActiveLinks > tp.TotalLinks || tp.ActiveNodes > tp.TotalNodes {
+			t.Fatal("active counts exceed totals")
+		}
+		if tp.ActiveLinks < tp.TotalLinks {
+			sawInactive = true
+		}
+	}
+	if !sawInactive {
+		t.Fatal("failures should make some links inactive somewhere")
+	}
+}
+
+func TestTunnelChurnBetweenFirstAndLast(t *testing.T) {
+	ds := Generate(smallConfig())
+	added, removed := ds.TunnelChurn(0, len(ds.Clusters)-1)
+	if added <= 0 {
+		t.Fatalf("expected tunnel churn, added=%v removed=%v", added, removed)
+	}
+	if added > 1 || removed > 1 {
+		t.Fatal("churn fractions must be in [0,1]")
+	}
+	// Self-churn is zero.
+	a2, r2 := ds.TunnelChurn(0, 0)
+	if a2 != 0 || r2 != 0 {
+		t.Fatal("self churn must be zero")
+	}
+}
+
+func TestLargestClusters(t *testing.T) {
+	ds := Generate(smallConfig())
+	top := ds.LargestClusters(3)
+	if len(top) != 3 {
+		t.Fatalf("got %d clusters", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if len(ds.Clusters[top[i]].Snapshots) > len(ds.Clusters[top[i-1]].Snapshots) {
+			t.Fatal("not sorted by size")
+		}
+	}
+}
+
+func TestProblemsEvaluate(t *testing.T) {
+	ds := Generate(smallConfig())
+	big := ds.LargestClusters(1)[0]
+	problems := ds.Problems(big)
+	if len(problems) != len(ds.Clusters[big].Snapshots) {
+		t.Fatal("problem count mismatch")
+	}
+	p := problems[0]
+	c := ds.Clusters[big]
+	dm := traffic.DemandVector(ds.Snapshots[c.Snapshots[0]].TM, c.Tunnels.Flows)
+	mlu := p.MLU(p.UniformSplits(), dm)
+	if mlu <= 0 {
+		t.Fatalf("MLU should be positive, got %v", mlu)
+	}
+}
+
+func TestTrafficRespectEdgeNodes(t *testing.T) {
+	ds := Generate(smallConfig())
+	for _, s := range ds.Snapshots[:10] {
+		edge := map[int]bool{}
+		for _, n := range s.Graph.EdgeNodeList() {
+			edge[n] = true
+		}
+		for i := 0; i < s.Graph.NumNodes; i++ {
+			for j := 0; j < s.Graph.NumNodes; j++ {
+				if s.TM.At(i, j) > 0 && (!edge[i] || !edge[j]) {
+					t.Fatalf("traffic between non-edge nodes (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFullFailuresAppearInSnapshots(t *testing.T) {
+	ds := Generate(smallConfig())
+	found := false
+	for _, s := range ds.Snapshots {
+		for id := range s.Graph.Edges {
+			if !s.Graph.IsActive(id) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected at least one fully failed link in the series")
+	}
+	_ = topology.FailedCapacity
+}
+
+func TestOutagesPersistAcrossSnapshots(t *testing.T) {
+	cfg := smallConfig()
+	cfg.FullFailProb = 0.01 // frequent for this test
+	ds := Generate(cfg)
+	// Find a link outage and verify it persists for multiple snapshots
+	// (real repairs take many 1-second snapshots; see dataset.go).
+	longest := 0
+	run := map[[2]int]int{}
+	for _, s := range ds.Snapshots {
+		seen := map[[2]int]bool{}
+		for id, e := range s.Graph.Edges {
+			if !s.Graph.IsActive(id) {
+				a, b := e.Src, e.Dst
+				if a > b {
+					a, b = b, a
+				}
+				seen[[2]int{a, b}] = true
+			}
+		}
+		for l := range run {
+			if !seen[l] {
+				delete(run, l)
+			}
+		}
+		for l := range seen {
+			run[l]++
+			if run[l] > longest {
+				longest = run[l]
+			}
+		}
+	}
+	if longest < 5 {
+		t.Fatalf("longest outage run %d snapshots; outages should persist", longest)
+	}
+}
+
+func TestClusterBaseUsesFullCapacities(t *testing.T) {
+	ds := Generate(smallConfig())
+	for ci, c := range ds.Clusters {
+		for id := range c.Base.Edges {
+			if !c.Base.IsActive(id) {
+				t.Fatalf("cluster %d base topology contains a failed link (tunnels must be computed on full capacities)", ci)
+			}
+		}
+	}
+}
+
+func TestEdgeNodeCountMeanReverts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 14
+	cfg.Snapshots = 400
+	cfg.TunnelsPerFlow = 3
+	ds := Generate(cfg)
+	census := ds.Census()
+	first := census[0].EdgeNodes
+	last := census[len(census)-1].EdgeNodes
+	// The edge set oscillates; it must not drift to extremes.
+	if last < first/2 || last > first*2 {
+		t.Fatalf("edge nodes drifted %d -> %d", first, last)
+	}
+}

@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"harpte/internal/te"
+	"harpte/internal/topology"
+)
+
+// This file computes the dataset characterizations reported in §5.1:
+// Figure 1 (node/link counts over time), Figure 3 (capacity variation
+// within a cluster, tunnel churn between clusters) and Figure 15 (capacity
+// variation over the whole series).
+
+// TimePoint is one snapshot's topology census (Figure 1).
+type TimePoint struct {
+	TotalNodes, ActiveNodes, EdgeNodes int
+	TotalLinks, ActiveLinks            int // undirected counts
+}
+
+// Census returns the Figure-1 series. A node is active when it has at least
+// one active incident link; a link is active when its capacity is above the
+// failed threshold.
+func (d *Dataset) Census() []TimePoint {
+	out := make([]TimePoint, len(d.Snapshots))
+	for i, s := range d.Snapshots {
+		tp := TimePoint{
+			TotalNodes: s.Graph.NumNodes,
+			EdgeNodes:  len(s.Graph.EdgeNodeList()),
+			TotalLinks: len(s.Graph.UndirectedLinks()),
+		}
+		activeNode := make([]bool, s.Graph.NumNodes)
+		for id, e := range s.Graph.Edges {
+			if s.Graph.IsActive(id) {
+				activeNode[e.Src], activeNode[e.Dst] = true, true
+			}
+		}
+		for _, a := range activeNode {
+			if a {
+				tp.ActiveNodes++
+			}
+		}
+		seen := map[[2]int]bool{}
+		for id, e := range s.Graph.Edges {
+			if !s.Graph.IsActive(id) {
+				continue
+			}
+			a, b := e.Src, e.Dst
+			if a > b {
+				a, b = b, a
+			}
+			seen[[2]int{a, b}] = true
+		}
+		tp.ActiveLinks = len(seen)
+		out[i] = tp
+	}
+	return out
+}
+
+// CapacityStats summarizes per-link capacity variation over a snapshot
+// range (Figures 3a/3b and 15).
+type CapacityStats struct {
+	// UniqueValues[i] is the number of distinct capacity values link i took.
+	UniqueValues []int
+	// MinMaxRatio[i] is min/max capacity of link i over the range (0 when
+	// the link was ever fully failed).
+	MinMaxRatio []float64
+}
+
+// CapacityVariation computes per-link capacity statistics over the given
+// snapshot indices. Links are keyed by unordered endpoint pair; links not
+// present in every snapshot are measured over the snapshots that have them.
+func (d *Dataset) CapacityVariation(snapshotIdx []int) CapacityStats {
+	type key = [2]int
+	values := map[key]map[float64]bool{}
+	minC := map[key]float64{}
+	maxC := map[key]float64{}
+	for _, si := range snapshotIdx {
+		g := d.Snapshots[si].Graph
+		for _, l := range g.UndirectedLinks() {
+			id, _ := g.EdgeID(l[0], l[1])
+			c := g.Edges[id].Capacity
+			if c <= topology.FailedCapacity {
+				c = 0
+			}
+			if values[l] == nil {
+				values[l] = map[float64]bool{}
+				minC[l] = c
+				maxC[l] = c
+			}
+			values[l][c] = true
+			if c < minC[l] {
+				minC[l] = c
+			}
+			if c > maxC[l] {
+				maxC[l] = c
+			}
+		}
+	}
+	var stats CapacityStats
+	for l, vs := range values {
+		stats.UniqueValues = append(stats.UniqueValues, len(vs))
+		if maxC[l] == 0 {
+			stats.MinMaxRatio = append(stats.MinMaxRatio, 0)
+		} else {
+			stats.MinMaxRatio = append(stats.MinMaxRatio, minC[l]/maxC[l])
+		}
+	}
+	return stats
+}
+
+// TunnelChurn compares the tunnel sets of two clusters (Figure 3c):
+// the fraction of cluster b's tunnels absent from cluster a (added), and
+// the fraction of cluster a's tunnels absent from cluster b (removed).
+func (d *Dataset) TunnelChurn(a, b int) (added, removed float64) {
+	keysOf := func(c Cluster) map[string]bool {
+		m := map[string]bool{}
+		for f := range c.Tunnels.PerFlow {
+			for k := 0; k < c.Tunnels.K; k++ {
+				m[c.Tunnels.Tunnel(f, k).Key(c.Base)] = true
+			}
+		}
+		return m
+	}
+	ka, kb := keysOf(d.Clusters[a]), keysOf(d.Clusters[b])
+	var addedN, removedN int
+	for k := range kb {
+		if !ka[k] {
+			addedN++
+		}
+	}
+	for k := range ka {
+		if !kb[k] {
+			removedN++
+		}
+	}
+	if len(kb) > 0 {
+		added = float64(addedN) / float64(len(kb))
+	}
+	if len(ka) > 0 {
+		removed = float64(removedN) / float64(len(ka))
+	}
+	return added, removed
+}
+
+// LargestClusters returns the indices of the n clusters with the most
+// snapshots, largest first.
+func (d *Dataset) LargestClusters(n int) []int {
+	idx := make([]int, len(d.Clusters))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Simple selection sort — cluster counts are small.
+	for i := 0; i < len(idx) && i < n; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if len(d.Clusters[idx[j]].Snapshots) > len(d.Clusters[idx[best]].Snapshots) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if n > len(idx) {
+		n = len(idx)
+	}
+	return idx[:n]
+}
+
+// Problems materializes a te.Problem per snapshot of a cluster, reusing the
+// cluster's tunnel set against each snapshot's capacities.
+func (d *Dataset) Problems(cluster int) []*te.Problem {
+	c := d.Clusters[cluster]
+	out := make([]*te.Problem, 0, len(c.Snapshots))
+	for _, si := range c.Snapshots {
+		out = append(out, te.NewProblem(d.Snapshots[si].Graph, c.Tunnels))
+	}
+	return out
+}

@@ -1,0 +1,350 @@
+// Package dote implements the DOTE baseline (Perry et al., NSDI '23) as
+// the paper evaluates it (§4): a plain feed-forward network (MLP) mapping
+// the traffic-demand vector directly to per-tunnel split logits, trained to
+// minimize MLU. DOTE models neither nodes, edges, capacities, nor
+// tunnel-edge associations — its input and output sizes are frozen at
+// construction, so it cannot be applied when topology, tunnel sets or even
+// matrix dimensions change. Under complete link failures the paper applies
+// local rescaling (te.Rescale) to DOTE's output.
+package dote
+
+import (
+	"fmt"
+	"math/rand"
+
+	"harpte/internal/autograd"
+	"harpte/internal/nn"
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+)
+
+// Config holds DOTE's hyperparameters. The paper's DOTE searches only
+// learning rate and batch size; the architecture is a wide MLP.
+type Config struct {
+	Hidden   []int   // hidden layer widths
+	LossTemp float64 // smooth-max temperature (0 = hard max)
+	Seed     int64
+}
+
+// DefaultConfig mirrors the reference implementation's shape scaled to CPU.
+func DefaultConfig() Config {
+	return Config{Hidden: []int{128, 128}, LossTemp: 0.03, Seed: 1}
+}
+
+// Model is a DOTE instance bound to a fixed problem shape: F flows × K
+// tunnels. It deliberately keeps no reference to the topology.
+type Model struct {
+	Cfg    Config
+	Flows  int
+	K      int
+	mlp    *nn.MLP
+	params []*autograd.Tensor
+}
+
+// New builds a DOTE model for a problem with the given flow count and
+// tunnels per flow.
+func New(cfg Config, flows, k int) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dims := append([]int{flows}, cfg.Hidden...)
+	dims = append(dims, flows*k)
+	m := &Model{Cfg: cfg, Flows: flows, K: k}
+	m.mlp = nn.NewMLP(rng, nn.ActReLU, dims...)
+	m.params = m.mlp.Params()
+	return m
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*autograd.Tensor { return m.params }
+
+// NumParams returns the scalar parameter count (≈1M in the paper's AnonNet
+// configuration — DOTE's positional design needs a parameter per
+// input×output pair).
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.params {
+		n += len(p.Val.Data)
+	}
+	return n
+}
+
+// normalizeDemand maps the demand vector to an O(1) feature row, the same
+// normalization the reference implementation applies.
+func (m *Model) normalizeDemand(demand *tensor.Dense) *tensor.Dense {
+	mean := 0.0
+	for _, v := range demand.Data {
+		mean += v
+	}
+	mean /= float64(len(demand.Data))
+	if mean <= 0 {
+		mean = 1
+	}
+	row := tensor.New(1, m.Flows)
+	for i, v := range demand.Data {
+		row.Data[i] = v / mean
+	}
+	return row
+}
+
+// Forward maps a demand vector (F×1) to the F×K split matrix node.
+func (m *Model) Forward(tp *autograd.Tape, demand *tensor.Dense) *autograd.Tensor {
+	if demand.Rows != m.Flows {
+		panic(fmt.Sprintf("dote: demand has %d flows, model expects %d", demand.Rows, m.Flows))
+	}
+	in := autograd.NewConst(m.normalizeDemand(demand))
+	logits := m.mlp.Forward(tp, in) // 1×(F·K)
+	return tp.SoftmaxRows(tp.Reshape(logits, m.Flows, m.K))
+}
+
+// Splits runs inference.
+func (m *Model) Splits(demand *tensor.Dense) *tensor.Dense {
+	tp := autograd.NewTape()
+	return m.Forward(tp, demand).Val.Clone()
+}
+
+// Sample is one training instance: the problem supplies capacities and
+// incidence for the loss; Demand feeds the network; LossDemand (nil =
+// Demand) is the matrix the loss is computed against.
+type Sample struct {
+	Problem    *te.Problem
+	Demand     *tensor.Dense
+	LossDemand *tensor.Dense
+}
+
+func (s Sample) lossDemand() *tensor.Dense {
+	if s.LossDemand != nil {
+		return s.LossDemand
+	}
+	return s.Demand
+}
+
+// lossMLU builds the (smooth) MLU objective on the tape.
+func (m *Model) lossMLU(tp *autograd.Tape, p *te.Problem, splits *autograd.Tensor, demand *tensor.Dense) *autograd.Tensor {
+	numTunnels := m.Flows * m.K
+	maxCap := p.Graph.MaxCapacity()
+	if maxCap <= 0 {
+		maxCap = 1
+	}
+	load := tensor.New(numTunnels, 1)
+	invCap := tensor.New(p.Graph.NumEdges(), 1)
+	for i, e := range p.Graph.Edges {
+		invCap.Data[i] = maxCap / e.Capacity
+	}
+	for f := 0; f < m.Flows; f++ {
+		for j := 0; j < m.K; j++ {
+			load.Data[f*m.K+j] = demand.Data[f] / maxCap
+		}
+	}
+	x := tp.Mul(tp.Reshape(splits, numTunnels, 1), autograd.NewConst(load))
+	util := tp.Mul(tp.CSRMul(p.Incidence(), x), autograd.NewConst(invCap))
+	if m.Cfg.LossTemp > 0 {
+		return tp.SmoothMax(util, m.Cfg.LossTemp)
+	}
+	return tp.Max(util)
+}
+
+// TrainStep accumulates gradients over the batch and steps the optimizer.
+func (m *Model) TrainStep(opt *autograd.Adam, batch []Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var total float64
+	scale := 1 / float64(len(batch))
+	for _, s := range batch {
+		tp := autograd.NewTape()
+		splits := m.Forward(tp, s.Demand)
+		loss := tp.Scale(m.lossMLU(tp, s.Problem, splits, s.lossDemand()), scale)
+		tp.Backward(loss)
+		total += loss.Val.Data[0]
+	}
+	opt.Step(m.params)
+	return total
+}
+
+// Fit trains with validation-best parameter selection (same protocol as
+// HARP's Fit, so comparisons are apples to apples).
+func (m *Model) Fit(train, val []Sample, epochs int, lr float64, batchSize int, seed int64) float64 {
+	if batchSize <= 0 {
+		batchSize = 8
+	}
+	opt := autograd.NewAdam(lr)
+	opt.GradClip = 5
+	rng := rand.New(rand.NewSource(seed))
+	best := 1e300
+	var snap [][]float64
+	for epoch := 0; epoch < epochs; epoch++ {
+		order := rng.Perm(len(train))
+		for at := 0; at < len(order); at += batchSize {
+			end := at + batchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := make([]Sample, 0, end-at)
+			for _, i := range order[at:end] {
+				batch = append(batch, train[i])
+			}
+			m.TrainStep(opt, batch)
+		}
+		v := m.MeanMLU(val)
+		if v < best {
+			best = v
+			snap = m.snapshot()
+		}
+	}
+	if snap != nil {
+		m.restore(snap)
+	}
+	return best
+}
+
+// MeanMLU evaluates mean hard MLU over samples (against the loss demand).
+func (m *Model) MeanMLU(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 1e300
+	}
+	var total float64
+	for _, s := range samples {
+		total += s.Problem.MLU(m.Splits(s.Demand), s.lossDemand())
+	}
+	return total / float64(len(samples))
+}
+
+func (m *Model) snapshot() [][]float64 {
+	out := make([][]float64, len(m.params))
+	for i, p := range m.params {
+		out[i] = append([]float64(nil), p.Val.Data...)
+	}
+	return out
+}
+
+func (m *Model) restore(snap [][]float64) {
+	for i, p := range m.params {
+		copy(p.Val.Data, snap[i])
+	}
+}
+
+// ---- original DOTE mode: predict routing from a TM history ----
+//
+// DOTE as published (Perry et al.) is "predictive": it consumes the h most
+// recent traffic matrices and outputs the routing for the NEXT (unseen)
+// interval, folding prediction and optimization into one network. §4 of the
+// HARP paper modifies it to take a single TM; both modes are provided here.
+
+// HistoryModel is the original DOTE: an MLP over the concatenated demand
+// vectors of the last Window intervals, trained against the next interval's
+// true matrix.
+type HistoryModel struct {
+	Cfg    Config
+	Flows  int
+	K      int
+	Window int
+	mlp    *nn.MLP
+	params []*autograd.Tensor
+}
+
+// NewHistory builds the history-input DOTE for a fixed problem shape.
+func NewHistory(cfg Config, flows, k, window int) *HistoryModel {
+	if window < 1 {
+		window = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dims := append([]int{flows * window}, cfg.Hidden...)
+	dims = append(dims, flows*k)
+	m := &HistoryModel{Cfg: cfg, Flows: flows, K: k, Window: window}
+	m.mlp = nn.NewMLP(rng, nn.ActReLU, dims...)
+	m.params = m.mlp.Params()
+	return m
+}
+
+// Params returns the trainable parameters.
+func (m *HistoryModel) Params() []*autograd.Tensor { return m.params }
+
+// Forward maps a demand-vector history (oldest first, exactly Window
+// entries of F×1 each) to the F×K split matrix for the next interval.
+func (m *HistoryModel) Forward(tp *autograd.Tape, history []*tensor.Dense) *autograd.Tensor {
+	if len(history) != m.Window {
+		panic(fmt.Sprintf("dote: history length %d, model expects %d", len(history), m.Window))
+	}
+	in := tensor.New(1, m.Flows*m.Window)
+	for w, d := range history {
+		if d.Rows != m.Flows {
+			panic(fmt.Sprintf("dote: history entry has %d flows, want %d", d.Rows, m.Flows))
+		}
+		mean := 0.0
+		for _, v := range d.Data {
+			mean += v
+		}
+		mean /= float64(m.Flows)
+		if mean <= 0 {
+			mean = 1
+		}
+		for i, v := range d.Data {
+			in.Data[w*m.Flows+i] = v / mean
+		}
+	}
+	logits := m.mlp.Forward(tp, autograd.NewConst(in))
+	return tp.SoftmaxRows(tp.Reshape(logits, m.Flows, m.K))
+}
+
+// Splits runs inference on a history window.
+func (m *HistoryModel) Splits(history []*tensor.Dense) *tensor.Dense {
+	tp := autograd.NewTape()
+	return m.Forward(tp, history).Val.Clone()
+}
+
+// FitSeries trains on a chronologically ordered demand series: for each t,
+// the input is demands[t-Window:t] and the loss is the MLU on demands[t]
+// (the future matrix — DOTE's joint prediction+optimization objective).
+// The last valFraction of usable steps is the validation set.
+func (m *HistoryModel) FitSeries(p *te.Problem, demands []*tensor.Dense, epochs int, lr float64, seed int64) float64 {
+	if len(demands) <= m.Window {
+		return 1e300
+	}
+	type step struct {
+		history []*tensor.Dense
+		next    *tensor.Dense
+	}
+	var steps []step
+	for t := m.Window; t < len(demands); t++ {
+		steps = append(steps, step{history: demands[t-m.Window : t], next: demands[t]})
+	}
+	split := len(steps) * 7 / 8
+	if split == len(steps) {
+		split = len(steps) - 1
+	}
+	train, val := steps[:split], steps[split:]
+
+	single := New(m.Cfg, m.Flows, m.K) // reuse its loss builder
+	opt := autograd.NewAdam(lr)
+	opt.GradClip = 5
+	rng := rand.New(rand.NewSource(seed))
+	best := 1e300
+	var snap [][]float64
+	for epoch := 0; epoch < epochs; epoch++ {
+		for _, i := range rng.Perm(len(train)) {
+			s := train[i]
+			tp := autograd.NewTape()
+			splits := m.Forward(tp, s.history)
+			loss := single.lossMLU(tp, p, splits, s.next)
+			tp.Backward(loss)
+			opt.Step(m.params)
+		}
+		var v float64
+		for _, s := range val {
+			v += p.MLU(m.Splits(s.history), s.next)
+		}
+		v /= float64(len(val))
+		if v < best {
+			best = v
+			snap = make([][]float64, len(m.params))
+			for i, pr := range m.params {
+				snap[i] = append([]float64(nil), pr.Val.Data...)
+			}
+		}
+	}
+	if snap != nil {
+		for i, pr := range m.params {
+			copy(pr.Val.Data, snap[i])
+		}
+	}
+	return best
+}

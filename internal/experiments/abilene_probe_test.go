@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"harpte/internal/te"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+func TestAbileneFailureProbe(t *testing.T) {
+	if os.Getenv("HARP_PROBE") == "" {
+		t.Skip()
+	}
+	g := topology.Abilene()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	cfg := SchemesConfig{Scale: Small, Seed: 1}
+	cfg.defaults()
+	ts := trainSchemes(p, cfg)
+
+	// In-distribution sanity: NormMLU on test TMs without failure.
+	testI := make([]*Instance, len(ts.test))
+	for i, j := range ts.test {
+		testI[i] = &Instance{Problem: p, Demand: ts.demands[j]}
+	}
+	ComputeOptimal(testI)
+	d := NewDistribution(evalHarpOn(ts.harp, p, testI))
+	t.Logf("healthy test NormMLU: %s", d.CDFRow())
+
+	// Every single-link failure: find the worst NormMLU for HARP.
+	d0 := ts.demands[ts.test[0]]
+	worstNorm := 0.0
+	var worstLink [2]int
+	for _, l := range g.UndirectedLinks() {
+		fg := g.WithFailedLink(l[0], l[1])
+		if !fg.Connected() {
+			continue
+		}
+		fp := te.NewProblem(fg, set)
+		in := &Instance{Problem: fp, Demand: d0}
+		ComputeOptimal([]*Instance{in})
+		ctx := ts.harp.Context(fp)
+		splits := ts.harp.Splits(ctx, d0)
+		norm := in.NormMLUOf(splits)
+		t.Logf("fail %v: HARP norm %.3f (opt %.3f)", l, norm, in.OptimalMLU)
+		if norm > worstNorm {
+			worstNorm, worstLink = norm, l
+		}
+	}
+	// Inspect the worst case.
+	fg := g.WithFailedLink(worstLink[0], worstLink[1])
+	fp := te.NewProblem(fg, set)
+	ctx := ts.harp.Context(fp)
+	splits := ts.harp.Splits(ctx, d0)
+	util := fp.Utilizations(splits, d0)
+	mx, idx := util.Max()
+	e := fg.Edges[idx]
+	t.Logf("worst fail %v: norm %.3f; max util %.3f on %d->%d cap %.3f",
+		worstLink, worstNorm, mx, e.Src, e.Dst, e.Capacity)
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file exports raw experiment distributions as CSV so the paper's
+// figures can be re-plotted with any external tool (the tables printed by
+// tebench are summaries; plots need the full CDFs/series).
+
+// CSVWriter serializes named float series as long-format CSV rows
+// (series,index,value).
+type CSVWriter struct {
+	w   *csv.Writer
+	err error
+}
+
+// NewCSVWriter wraps w and writes the header.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	cw := &CSVWriter{w: csv.NewWriter(w)}
+	cw.err = cw.w.Write([]string{"series", "index", "value"})
+	return cw
+}
+
+// Series writes one value per row, indexed from 0. Sorted distributions
+// written this way plot directly as CDFs (value on x, index/n on y).
+func (c *CSVWriter) Series(name string, values []float64) {
+	if c.err != nil {
+		return
+	}
+	for i, v := range values {
+		if err := c.w.Write([]string{name, strconv.Itoa(i),
+			strconv.FormatFloat(v, 'g', -1, 64)}); err != nil {
+			c.err = err
+			return
+		}
+	}
+}
+
+// Distributions writes a map of named distributions in sorted-name order
+// (deterministic output for tests and diffs).
+func (c *CSVWriter) Distributions(m map[string]Distribution) {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c.Series(n, m[n].Values)
+	}
+}
+
+// Flush finalizes the output and reports any accumulated error.
+func (c *CSVWriter) Flush() error {
+	c.w.Flush()
+	if c.err != nil {
+		return fmt.Errorf("experiments: csv export: %w", c.err)
+	}
+	return c.w.Error()
+}
+
+// WriteCSV is implemented by experiment results that can dump their raw
+// data; tebench's -csv flag uses it.
+type WriteCSV interface {
+	CSV(w io.Writer) error
+}
+
+// CSV implements WriteCSV for the Fig-4 transferability CDF.
+func (r *Fig4Result) CSV(w io.Writer) error {
+	cw := NewCSVWriter(w)
+	cw.Series("harp_normmlu", r.NormMLU.Values)
+	return cw.Flush()
+}
+
+// CSV implements WriteCSV for the Fig-7 shuffle comparison.
+func (r *Fig7Result) CSV(w io.Writer) error {
+	cw := NewCSVWriter(w)
+	orig := map[string]Distribution{}
+	for k, v := range r.Original {
+		orig["original_"+k] = v
+	}
+	for k, v := range r.Shuffled {
+		orig["shuffled_"+k] = v
+	}
+	cw.Distributions(orig)
+	return cw.Flush()
+}
+
+// CSV implements WriteCSV for the Fig-8 partial-failure CDFs.
+func (r *Fig8Result) CSV(w io.Writer) error {
+	cw := NewCSVWriter(w)
+	cw.Distributions(r.PerScheme)
+	return cw.Flush()
+}
+
+// CSV implements WriteCSV for the failure batteries (Figures 9/10/17):
+// pooled CDFs plus per-failure medians.
+func (r *FailureResult) CSV(w io.Writer) error {
+	cw := NewCSVWriter(w)
+	cw.Distributions(r.Pooled)
+	for scheme, boxes := range r.Boxes {
+		med := make([]float64, len(boxes))
+		p90 := make([]float64, len(boxes))
+		mx := make([]float64, len(boxes))
+		for i, b := range boxes {
+			med[i], p90[i], mx[i] = b.Median, b.P90, b.Max
+		}
+		cw.Series("perfailure_median_"+scheme, med)
+		cw.Series("perfailure_p90_"+scheme, p90)
+		cw.Series("perfailure_max_"+scheme, mx)
+	}
+	return cw.Flush()
+}
+
+// CSV implements WriteCSV for the Fig-12 prediction comparison.
+func (r *Fig12Result) CSV(w io.Writer) error {
+	cw := NewCSVWriter(w)
+	cw.Series("harp_pred_"+r.Predictor, r.HARPPred.Values)
+	cw.Series("solver_pred_"+r.Predictor, r.SolverPred.Values)
+	return cw.Flush()
+}
+
+// CSV implements WriteCSV for the Fig-16 model comparison.
+func (r *Fig16Result) CSV(w io.Writer) error {
+	cw := NewCSVWriter(w)
+	cw.Distributions(r.PerModel)
+	return cw.Flush()
+}
+
+// CSV implements WriteCSV for the Fig-18 learning curves.
+func (r *Fig18Result) CSV(w io.Writer) error {
+	cw := NewCSVWriter(w)
+	cw.Series("kdl", r.KDL)
+	cw.Series("anonnet", r.AnonNet)
+	return cw.Flush()
+}
+
+// CSV implements WriteCSV for the Fig-1 topology census series.
+func (r *Fig1Result) CSV(w io.Writer) error {
+	cw := NewCSVWriter(w)
+	cw.Series("total_nodes", r.TotalNodes)
+	cw.Series("active_nodes", r.ActiveNodes)
+	cw.Series("edge_nodes", r.EdgeNodes)
+	cw.Series("total_links", r.TotalLinks)
+	cw.Series("active_links", r.ActiveLinks)
+	return cw.Flush()
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"harpte/internal/dataset"
+	"harpte/internal/traffic"
+)
+
+// tinyAnonNet shrinks the generator further for unit tests.
+func tinyAnonNet() dataset.Config {
+	cfg := AnonNetConfig(Small)
+	cfg.Nodes = 10
+	cfg.Snapshots = 90
+	cfg.ClusterEvery = 8
+	cfg.TunnelsPerFlow = 3
+	return cfg
+}
+
+func TestDistributionQuantiles(t *testing.T) {
+	d := NewDistribution([]float64{4, 1, 3, 2})
+	if d.Median() != 2.5 {
+		t.Fatalf("median %v", d.Median())
+	}
+	if d.Quantile(0) != 1 || d.Quantile(1) != 4 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if d.Max() != 4 {
+		t.Fatal("max wrong")
+	}
+	if math.Abs(d.Mean()-2.5) > 1e-12 {
+		t.Fatal("mean wrong")
+	}
+	if f := d.FractionBelow(2); f != 0.5 {
+		t.Fatalf("FractionBelow(2) = %v", f)
+	}
+	if f := d.FractionBelow(0.5); f != 0 {
+		t.Fatalf("FractionBelow(0.5) = %v", f)
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	d := NewDistribution(nil)
+	if !math.IsNaN(d.Median()) || !math.IsNaN(d.Mean()) {
+		t.Fatal("empty distribution should be NaN")
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	b := Box("x", []float64{1, 2, 3, 4, 10})
+	if b.Median != 3 || b.Max != 10 || b.N != 5 {
+		t.Fatalf("box %+v", b)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "n")
+	s := tab.String()
+	for _, want := range []string{"== t ==", "a", "bb", "note: n"} {
+		if !contains(s, want) {
+			t.Fatalf("missing %q in %q", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSplitTrainValTest(t *testing.T) {
+	tr, v, te := SplitTrainValTest(16)
+	if len(tr) != 12 || len(v) != 2 || len(te) != 2 {
+		t.Fatalf("split %d/%d/%d", len(tr), len(v), len(te))
+	}
+}
+
+func TestFig1And3And15(t *testing.T) {
+	ds := dataset.Generate(tinyAnonNet())
+	f1 := Fig1(ds, 10)
+	if len(f1.TotalNodes) != 10 {
+		t.Fatalf("fig1 points %d", len(f1.TotalNodes))
+	}
+	for i := range f1.TotalNodes {
+		if f1.ActiveNodes[i] > f1.TotalNodes[i]+1e-12 {
+			t.Fatal("active exceeds total")
+		}
+	}
+	f3 := Fig3(ds)
+	if f3.TunnelsAdded <= 0 {
+		t.Fatal("expected tunnel churn")
+	}
+	if f3.Configurations < 2 {
+		t.Fatal("expected multiple capacity configurations")
+	}
+	f15 := Fig15(ds)
+	if f15.MultiValueFraction <= 0.3 {
+		t.Fatalf("capacity variation too low: %v", f15.MultiValueFraction)
+	}
+	if f15.EverFailedFraction <= 0 {
+		t.Fatal("no full failures in dataset")
+	}
+	// Rendering should not panic and should mention the figure.
+	if !contains(f15.Table.String(), "Figure 15") {
+		t.Fatal("table title missing")
+	}
+}
+
+func TestComputeOptimalParallel(t *testing.T) {
+	ds := dataset.Generate(tinyAnonNet())
+	instances := ClusterInstances(ds, ds.LargestClusters(1)[0], 2)
+	if len(instances) == 0 {
+		t.Fatal("no instances")
+	}
+	ComputeOptimal(instances)
+	for i, in := range instances {
+		if in.OptimalMLU <= 0 || math.IsNaN(in.OptimalMLU) {
+			t.Fatalf("instance %d optimal %v", i, in.OptimalMLU)
+		}
+	}
+}
+
+func TestTab1Matrix(t *testing.T) {
+	res := Tab1(3)
+	if !res.Checks["HARP"]["topology"] {
+		t.Fatal("HARP must respond to capacity changes")
+	}
+	if res.Checks["DOTE"]["topology"] {
+		t.Fatal("DOTE must NOT respond to capacity changes")
+	}
+	if !res.Checks["TEAL"]["topology"] {
+		t.Fatal("TEAL must respond to capacity changes")
+	}
+	if !contains(res.Table.String(), "HARP") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestFig11SmallSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	res := Fig11(Fig11Config{Scale: Small, Seed: 1, Repeats: 1})
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.HARP <= 0 || r.Solver <= 0 {
+			t.Fatalf("%s: non-positive timing", r.Topology)
+		}
+	}
+	// Scaling shape: solver on KDL must be slower than on Abilene.
+	if res.Rows[4].Solver < res.Rows[0].Solver {
+		t.Log("warning: KDL solver faster than Abilene (MWU vs simplex crossover)")
+	}
+}
+
+func TestRandomPairsDistinct(t *testing.T) {
+	g := dsTopology(Small, 1)
+	pairs := RandomPairs(g, 20, 2)
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatal("self pair")
+		}
+		if seen[p] {
+			t.Fatal("duplicate pair")
+		}
+		seen[p] = true
+	}
+}
+
+func TestPredictorsPluggableInFig12Config(t *testing.T) {
+	// Just exercise the config defaults and predictor list wiring.
+	cfg := Fig12Config{}
+	cfg.defaults()
+	if cfg.Window != 12 || cfg.Epochs == 0 {
+		t.Fatal("defaults not applied")
+	}
+	for _, p := range []traffic.Predictor{traffic.MovAvg{Window: 3}, traffic.ExpSmooth{Alpha: 0.5}} {
+		if p.Name() == "" {
+			t.Fatal("predictor name empty")
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	r := &Fig4Result{NormMLU: NewDistribution([]float64{1.2, 1.0, 1.1})}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,index,value\nharp_normmlu,0,1\nharp_normmlu,1,1.1\nharp_normmlu,2,1.2\n"
+	if buf.String() != want {
+		t.Fatalf("got %q", buf.String())
+	}
+}
+
+func TestCSVDistributionsDeterministicOrder(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCSVWriter(&buf)
+	cw.Distributions(map[string]Distribution{
+		"zeta":  NewDistribution([]float64{1}),
+		"alpha": NewDistribution([]float64{2}),
+	})
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if indexOf(s, "alpha") > indexOf(s, "zeta") {
+		t.Fatal("series not in sorted order")
+	}
+}
+
+func TestFailureResultCSV(t *testing.T) {
+	r := &FailureResult{
+		Topology: "T",
+		Pooled:   map[string]Distribution{"HARP": NewDistribution([]float64{1, 2})},
+		Boxes: map[string][]BoxStats{
+			"HARP": {Box("f0", []float64{1, 2, 3})},
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HARP", "perfailure_median_HARP", "perfailure_max_HARP"} {
+		if indexOf(buf.String(), want) < 0 {
+			t.Fatalf("missing %q in CSV", want)
+		}
+	}
+}
+
+func TestFig18CSV(t *testing.T) {
+	r := &Fig18Result{KDL: []float64{1.5, 1.2}, AnonNet: []float64{3, 2.8}}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if indexOf(buf.String(), "kdl,1,1.2") < 0 || indexOf(buf.String(), "anonnet,0,3") < 0 {
+		t.Fatalf("fig18 CSV wrong: %q", buf.String())
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"harpte/internal/core"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+// This file contains the extension experiments the paper lists as future
+// work (§7): robustness to demand-distribution shift, and scoring HARP's
+// allocations on objectives beyond MLU (throughput, max-min fairness).
+
+// ExtShiftResult reports HARP's NormMLU when the traffic distribution
+// shifts between training and testing ("the ability to handle significant
+// changes in demand distribution is another area that requires
+// investigation", §7).
+type ExtShiftResult struct {
+	Table *Table
+	// Same is NormMLU on held-out matrices from the TRAINING distribution;
+	// Shifted uses a different gravity-weight profile; Transposed feeds the
+	// transpose of each test matrix (§2.2's canonical transformation).
+	Same, Shifted, Transposed Distribution
+}
+
+// ExtDemandShift trains HARP on GEANT under one gravity profile and tests
+// it on (a) the same profile, (b) a resampled profile (different hot
+// nodes), and (c) transposed matrices.
+func ExtDemandShift(cfg SchemesConfig) *ExtShiftResult {
+	cfg.defaults()
+	g := topology.Geant()
+	set := tunnels.Compute(g, TunnelsPerFlow("GEANT", cfg.Scale))
+	p := te.NewProblem(g, set)
+
+	tms := SyntheticTMs(g, set, cfg.NumTMs, cfg.Seed+10)
+	var demands []*tensor.Dense
+	for _, tm := range tms {
+		demands = append(demands, traffic.DemandVector(tm, set.Flows))
+	}
+	trainIdx, valIdx, testIdx := SplitTrainValTest(len(demands))
+
+	model := core.New(harpConfigFor(cfg.Scale, cfg.Seed))
+	mk := func(idx []int) []*Instance {
+		out := make([]*Instance, len(idx))
+		for i, j := range idx {
+			out[i] = &Instance{Problem: p, Demand: demands[j]}
+		}
+		return out
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = cfg.Epochs
+	tc.LR = cfg.LR
+	tc.Seed = cfg.Seed
+	model.Fit(HarpSamples(model, mk(trainIdx)), HarpSamples(model, mk(valIdx)), tc)
+	cfg.Progress.Logf("ext-shift: trained\n")
+
+	evalSet := func(instances []*Instance) Distribution {
+		ComputeOptimal(instances)
+		return NewDistribution(evalHarpOn(model, p, instances))
+	}
+
+	// (a) Same distribution.
+	same := evalSet(mk(testIdx))
+
+	// (b) Shifted: fresh gravity weights — different hot nodes entirely.
+	shiftTMs := SyntheticTMs(g, set, len(testIdx), cfg.Seed+999)
+	var shifted []*Instance
+	for _, tm := range shiftTMs {
+		shifted = append(shifted, &Instance{Problem: p, Demand: traffic.DemandVector(tm, set.Flows)})
+	}
+	shiftedD := evalSet(shifted)
+
+	// (c) Transposed test matrices.
+	var transposed []*Instance
+	for _, j := range testIdx {
+		tm := traffic.Transpose(tms[j])
+		transposed = append(transposed, &Instance{Problem: p, Demand: traffic.DemandVector(tm, set.Flows)})
+	}
+	transposedD := evalSet(transposed)
+
+	res := &ExtShiftResult{Same: same, Shifted: shiftedD, Transposed: transposedD}
+	t := &Table{
+		Title:   "Extension (§7 future work): HARP under demand-distribution shift (GEANT)",
+		Columns: []string{"test distribution", "p50", "p90", "max"},
+	}
+	t.AddRow("training profile", F(same.Median()), F(same.Quantile(0.9)), F(same.Max()))
+	t.AddRow("resampled profile", F(shiftedD.Median()), F(shiftedD.Quantile(0.9)), F(shiftedD.Max()))
+	t.AddRow("transposed matrices", F(transposedD.Median()), F(transposedD.Quantile(0.9)), F(transposedD.Max()))
+	t.Notes = append(t.Notes,
+		"not in the paper: §7 lists demand-distribution shift as future work; HARP's invariances make graceful degradation plausible")
+	res.Table = t
+	return res
+}
+
+// ExtObjectivesResult scores the same HARP allocation on the paper's
+// future-work objectives.
+type ExtObjectivesResult struct {
+	Table *Table
+	// Deltas vs the MLU-optimal solver allocation, medians over the test set.
+	ThroughputRatio, FairnessRatio float64
+}
+
+// ExtObjectives trains HARP for MLU on GEANT and scores both HARP and the
+// LP optimum on throughput and max-min fairness, answering "how much do
+// the other objectives suffer when optimizing MLU with a neural model?".
+func ExtObjectives(cfg SchemesConfig) *ExtObjectivesResult {
+	cfg.defaults()
+	g := topology.Geant()
+	set := tunnels.Compute(g, TunnelsPerFlow("GEANT", cfg.Scale))
+	p := te.NewProblem(g, set)
+	tms := SyntheticTMs(g, set, cfg.NumTMs, cfg.Seed+10)
+	var demands []*tensor.Dense
+	for _, tm := range tms {
+		demands = append(demands, traffic.DemandVector(tm, set.Flows))
+	}
+	trainIdx, valIdx, testIdx := SplitTrainValTest(len(demands))
+
+	model := core.New(harpConfigFor(cfg.Scale, cfg.Seed))
+	mk := func(idx []int) []core.Sample {
+		var out []core.Sample
+		for _, j := range idx {
+			out = append(out, core.Sample{Ctx: model.Context(p), Demand: demands[j]})
+		}
+		return out
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = cfg.Epochs
+	tc.Seed = cfg.Seed
+	model.Fit(mk(trainIdx), mk(valIdx), tc)
+
+	ctx := model.Context(p)
+	var thrRatios, fairRatios []float64
+	for _, j := range testIdx {
+		d := demands[j]
+		harpSplits := model.Splits(ctx, d)
+		optSplits := lpSolve(p, d)
+		ht := p.Throughput(harpSplits, d)
+		ot := p.Throughput(optSplits, d)
+		if ot > 0 {
+			thrRatios = append(thrRatios, ht/ot)
+		}
+		hf := te.FairnessIndex(p.MaxMinRates(harpSplits))
+		of := te.FairnessIndex(p.MaxMinRates(optSplits))
+		if of > 0 {
+			fairRatios = append(fairRatios, hf/of)
+		}
+	}
+	thr := NewDistribution(thrRatios)
+	fair := NewDistribution(fairRatios)
+	res := &ExtObjectivesResult{ThroughputRatio: thr.Median(), FairnessRatio: fair.Median()}
+	t := &Table{
+		Title:   "Extension (§7 future work): MLU-trained HARP scored on other objectives (vs LP optimum)",
+		Columns: []string{"objective", "median HARP/optimal", "p10", "min"},
+	}
+	t.AddRow("throughput", F(thr.Median()), F(thr.Quantile(0.1)), F(thr.Quantile(0)))
+	t.AddRow("max-min fairness index", F(fair.Median()), F(fair.Quantile(0.1)), F(fair.Quantile(0)))
+	t.Notes = append(t.Notes,
+		"not in the paper: quantifies §7's open question on objectives beyond MLU")
+	res.Table = t
+	return res
+}
+
+// lpSolve returns the LP-optimal splits for the demand.
+func lpSolve(p *te.Problem, d *tensor.Dense) *tensor.Dense {
+	return lp.Solve(p, d).Splits
+}

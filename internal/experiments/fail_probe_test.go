@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"harpte/internal/core"
+	"harpte/internal/dataset"
+	"harpte/internal/te"
+)
+
+// TestFailProbe dissects which test snapshots HARP fails on after the
+// Fig-4 protocol. Run manually: HARP_PROBE=1 go test -run TestFailProbe -v
+func TestFailProbe(t *testing.T) {
+	if os.Getenv("HARP_PROBE") == "" {
+		t.Skip("set HARP_PROBE=1 to run")
+	}
+	cfg := AnonNetConfig(Small)
+	ds := dataset.Generate(cfg)
+	m := core.New(harpConfigFor(Small, 1))
+	tcfg := TransferConfig{Scale: Small, Seed: 1, Epochs: 40, Stride: 3}
+	tcfg.defaults()
+	norm := trainAndTestOnClusters(ds, m, []int{0, 1, 2}, []int{3, 4, 5}, tcfg)
+
+	// Rebuild the same test instances to inspect them.
+	var testInst []*Instance
+	for ci := 6; ci < len(ds.Clusters); ci++ {
+		testInst = append(testInst, ClusterInstances(ds, ci, tcfg.Stride)...)
+	}
+	if len(testInst) != len(norm) {
+		t.Fatalf("instance mismatch %d vs %d", len(testInst), len(norm))
+	}
+	bad, badFail, goodFail := 0, 0, 0
+	worstIdx, worstNorm := -1, 0.0
+	for i, in := range testInst {
+		hasFail := snapshotHasFailure(in)
+		if norm[i] > 1.5 {
+			bad++
+			if hasFail {
+				badFail++
+			}
+			if norm[i] > worstNorm {
+				worstNorm, worstIdx = norm[i], i
+			}
+		} else if hasFail {
+			goodFail++
+		}
+	}
+	t.Logf("test=%d bad(>1.5)=%d of which with failures=%d; failure snapshots handled ok=%d",
+		len(testInst), bad, badFail, goodFail)
+	if worstIdx >= 0 {
+		in := testInst[worstIdx]
+		splits := m.Splits(m.Context(in.Problem), in.Demand)
+		var deadWeight, worstSplit float64
+		allDeadFlows := 0
+		for f := 0; f < in.Problem.NumFlows(); f++ {
+			alive := 0
+			for k := 0; k < in.Problem.Tunnels.K; k++ {
+				if te.TunnelAlive(in.Problem.Graph, in.Problem.Tunnels.Tunnel(f, k)) {
+					alive++
+				} else {
+					w := splits.At(f, k)
+					deadWeight += w
+					if w > worstSplit {
+						worstSplit = w
+					}
+				}
+			}
+			if alive == 0 {
+				allDeadFlows++
+			}
+		}
+		mlu := in.Problem.MLU(splits, in.Demand)
+		t.Logf("worst snapshot %d: norm=%.1f opt=%.4g mlu=%.4g deadWeight=%.3e worstDeadSplit=%.3e allDeadFlows=%d",
+			worstIdx, worstNorm, in.OptimalMLU, mlu, deadWeight, worstSplit, allDeadFlows)
+		// With dead tunnels hard-zeroed (idealized rescaling), what would it be?
+		resc := te.Rescale(in.Problem, splits)
+		t.Logf("worst snapshot after explicit rescale: norm=%.3f", in.NormMLUOf(resc))
+	}
+}
+
+func snapshotHasFailure(in *Instance) bool {
+	for id := range in.Problem.Graph.Edges {
+		if !in.Problem.Graph.IsActive(id) {
+			return true
+		}
+	}
+	return false
+}

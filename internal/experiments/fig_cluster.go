@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"harpte/internal/core"
+	"harpte/internal/dataset"
+	"harpte/internal/dote"
+	"harpte/internal/te"
+)
+
+// ClusterConfig controls the same-cluster experiments (Figures 5 and 6).
+type ClusterConfig struct {
+	Scale    Scale
+	Epochs   int
+	LR       float64
+	Seed     int64
+	Clusters int // number of largest clusters to evaluate (Fig 5 uses 3)
+	Progress Progress
+}
+
+func (c *ClusterConfig) defaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 40
+	}
+	if c.LR == 0 {
+		c.LR = 2e-3
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 3
+	}
+}
+
+// Fig5Result compares HARP and DOTE trained and tested within the same
+// cluster (capacities vary across snapshots; topology otherwise fixed).
+type Fig5Result struct {
+	Table *Table
+	// HARP[i], DOTE[i] are the NormMLU distributions for the i-th largest
+	// cluster.
+	HARP, DOTE []Distribution
+}
+
+// Fig5 runs the per-cluster comparison on the largest clusters.
+func Fig5(cfg ClusterConfig) *Fig5Result {
+	cfg.defaults()
+	ds := dataset.Generate(AnonNetConfig(cfg.Scale))
+	res := &Fig5Result{}
+	t := &Table{
+		Title:   "Figure 5: HARP vs DOTE, train and test within the same cluster",
+		Columns: []string{"cluster", "scheme", "p50", "p90", "max"},
+	}
+	for _, ci := range ds.LargestClusters(cfg.Clusters) {
+		instances := ClusterInstances(ds, ci, 1)
+		trainIdx, valIdx, testIdx := SplitTrainValTest(len(instances))
+		pick := func(idx []int) []*Instance {
+			out := make([]*Instance, len(idx))
+			for i, j := range idx {
+				out[i] = instances[j]
+			}
+			return out
+		}
+		trainI, valI, testI := pick(trainIdx), pick(valIdx), pick(testIdx)
+		ComputeOptimal(testI)
+
+		// HARP.
+		hm := core.New(harpConfigFor(cfg.Scale, cfg.Seed))
+		tc := core.DefaultTrainConfig()
+		tc.Epochs = cfg.Epochs
+		tc.LR = cfg.LR
+		tc.Seed = cfg.Seed
+		hm.Fit(HarpSamples(hm, trainI), HarpSamples(hm, valI), tc)
+		harpNorm := EvalHarp(hm, testI, HarpSamples(hm, testI))
+		dh := NewDistribution(harpNorm)
+		res.HARP = append(res.HARP, dh)
+		t.AddRow(fmt.Sprintf("%d", ci), "HARP", F(dh.Median()), F(dh.Quantile(0.9)), F(dh.Max()))
+
+		// DOTE (fixed shapes: same cluster → same F, K; rescaling on
+		// complete failures per §4).
+		p0 := trainI[0].Problem
+		dm := dote.New(doteConfigFor(cfg.Seed), p0.NumFlows(), p0.Tunnels.K)
+		dm.Fit(doteSamples(trainI), doteSamples(valI), cfg.Epochs, 3e-3, 8, cfg.Seed)
+		var doteNorm []float64
+		for _, in := range testI {
+			splits := te.Rescale(in.Problem, dm.Splits(in.Demand))
+			doteNorm = append(doteNorm, in.NormMLUOf(splits))
+		}
+		dd := NewDistribution(doteNorm)
+		res.DOTE = append(res.DOTE, dd)
+		t.AddRow(fmt.Sprintf("%d", ci), "DOTE", F(dd.Median()), F(dd.Quantile(0.9)), F(dd.Max()))
+		cfg.Progress.Logf("fig5: cluster %d done (HARP p50 %.3f, DOTE p50 %.3f)\n",
+			ci, dh.Median(), dd.Median())
+	}
+	t.Notes = append(t.Notes,
+		"paper: HARP max NormMLU 1.02–1.13 per cluster; DOTE median 1.12–2.79, max up to 4.02")
+	res.Table = t
+	return res
+}
+
+// Fig6Result is the RAU ablation (Figure 6): HARP vs HARP-NoRAU (the
+// latter with local rescaling, as the paper reports it).
+type Fig6Result struct {
+	Table       *Table
+	HARP, NoRAU Distribution
+}
+
+// Fig6 runs the ablation on the largest cluster.
+func Fig6(cfg ClusterConfig) *Fig6Result {
+	cfg.defaults()
+	ds := dataset.Generate(AnonNetConfig(cfg.Scale))
+	ci := ds.LargestClusters(1)[0]
+	instances := ClusterInstances(ds, ci, 1)
+	trainIdx, valIdx, testIdx := SplitTrainValTest(len(instances))
+	pick := func(idx []int) []*Instance {
+		out := make([]*Instance, len(idx))
+		for i, j := range idx {
+			out[i] = instances[j]
+		}
+		return out
+	}
+	trainI, valI, testI := pick(trainIdx), pick(valIdx), pick(testIdx)
+	ComputeOptimal(testI)
+
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = cfg.Epochs
+	tc.LR = cfg.LR
+	tc.Seed = cfg.Seed
+
+	full := core.New(harpConfigFor(cfg.Scale, cfg.Seed))
+	full.Fit(HarpSamples(full, trainI), HarpSamples(full, valI), tc)
+	harpNorm := EvalHarp(full, testI, HarpSamples(full, testI))
+
+	noCfg := harpConfigFor(cfg.Scale, cfg.Seed)
+	noCfg.RAUIterations = 0
+	noRAU := core.New(noCfg)
+	noRAU.Fit(HarpSamples(noRAU, trainI), HarpSamples(noRAU, valI), tc)
+	var noNorm []float64
+	samples := HarpSamples(noRAU, testI)
+	for i, in := range testI {
+		// HARP-NoRAU needs rescaling under complete failures (§5.3).
+		splits := te.Rescale(in.Problem, noRAU.Splits(samples[i].Ctx, in.Demand))
+		noNorm = append(noNorm, in.NormMLUOf(splits))
+	}
+
+	res := &Fig6Result{HARP: NewDistribution(harpNorm), NoRAU: NewDistribution(noNorm)}
+	t := &Table{
+		Title:   "Figure 6: RAU ablation (HARP vs HARP-NoRAU)",
+		Columns: []string{"scheme", "p50", "p90", "max"},
+	}
+	t.AddRow("HARP", F(res.HARP.Median()), F(res.HARP.Quantile(0.9)), F(res.HARP.Max()))
+	t.AddRow("HARP-NoRAU", F(res.NoRAU.Median()), F(res.NoRAU.Quantile(0.9)), F(res.NoRAU.Max()))
+	t.Notes = append(t.Notes, "paper: RAU improves median NormMLU from 1.56 to 1.01")
+	res.Table = t
+	return res
+}
+
+func doteConfigFor(seed int64) dote.Config {
+	cfg := dote.DefaultConfig()
+	cfg.Seed = seed + 2
+	return cfg
+}
+
+func doteSamples(instances []*Instance) []dote.Sample {
+	out := make([]dote.Sample, len(instances))
+	for i, in := range instances {
+		out[i] = dote.Sample{Problem: in.Problem, Demand: in.Demand, LossDemand: in.TrueDemand}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"harpte/internal/dataset"
+)
+
+// Fig1Result is the topology-variation time series of Figure 1.
+type Fig1Result struct {
+	Table *Table
+	// Normalized series (by their maxima), sampled.
+	TotalNodes, ActiveNodes, EdgeNodes []float64
+	TotalLinks, ActiveLinks            []float64
+}
+
+// Fig1 characterizes node/link variation over the snapshot series
+// (Figure 1a/1b). points controls how many time samples are reported.
+func Fig1(ds *dataset.Dataset, points int) *Fig1Result {
+	census := ds.Census()
+	if points <= 0 || points > len(census) {
+		points = len(census)
+	}
+	res := &Fig1Result{Table: &Table{
+		Title:   "Figure 1: topology variation over time (normalized by max)",
+		Columns: []string{"t", "totalNodes", "activeNodes", "edgeNodes", "totalLinks", "activeLinks"},
+	}}
+	maxN, maxL := 1, 1
+	for _, c := range census {
+		if c.TotalNodes > maxN {
+			maxN = c.TotalNodes
+		}
+		if c.TotalLinks > maxL {
+			maxL = c.TotalLinks
+		}
+	}
+	for i := 0; i < points; i++ {
+		t := i * (len(census) - 1) / maxInt(points-1, 1)
+		c := census[t]
+		tn := float64(c.TotalNodes) / float64(maxN)
+		an := float64(c.ActiveNodes) / float64(maxN)
+		en := float64(c.EdgeNodes) / float64(maxN)
+		tl := float64(c.TotalLinks) / float64(maxL)
+		al := float64(c.ActiveLinks) / float64(maxL)
+		res.TotalNodes = append(res.TotalNodes, tn)
+		res.ActiveNodes = append(res.ActiveNodes, an)
+		res.EdgeNodes = append(res.EdgeNodes, en)
+		res.TotalLinks = append(res.TotalLinks, tl)
+		res.ActiveLinks = append(res.ActiveLinks, al)
+		res.Table.AddRow(fmt.Sprintf("%d", t), F(tn), F(an), F(en), F(tl), F(al))
+	}
+	return res
+}
+
+// Fig3Result reports capacity variation within the largest cluster and the
+// tunnel churn between first and last clusters (Figure 3a/3b/3c).
+type Fig3Result struct {
+	Table *Table
+	// UniqueValueCDF[v] = fraction of links with ≤ v unique capacity values.
+	UniqueValues                 Distribution
+	MinMaxRatio                  Distribution
+	TunnelsAdded, TunnelsRemoved float64
+	MultiValueFraction           float64
+	Configurations               int
+}
+
+// Fig3 characterizes one of the largest clusters plus first↔last tunnel
+// churn.
+func Fig3(ds *dataset.Dataset) *Fig3Result {
+	big := ds.LargestClusters(1)[0]
+	stats := ds.CapacityVariation(ds.Clusters[big].Snapshots)
+	uniq := make([]float64, len(stats.UniqueValues))
+	multi := 0
+	for i, u := range stats.UniqueValues {
+		uniq[i] = float64(u)
+		if u > 1 {
+			multi++
+		}
+	}
+	added, removed := ds.TunnelChurn(0, len(ds.Clusters)-1)
+
+	// Count distinct capacity configurations in the cluster.
+	confs := map[string]bool{}
+	for _, si := range ds.Clusters[big].Snapshots {
+		g := ds.Snapshots[si].Graph
+		key := ""
+		for _, e := range g.Edges {
+			key += fmt.Sprintf("%g,", e.Capacity)
+		}
+		confs[key] = true
+	}
+
+	res := &Fig3Result{
+		UniqueValues:       NewDistribution(uniq),
+		MinMaxRatio:        NewDistribution(stats.MinMaxRatio),
+		TunnelsAdded:       added,
+		TunnelsRemoved:     removed,
+		MultiValueFraction: float64(multi) / float64(maxInt(len(uniq), 1)),
+		Configurations:     len(confs),
+	}
+	t := &Table{
+		Title:   "Figure 3: capacity variation in a large cluster + tunnel churn",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("cluster", fmt.Sprintf("%d (%d snapshots)", big, len(ds.Clusters[big].Snapshots)))
+	t.AddRow("links with >1 capacity value", F(res.MultiValueFraction))
+	t.AddRow("max unique values per link", F(res.UniqueValues.Max()))
+	t.AddRow("p20 min/max capacity ratio", F(res.MinMaxRatio.Quantile(0.2)))
+	t.AddRow("links ever fully failed", F(res.MinMaxRatio.FractionBelow(0)))
+	t.AddRow("capacity configurations", fmt.Sprintf("%d", res.Configurations))
+	t.AddRow("tunnels added first→last", F(added))
+	t.AddRow("tunnels removed first→last", F(removed))
+	t.Notes = append(t.Notes,
+		"paper: ~40% links multi-valued in a large cluster; 20% tunnels added, 8% removed first→last; >250 configurations")
+	res.Table = t
+	return res
+}
+
+// Fig15Result is the whole-dataset capacity variation of Figure 15.
+type Fig15Result struct {
+	Table              *Table
+	UniqueValues       Distribution
+	MinMaxRatio        Distribution
+	MultiValueFraction float64
+	EverFailedFraction float64
+	RatioBelow08       float64
+}
+
+// Fig15 characterizes link capacity variation over the entire series.
+func Fig15(ds *dataset.Dataset) *Fig15Result {
+	all := make([]int, len(ds.Snapshots))
+	for i := range all {
+		all[i] = i
+	}
+	stats := ds.CapacityVariation(all)
+	uniq := make([]float64, len(stats.UniqueValues))
+	multi := 0
+	for i, u := range stats.UniqueValues {
+		uniq[i] = float64(u)
+		if u > 1 {
+			multi++
+		}
+	}
+	res := &Fig15Result{
+		UniqueValues:       NewDistribution(uniq),
+		MinMaxRatio:        NewDistribution(stats.MinMaxRatio),
+		MultiValueFraction: float64(multi) / float64(maxInt(len(uniq), 1)),
+	}
+	res.EverFailedFraction = res.MinMaxRatio.FractionBelow(0)
+	res.RatioBelow08 = res.MinMaxRatio.FractionBelow(0.8)
+
+	t := &Table{
+		Title:   "Figure 15: capacity variation over the entire dataset",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("links with >1 capacity value", F(res.MultiValueFraction))
+	t.AddRow("max unique values per link", F(res.UniqueValues.Max()))
+	t.AddRow("links ever fully failed", F(res.EverFailedFraction))
+	t.AddRow("links with min/max <= 0.8", F(res.RatioBelow08))
+	t.Notes = append(t.Notes,
+		"paper: 80% of links see >1 value (up to 33); 20% fully fail at least once; 60% have min/max <= 0.8")
+	res.Table = t
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sortedCopy is a small helper for deterministic iteration in tests.
+func sortedCopy(xs []float64) []float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"harpte/internal/core"
+	"harpte/internal/dote"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/teal"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+// Fig11Row is the computation-time measurement for one topology.
+type Fig11Row struct {
+	Topology   string
+	Nodes      int
+	Flows      int
+	HARP, DOTE time.Duration
+	TEAL       time.Duration
+	Solver     time.Duration
+	SolverKind string
+}
+
+// Fig11Result is the Figure-11 computation-time comparison. Times are
+// CPU inference (one TE recomputation); the paper's absolute numbers come
+// from an A100 GPU for the ML schemes, so only the ordering and scaling
+// shape transfer (DOTE < TEAL/HARP << solver, gap growing with size).
+type Fig11Result struct {
+	Table *Table
+	Rows  []Fig11Row
+}
+
+// Fig11Config controls the timing sweep.
+type Fig11Config struct {
+	Scale    Scale
+	Seed     int64
+	Repeats  int
+	Progress Progress
+}
+
+// Fig11 measures average recomputation time per scheme on each topology.
+func Fig11(cfg Fig11Config) *Fig11Result {
+	if cfg.Repeats == 0 {
+		cfg.Repeats = 3
+	}
+	type topo struct {
+		g     *te.Problem
+		label string
+	}
+	var topos []topo
+
+	build := func(g *topology.Graph, pairs [][2]int, k int) *te.Problem {
+		var set *tunnels.Set
+		if pairs == nil {
+			set = tunnels.Compute(g, k)
+		} else {
+			set = tunnels.ComputeForPairs(g, pairs, k)
+		}
+		return te.NewProblem(g, set)
+	}
+
+	ab := topology.Abilene()
+	topos = append(topos, topo{build(ab, nil, TunnelsPerFlow("Abilene", cfg.Scale)), "Abilene"})
+	ge := topology.Geant()
+	topos = append(topos, topo{build(ge, nil, TunnelsPerFlow("GEANT", cfg.Scale)), "GEANT"})
+	an := dsTopology(cfg.Scale, cfg.Seed)
+	topos = append(topos, topo{build(an, nil, TunnelsPerFlow("AnonNet", cfg.Scale)), "AnonNet"})
+	us := topology.UsCarrierScale(cfg.Seed + 2)
+	usPairs := RandomPairs(us, pairCount(cfg.Scale, 80), cfg.Seed+3)
+	topos = append(topos, topo{build(us, usPairs, TunnelsPerFlow("UsCarrier", cfg.Scale)), "UsCarrier"})
+	kdl := topology.KDLScale(cfg.Seed + 4)
+	kdlPairs := RandomPairs(kdl, pairCount(cfg.Scale, 60), cfg.Seed+5)
+	topos = append(topos, topo{build(kdl, kdlPairs, TunnelsPerFlow("KDL", cfg.Scale)), "KDL"})
+
+	res := &Fig11Result{Table: &Table{
+		Title: "Figure 11: average TE computation time per snapshot",
+		Columns: []string{"topology", "nodes", "flows", "DOTE", "TEAL", "HARP",
+			"solver", "solver-kind"},
+	}}
+	for _, tp := range topos {
+		row := measureSchemes(tp.g, tp.label, cfg)
+		res.Rows = append(res.Rows, row)
+		res.Table.AddRow(row.Topology, fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%d", row.Flows),
+			row.DOTE.String(), row.TEAL.String(), row.HARP.String(),
+			row.Solver.String(), row.SolverKind)
+		cfg.Progress.Logf("fig11: %s done\n", tp.label)
+	}
+	res.Table.Notes = append(res.Table.Notes,
+		"paper: HARP beats Gurobi by >10x on KDL; DOTE/TEAL faster still; ML times here are CPU (paper used an A100)")
+	return res
+}
+
+func pairCount(s Scale, small int) int {
+	if s == Full {
+		return small * 5
+	}
+	return small
+}
+
+// dsTopology returns a representative AnonNet-like topology snapshot.
+func dsTopology(s Scale, seed int64) *topology.Graph {
+	cfg := AnonNetConfig(s)
+	cfg.Seed = seed + 1
+	cfg.Snapshots = 1
+	g := topology.RandomConnected("AnonNet", cfg.Nodes, cfg.AvgDegree, []float64{40, 100, 400}, cfg.Seed)
+	return g
+}
+
+func measureSchemes(p *te.Problem, label string, cfg Fig11Config) Fig11Row {
+	tm := traffic.Gravity(p.Graph.NumNodes,
+		traffic.GravityWeights(p.Graph, newRng(cfg.Seed)), totalForTopology(p.Graph))
+	demand := traffic.DemandVector(tm, p.Tunnels.Flows)
+
+	row := Fig11Row{Topology: label, Nodes: p.Graph.NumNodes, Flows: p.NumFlows()}
+
+	// HARP (untrained weights time identically to trained ones).
+	hm := core.New(harpConfigFor(cfg.Scale, cfg.Seed))
+	hctx := hm.Context(p)
+	hm.Splits(hctx, demand) // warm up
+	row.HARP = timeIt(cfg.Repeats, func() { hm.Splits(hctx, demand) })
+
+	// DOTE.
+	dm := dote.New(doteConfigFor(cfg.Seed), p.NumFlows(), p.Tunnels.K)
+	dm.Splits(demand)
+	row.DOTE = timeIt(cfg.Repeats, func() { dm.Splits(demand) })
+
+	// TEAL.
+	tl := teal.New(tealConfigFor(cfg.Seed), p.Tunnels.K)
+	tctx := tl.NewContext(p)
+	tl.Splits(tctx, demand)
+	row.TEAL = timeIt(cfg.Repeats, func() { tl.Splits(tctx, demand) })
+
+	// Solver.
+	var method string
+	row.Solver = timeIt(1, func() {
+		r := lp.Solve(p, demand)
+		method = r.Method
+	})
+	row.SolverKind = method
+	return row
+}
+
+func timeIt(n int, f func()) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"harpte/internal/dataset"
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+func TestEarlyClustersPrefersSubstantial(t *testing.T) {
+	ds := dataset.Generate(tinyAnonNet())
+	out := earlyClusters(ds, 3, 5)
+	if len(out) != 3 {
+		t.Fatalf("got %d clusters", len(out))
+	}
+	for _, ci := range out {
+		if len(ds.Clusters[ci].Snapshots) < 5 {
+			// Only acceptable if fewer than 3 clusters qualify at all.
+			qualify := 0
+			for _, c := range ds.Clusters {
+				if len(c.Snapshots) >= 5 {
+					qualify++
+				}
+			}
+			if qualify >= 3 {
+				t.Fatalf("cluster %d too small despite alternatives", ci)
+			}
+		}
+	}
+	// Must be distinct.
+	if out[0] == out[1] || out[1] == out[2] || out[0] == out[2] {
+		t.Fatal("duplicate clusters")
+	}
+}
+
+func TestEarlyClustersFallback(t *testing.T) {
+	ds := dataset.Generate(tinyAnonNet())
+	// Impossible threshold → fallback to first n ids.
+	out := earlyClusters(ds, 3, 1<<30)
+	if len(out) != 3 {
+		t.Fatalf("fallback returned %d", len(out))
+	}
+}
+
+func TestUsedLinkPartialFailuresOnlyTouchUsedLinks(t *testing.T) {
+	g := topology.KDLScale(5)
+	pairs := RandomPairs(g, 10, 3)
+	set := tunnels.ComputeForPairs(g, pairs, 2)
+	p := te.NewProblem(g, set)
+	inc := p.Incidence()
+	used := map[[2]int]bool{}
+	for e := 0; e < g.NumEdges(); e++ {
+		if inc.RowPtr[e+1] > inc.RowPtr[e] {
+			a, b := g.Edges[e].Src, g.Edges[e].Dst
+			if a > b {
+				a, b = b, a
+			}
+			used[[2]int{a, b}] = true
+		}
+	}
+	scenarios := usedLinkPartialFailures(p, 12, newRng(1))
+	if len(scenarios) != 12 {
+		t.Fatalf("got %d scenarios", len(scenarios))
+	}
+	for si, s := range scenarios {
+		changedLinks := 0
+		for i := range s.Edges {
+			if s.Edges[i].Capacity != g.Edges[i].Capacity {
+				a, b := s.Edges[i].Src, s.Edges[i].Dst
+				if a > b {
+					a, b = b, a
+				}
+				if !used[[2]int{a, b}] {
+					t.Fatalf("scenario %d degraded an unused link", si)
+				}
+				changedLinks++
+			}
+		}
+		if changedLinks != 2 {
+			t.Fatalf("scenario %d changed %d directed edges", si, changedLinks)
+		}
+	}
+}
+
+func TestNormalizeCurve(t *testing.T) {
+	instances := []*Instance{{OptimalMLU: 2}, {OptimalMLU: 4}}
+	out := normalizeCurve([]float64{6, 3}, instances)
+	if out[0] != 2 || out[1] != 1 {
+		t.Fatalf("got %v", out)
+	}
+	// No optimal available → passthrough.
+	same := normalizeCurve([]float64{5}, []*Instance{{}})
+	if same[0] != 5 {
+		t.Fatal("passthrough broken")
+	}
+}
+
+func TestProgressSilentWithoutWriter(t *testing.T) {
+	var p Progress
+	p.Logf("should not panic %d", 1)
+	var buf bytes.Buffer
+	p = Progress{W: &buf}
+	p.Logf("x=%d\n", 7)
+	if buf.String() != "x=7\n" {
+		t.Fatalf("got %q", buf.String())
+	}
+}
+
+func TestInstanceNormMLU(t *testing.T) {
+	g := topology.New("x", 3)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(0, 2, 5)
+	g.AddBidirectional(2, 1, 5)
+	g.EdgeNodes = []int{0, 1}
+	set := tunnels.Compute(g, 2)
+	p := te.NewProblem(g, set)
+	d := tensor.New(p.NumFlows(), 1)
+	d.Data[set.FlowIndex(0, 1)] = 6
+	in := &Instance{Problem: p, Demand: d}
+	ComputeOptimal([]*Instance{in})
+	if in.OptimalMLU <= 0 {
+		t.Fatal("optimal not computed")
+	}
+	if norm := in.NormMLUOf(p.UniformSplits()); norm < 1-1e-9 {
+		t.Fatalf("uniform beat optimal: %v", norm)
+	}
+}
+
+func TestInstanceTrueDemandUsedForEval(t *testing.T) {
+	g := topology.New("x", 3)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(0, 2, 5)
+	g.AddBidirectional(2, 1, 5)
+	g.EdgeNodes = []int{0, 1}
+	set := tunnels.Compute(g, 2)
+	p := te.NewProblem(g, set)
+	pred := tensor.New(p.NumFlows(), 1)
+	truth := tensor.New(p.NumFlows(), 1)
+	truth.Data[set.FlowIndex(0, 1)] = 8
+	in := &Instance{Problem: p, Demand: pred, TrueDemand: truth}
+	ComputeOptimal([]*Instance{in})
+	// The optimum must be of the TRUE matrix (nonzero), not the predicted
+	// all-zero one.
+	if in.OptimalMLU <= 0 {
+		t.Fatalf("optimal used the wrong demand: %v", in.OptimalMLU)
+	}
+}
+
+func TestTunnelsPerFlowPresets(t *testing.T) {
+	if TunnelsPerFlow("AnonNet", Full) != 15 {
+		t.Fatal("AnonNet full K")
+	}
+	if TunnelsPerFlow("KDL", Full) != 4 || TunnelsPerFlow("KDL", Small) != 4 {
+		t.Fatal("KDL K")
+	}
+	if TunnelsPerFlow("GEANT", Full) != 8 {
+		t.Fatal("GEANT full K")
+	}
+}
+
+func TestSyntheticTMsCapped(t *testing.T) {
+	g := topology.Geant()
+	set := tunnels.Compute(g, 2)
+	tms := SyntheticTMs(g, set, 3, 1)
+	outCap := make([]float64, g.NumNodes)
+	for _, e := range g.Edges {
+		outCap[e.Src] += e.Capacity
+	}
+	for _, tm := range tms {
+		for i := 0; i < g.NumNodes; i++ {
+			var s float64
+			for j := 0; j < g.NumNodes; j++ {
+				s += tm.At(i, j)
+			}
+			if s > 0.35*outCap[i]+1e-9 {
+				t.Fatalf("node %d demand %v exceeds access cap", i, s)
+			}
+		}
+	}
+}

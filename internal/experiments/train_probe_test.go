@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"harpte/internal/core"
+	"harpte/internal/dataset"
+)
+
+// TestTrainProbe inspects HARP convergence on the AnonNet-like dataset.
+// Run manually: go test ./internal/experiments -run TestTrainProbe -v
+func TestTrainProbe(t *testing.T) {
+	if os.Getenv("HARP_PROBE") == "" {
+		t.Skip("set HARP_PROBE=1 to run")
+	}
+	cfg := AnonNetConfig(Small)
+	ds := dataset.Generate(cfg)
+	var trainI, valI []*Instance
+	for _, ci := range []int{0, 1, 2} {
+		trainI = append(trainI, ClusterInstances(ds, ci, 1)...)
+	}
+	for _, ci := range []int{3, 4, 5} {
+		valI = append(valI, ClusterInstances(ds, ci, 2)...)
+	}
+	ComputeOptimal(trainI)
+	ComputeOptimal(valI)
+	var optTrain float64
+	for _, in := range trainI {
+		optTrain += in.OptimalMLU
+	}
+	t.Logf("train=%d val=%d meanOptimalMLU(train)=%.4f", len(trainI), len(valI), optTrain/float64(len(trainI)))
+
+	m := core.New(harpConfigFor(Small, 1))
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 40
+	tc.LR = 2e-3
+	tc.Log = os.Stderr
+	res := m.Fit(HarpSamples(m, trainI), HarpSamples(m, valI), tc)
+	t.Logf("best val MLU %.4f", res.BestValMLU)
+
+	trainNorm := NewDistribution(EvalHarp(m, trainI, HarpSamples(m, trainI)))
+	valNorm := NewDistribution(EvalHarp(m, valI, HarpSamples(m, valI)))
+	t.Logf("train NormMLU: %s", trainNorm.CDFRow())
+	t.Logf("val   NormMLU: %s", valNorm.CDFRow())
+}

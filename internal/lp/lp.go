@@ -1,0 +1,146 @@
+// Package lp solves the path-based minimum-MLU traffic-engineering linear
+// program — the role Gurobi plays in the paper. Two engines are provided:
+//
+//   - an exact two-phase dense simplex, used for small and medium
+//     topologies (Abilene, GEANT, AnonNet-scale), and
+//   - a Garg–Könemann multiplicative-weights (MWU) approximation with a
+//     greedy polish, used for large topologies (UsCarrier, KDL) where a
+//     dense tableau is impractical.
+//
+// The LP is:
+//
+//	min θ  s.t.  Σ_k x_{f,k} = d_f            (route all demand)
+//	             Σ_{t∋e} x_t ≤ θ·c_e          (utilization bound)
+//	             x ≥ 0, θ ≥ 0
+//
+// Solve picks the engine automatically; every experiment normalizes MLU
+// against this package, as the paper normalizes against Gurobi.
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+)
+
+// Result is a solver outcome: the achieved MLU (recomputed by direct
+// evaluation of the returned splits, so it is always consistent with
+// te.Problem.MLU), the F×K split-ratio matrix, and provenance.
+type Result struct {
+	MLU        float64
+	Splits     *tensor.Dense
+	Iterations int
+	Method     string
+	// LinkDuals, when the simplex engine ran, holds the dual value of each
+	// edge's capacity constraint: positive duals mark the links that bind
+	// the optimum (the operator's "where to add capacity" signal). Nil for
+	// the MWU engine.
+	LinkDuals []float64
+}
+
+// Options tunes SolveWithOptions.
+type Options struct {
+	// Epsilon is the MWU approximation parameter (default 0.05).
+	Epsilon float64
+	// MaxPivots caps simplex pivots (default 20000).
+	MaxPivots int
+	// Method forces "simplex" or "mwu"; empty selects automatically.
+	Method string
+	// PolishRounds is the number of greedy improvement rounds applied to
+	// the MWU solution (default 200).
+	PolishRounds int
+}
+
+func (o *Options) defaults() {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.05
+	}
+	if o.MaxPivots == 0 {
+		o.MaxPivots = 20000
+	}
+	if o.PolishRounds == 0 {
+		o.PolishRounds = 300
+	}
+}
+
+// simplexSizeLimit bounds the dense-tableau footprint: rows×cols of the
+// tableau. Above this the MWU engine is used.
+const simplexSizeLimit = 3_000_000
+
+// Solve computes near-optimal splits for the problem and demand (F×1),
+// selecting the engine by problem size.
+func Solve(p *te.Problem, demand *tensor.Dense) Result {
+	r, err := SolveWithOptions(p, demand, Options{})
+	if err != nil {
+		// The TE LP is always feasible (every flow has at least one tunnel
+		// and θ is unbounded above); an error indicates a solver failure on
+		// a degenerate instance — fall back to MWU, which cannot fail.
+		return solveMWU(p, demand, 0.05, 300)
+	}
+	return r
+}
+
+// SolveWithOptions computes splits with explicit engine control.
+func SolveWithOptions(p *te.Problem, demand *tensor.Dense, opts Options) (Result, error) {
+	opts.defaults()
+	if demand.Rows != p.NumFlows() || demand.Cols != 1 {
+		return Result{}, fmt.Errorf("lp: demand shape %dx%d, want %dx1", demand.Rows, demand.Cols, p.NumFlows())
+	}
+	method := opts.Method
+	if method == "" {
+		rows := p.NumFlows() + p.Graph.NumEdges()
+		cols := p.Tunnels.NumTunnels() + 1 + p.Graph.NumEdges() + p.NumFlows()
+		if rows*cols <= simplexSizeLimit {
+			method = "simplex"
+		} else {
+			method = "mwu"
+		}
+	}
+	switch method {
+	case "simplex":
+		return solveSimplex(p, demand, opts.MaxPivots)
+	case "mwu":
+		return solveMWU(p, demand, opts.Epsilon, opts.PolishRounds), nil
+	default:
+		return Result{}, fmt.Errorf("lp: unknown method %q", opts.Method)
+	}
+}
+
+// splitsFromTunnelTraffic converts per-tunnel absolute traffic into
+// per-flow split ratios (uniform where a flow has no demand or no traffic).
+func splitsFromTunnelTraffic(p *te.Problem, x []float64) *tensor.Dense {
+	k := p.Tunnels.K
+	splits := tensor.New(p.NumFlows(), k)
+	for f := 0; f < p.NumFlows(); f++ {
+		var s float64
+		for j := 0; j < k; j++ {
+			s += x[f*k+j]
+		}
+		row := splits.Row(f)
+		if s < 1e-15 {
+			for j := range row {
+				row[j] = 1 / float64(k)
+			}
+			continue
+		}
+		for j := 0; j < k; j++ {
+			row[j] = x[f*k+j] / s
+		}
+	}
+	return splits
+}
+
+// MaxConcurrentFlow returns the largest λ such that λ·demand can be routed
+// over the provisioned tunnels within capacity (the maximum concurrent
+// flow), together with the splits achieving it. For path-restricted TE,
+// λ* = 1/MLU*: the two objectives are duals of the same LP, which is why
+// the paper's future-work MaxFlow metric needs no new solver.
+func MaxConcurrentFlow(p *te.Problem, demand *tensor.Dense) (float64, *tensor.Dense) {
+	r := Solve(p, demand)
+	if r.MLU <= 0 {
+		return math.Inf(1), r.Splits
+	}
+	return 1 / r.MLU, r.Splits
+}

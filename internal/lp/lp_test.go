@@ -1,0 +1,416 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+// parallelPaths builds src=0, dst=1 with two disjoint routes: direct link
+// capacity c1 and a 2-hop route with per-hop capacity c2.
+func parallelPaths(c1, c2 float64) *te.Problem {
+	g := topology.New("par", 3)
+	g.AddBidirectional(0, 1, c1)
+	g.AddBidirectional(0, 2, c2)
+	g.AddBidirectional(2, 1, c2)
+	g.EdgeNodes = []int{0, 1}
+	return te.NewProblem(g, tunnels.Compute(g, 2))
+}
+
+func demandFor(p *te.Problem, src, dst int, d float64) *tensor.Dense {
+	dm := tensor.New(p.NumFlows(), 1)
+	dm.Data[p.Tunnels.FlowIndex(src, dst)] = d
+	return dm
+}
+
+// For one flow over two disjoint routes with capacities c1 and c2 the
+// optimal MLU is d/(c1+c2) whenever that bound is achievable by splitting
+// proportionally to capacity.
+func TestSimplexAnalyticTwoPath(t *testing.T) {
+	p := parallelPaths(10, 5)
+	d := demandFor(p, 0, 1, 9)
+	r, err := SolveWithOptions(p, d, Options{Method: "simplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 9.0 / 15.0
+	if math.Abs(r.MLU-want) > 1e-6 {
+		t.Fatalf("simplex MLU %v want %v", r.MLU, want)
+	}
+	f := p.Tunnels.FlowIndex(0, 1)
+	// Proportional-to-capacity split: 2/3 on the 10G direct path.
+	if math.Abs(r.Splits.At(f, 0)-2.0/3.0) > 1e-6 {
+		t.Fatalf("split %v want 2/3", r.Splits.At(f, 0))
+	}
+}
+
+func TestMWUAnalyticTwoPath(t *testing.T) {
+	p := parallelPaths(10, 5)
+	d := demandFor(p, 0, 1, 9)
+	r, err := SolveWithOptions(p, d, Options{Method: "mwu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 9.0 / 15.0
+	if r.MLU < want-1e-9 {
+		t.Fatalf("MWU MLU %v below optimum %v (infeasible?)", r.MLU, want)
+	}
+	if r.MLU > want*1.02 {
+		t.Fatalf("MWU MLU %v more than 2%% above optimum %v", r.MLU, want)
+	}
+}
+
+func TestSolversAgreeOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		g := topology.RandomConnected("t", 8, 2.6, []float64{5, 10, 20}, int64(trial+1))
+		set := tunnels.Compute(g, 3)
+		p := te.NewProblem(g, set)
+		dm := tensor.New(p.NumFlows(), 1)
+		for i := range dm.Data {
+			dm.Data[i] = rng.Float64() * 3
+		}
+		sx, err := SolveWithOptions(p, dm, Options{Method: "simplex"})
+		if err != nil {
+			t.Fatalf("trial %d: simplex: %v", trial, err)
+		}
+		mw, _ := SolveWithOptions(p, dm, Options{Method: "mwu"})
+		if mw.MLU < sx.MLU-1e-9 {
+			t.Fatalf("trial %d: MWU %v beat exact optimum %v", trial, mw.MLU, sx.MLU)
+		}
+		if mw.MLU > sx.MLU*1.05 {
+			t.Fatalf("trial %d: MWU %v more than 5%% above optimum %v", trial, mw.MLU, sx.MLU)
+		}
+	}
+}
+
+func TestSimplexNeverWorseThanHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := topology.Abilene()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, rng), 60)
+	dm := traffic.DemandVector(tm, set.Flows)
+	r, err := SolveWithOptions(p, dm, Options{Method: "simplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal must beat uniform splits and 50 random normalized splits.
+	if u := p.MLU(p.UniformSplits(), dm); r.MLU > u+1e-9 {
+		t.Fatalf("optimal %v worse than uniform %v", r.MLU, u)
+	}
+	for i := 0; i < 50; i++ {
+		s := tensor.New(p.NumFlows(), set.K)
+		for j := range s.Data {
+			s.Data[j] = rng.Float64()
+		}
+		te.NormalizeRows(s)
+		if m := p.MLU(s, dm); r.MLU > m+1e-9 {
+			t.Fatalf("optimal %v worse than random splits %v", r.MLU, m)
+		}
+	}
+}
+
+func TestSplitsAreValidDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := topology.Geant()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, rng), 100)
+	dm := traffic.DemandVector(tm, set.Flows)
+	for _, method := range []string{"simplex", "mwu"} {
+		r, err := SolveWithOptions(p, dm, Options{Method: method})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		for f := 0; f < p.NumFlows(); f++ {
+			var s float64
+			for _, v := range r.Splits.Row(f) {
+				if v < -1e-12 {
+					t.Fatalf("%s: negative split", method)
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-6 {
+				t.Fatalf("%s: flow %d splits sum to %v", method, f, s)
+			}
+		}
+	}
+}
+
+func TestSolveAutoSelectsByScale(t *testing.T) {
+	small := parallelPaths(10, 5)
+	r := Solve(small, demandFor(small, 0, 1, 3))
+	if r.Method != "simplex" {
+		t.Fatalf("small instance used %s", r.Method)
+	}
+	if testing.Short() {
+		return
+	}
+	big := topology.KDLScale(3)
+	pairs := [][2]int{}
+	rng := rand.New(rand.NewSource(1))
+	for len(pairs) < 40 {
+		u, v := rng.Intn(big.NumNodes), rng.Intn(big.NumNodes)
+		if u != v {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	set := tunnels.ComputeForPairs(big, pairs, 4)
+	p := te.NewProblem(big, set)
+	dm := tensor.New(p.NumFlows(), 1)
+	for i := range dm.Data {
+		dm.Data[i] = rng.Float64()
+	}
+	r = Solve(p, dm)
+	if r.Method != "mwu" {
+		t.Fatalf("large instance used %s", r.Method)
+	}
+	if r.MLU <= 0 || math.IsInf(r.MLU, 0) || math.IsNaN(r.MLU) {
+		t.Fatalf("bad MLU %v", r.MLU)
+	}
+}
+
+func TestSolveHandlesZeroDemand(t *testing.T) {
+	p := parallelPaths(10, 5)
+	dm := tensor.New(p.NumFlows(), 1) // all-zero demand
+	r, err := SolveWithOptions(p, dm, Options{Method: "simplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MLU != 0 {
+		t.Fatalf("zero demand should give MLU 0, got %v", r.MLU)
+	}
+	r2, _ := SolveWithOptions(p, dm, Options{Method: "mwu"})
+	if r2.MLU != 0 {
+		t.Fatalf("MWU zero demand MLU %v", r2.MLU)
+	}
+}
+
+func TestSolveRejectsBadDemandShape(t *testing.T) {
+	p := parallelPaths(10, 5)
+	if _, err := SolveWithOptions(p, tensor.New(1, 1), Options{}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestSolveUnknownMethod(t *testing.T) {
+	p := parallelPaths(10, 5)
+	if _, err := SolveWithOptions(p, demandFor(p, 0, 1, 1), Options{Method: "qp"}); err == nil {
+		t.Fatal("expected unknown-method error")
+	}
+}
+
+func TestSolverOnFailedLinkTopology(t *testing.T) {
+	// With the direct link failed, all traffic must use the detour; the
+	// solver must find MLU = d/c2 and route ~nothing over the dead link.
+	p0 := parallelPaths(10, 5)
+	failed := p0.Graph.WithFailedLink(0, 1)
+	p := te.NewProblem(failed, p0.Tunnels)
+	d := demandFor(p, 0, 1, 4)
+	r, err := SolveWithOptions(p, d, Options{Method: "simplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The failed link keeps a tiny capacity (topology.FailedCapacity), so
+	// the optimum routes a sliver over it: MLU = d/(c2 + failedCap).
+	want := 4.0 / (5.0 + topology.FailedCapacity)
+	if math.Abs(r.MLU-want) > 1e-6 {
+		t.Fatalf("failed-link MLU %v want %v", r.MLU, want)
+	}
+	f := p.Tunnels.FlowIndex(0, 1)
+	if r.Splits.At(f, 0) > 2*topology.FailedCapacity {
+		t.Fatalf("traffic left on failed link: %v", r.Splits.At(f, 0))
+	}
+}
+
+func TestPolishImprovesOrMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := topology.Abilene()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, rng), 80)
+	dm := traffic.DemandVector(tm, set.Flows)
+	start := p.UniformSplits()
+	startMLU := p.MLU(start, dm)
+	_, polished := polish(p, dm, start, 300)
+	if polished > startMLU+1e-12 {
+		t.Fatalf("polish made things worse: %v -> %v", startMLU, polished)
+	}
+	opt, _ := SolveWithOptions(p, dm, Options{Method: "simplex"})
+	if polished < opt.MLU-1e-9 {
+		t.Fatalf("polish %v beat the exact optimum %v", polished, opt.MLU)
+	}
+	if polished > opt.MLU*1.10 {
+		t.Fatalf("polish %v more than 10%% above optimum %v", polished, opt.MLU)
+	}
+}
+
+func TestMaxConcurrentFlowDuality(t *testing.T) {
+	p := parallelPaths(10, 5)
+	d := demandFor(p, 0, 1, 9)
+	lambda, splits := MaxConcurrentFlow(p, d)
+	// Optimal MLU is 9/15 = 0.6 → λ* = 1/0.6.
+	if math.Abs(lambda-15.0/9.0) > 1e-6 {
+		t.Fatalf("lambda %v want %v", lambda, 15.0/9.0)
+	}
+	// Scaling the demand by λ must give MLU ≈ 1 under the returned splits.
+	scaled := d.Clone()
+	tensor.ScaleInto(scaled, scaled, lambda)
+	if mlu := p.MLU(splits, scaled); math.Abs(mlu-1) > 1e-6 {
+		t.Fatalf("scaled MLU %v want 1", mlu)
+	}
+}
+
+func TestMaxConcurrentFlowZeroDemand(t *testing.T) {
+	p := parallelPaths(10, 5)
+	lambda, _ := MaxConcurrentFlow(p, tensor.New(p.NumFlows(), 1))
+	if !math.IsInf(lambda, 1) {
+		t.Fatalf("zero demand lambda %v want +Inf", lambda)
+	}
+}
+
+// Property: on random instances, simplex optima are feasible and no random
+// feasible splits ever beat them.
+func TestSimplexOptimalityProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(6)
+		g := topology.RandomConnected("p", n, 2.6, []float64{5, 10, 20}, seed)
+		set := tunnels.Compute(g, 2)
+		p := te.NewProblem(g, set)
+		dm := tensor.New(p.NumFlows(), 1)
+		for i := range dm.Data {
+			dm.Data[i] = rng.Float64() * 2
+		}
+		r, err := SolveWithOptions(p, dm, Options{Method: "simplex"})
+		if err != nil {
+			return false
+		}
+		// The returned splits must achieve the claimed MLU.
+		if math.Abs(p.MLU(r.Splits, dm)-r.MLU) > 1e-9 {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			s := tensor.New(p.NumFlows(), set.K)
+			for j := range s.Data {
+				s.Data[j] = rng.Float64()
+			}
+			te.NormalizeRows(s)
+			if p.MLU(s, dm) < r.MLU-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingAnalyticOptimum(t *testing.T) {
+	// 4-ring, flow 0→2: two disjoint 2-hop paths of equal capacity; the
+	// optimum splits 50/50 with MLU = d/(2c).
+	g := topology.Ring(4, 10)
+	g.EdgeNodes = []int{0, 2}
+	set := tunnels.Compute(g, 2)
+	p := te.NewProblem(g, set)
+	d := tensor.New(p.NumFlows(), 1)
+	d.Data[set.FlowIndex(0, 2)] = 12
+	r, err := SolveWithOptions(p, d, Options{Method: "simplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.MLU-0.6) > 1e-6 {
+		t.Fatalf("ring MLU %v want 0.6", r.MLU)
+	}
+	f := set.FlowIndex(0, 2)
+	if math.Abs(r.Splits.At(f, 0)-0.5) > 1e-6 {
+		t.Fatalf("ring split %v want 0.5", r.Splits.At(f, 0))
+	}
+}
+
+func TestSimplexPivotLimit(t *testing.T) {
+	g := topology.Geant()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	dm := tensor.New(p.NumFlows(), 1)
+	dm.Fill(1)
+	// A ludicrously small pivot budget must yield a clean error (and Solve's
+	// public path would then fall back to MWU).
+	if _, err := SolveWithOptions(p, dm, Options{Method: "simplex", MaxPivots: 3}); err == nil {
+		t.Fatal("expected pivot-limit error")
+	}
+}
+
+func TestMWUEpsilonTradesAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := topology.Geant()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, rng), 120)
+	dm := traffic.DemandVector(tm, set.Flows)
+	exact, err := SolveWithOptions(p, dm, Options{Method: "simplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.02, 0.1, 0.3} {
+		r, _ := SolveWithOptions(p, dm, Options{Method: "mwu", Epsilon: eps})
+		if r.MLU < exact.MLU-1e-9 {
+			t.Fatalf("eps=%v: MWU %v beat the optimum %v", eps, r.MLU, exact.MLU)
+		}
+		if r.MLU > exact.MLU*1.10 {
+			t.Fatalf("eps=%v: MWU %v more than 10%% off optimum %v", eps, r.MLU, exact.MLU)
+		}
+	}
+}
+
+func TestLinkDualsIdentifyBindingLinks(t *testing.T) {
+	p := parallelPaths(10, 5)
+	d := demandFor(p, 0, 1, 9)
+	r, err := SolveWithOptions(p, d, Options{Method: "simplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.LinkDuals) != p.Graph.NumEdges() {
+		t.Fatalf("duals length %d", len(r.LinkDuals))
+	}
+	// At the optimum both routes are bottlenecked (MLU-proportional split),
+	// so the forward direct link and a forward detour link carry positive
+	// duals, while reverse-direction links (no traffic) have zero duals.
+	util := p.Utilizations(r.Splits, d)
+	for e := range r.LinkDuals {
+		if r.LinkDuals[e] < -1e-9 {
+			t.Fatalf("negative dual on edge %d", e)
+		}
+		if r.LinkDuals[e] > 1e-9 && util.Data[e] < r.MLU-1e-6 {
+			t.Fatalf("edge %d has positive dual but is not binding (util %v, MLU %v)",
+				e, util.Data[e], r.MLU)
+		}
+	}
+	// At least one link must bind.
+	var any bool
+	for _, v := range r.LinkDuals {
+		if v > 1e-9 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("no binding link found")
+	}
+}
+
+func TestMWUHasNoDuals(t *testing.T) {
+	p := parallelPaths(10, 5)
+	r, _ := SolveWithOptions(p, demandFor(p, 0, 1, 3), Options{Method: "mwu"})
+	if r.LinkDuals != nil {
+		t.Fatal("MWU should not report duals")
+	}
+}

@@ -1,0 +1,152 @@
+package lp
+
+import (
+	"math"
+
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+)
+
+// solveMWU approximately solves min-MLU via the Garg–Könemann
+// multiplicative-weights algorithm for maximum concurrent flow restricted
+// to the provisioned tunnels (optimal MLU = 1/λ* where λ* is the largest
+// common demand-scaling factor that fits). The accumulated per-tunnel
+// traffic is converted to split ratios, evaluated exactly, and then
+// improved by a greedy polish that shifts weight from each flow's most
+// bottlenecked tunnel toward its least bottlenecked one — the same move an
+// LP solver's pivots (and HARP's RAU) make.
+func solveMWU(p *te.Problem, demand *tensor.Dense, eps float64, polishRounds int) Result {
+	numEdges := p.Graph.NumEdges()
+	numFlows := p.NumFlows()
+	k := p.Tunnels.K
+
+	caps := make([]float64, numEdges)
+	for i, e := range p.Graph.Edges {
+		caps[i] = e.Capacity
+	}
+
+	delta := math.Pow(float64(numEdges)/(1-eps), -1/eps)
+	length := make([]float64, numEdges)
+	sumLC := 0.0 // D(l) = Σ l_e c_e
+	for e := range length {
+		length[e] = delta / caps[e]
+		sumLC += length[e] * caps[e]
+	}
+
+	x := make([]float64, p.Tunnels.NumTunnels())
+	var totalDemand float64
+	for _, d := range demand.Data {
+		totalDemand += d
+	}
+	if totalDemand <= 0 {
+		// Nothing to route: any split assignment is optimal with MLU 0.
+		splits := splitsFromTunnelTraffic(p, x)
+		return Result{MLU: 0, Splits: splits, Method: "mwu"}
+	}
+	iterations := 0
+	tunnelLen := func(f, j int) float64 {
+		var s float64
+		for _, e := range p.Tunnels.Tunnel(f, j).Edges {
+			s += length[e]
+		}
+		return s
+	}
+
+	for sumLC < 1 {
+		for f := 0; f < numFlows; f++ {
+			rem := demand.Data[f]
+			if rem <= 0 {
+				continue
+			}
+			for rem > 1e-15 && sumLC < 1 {
+				// Cheapest tunnel under current lengths.
+				best, bestLen := 0, math.Inf(1)
+				for j := 0; j < k; j++ {
+					if l := tunnelLen(f, j); l < bestLen {
+						best, bestLen = j, l
+					}
+				}
+				tun := p.Tunnels.Tunnel(f, best)
+				bottleneck := math.Inf(1)
+				for _, e := range tun.Edges {
+					if caps[e] < bottleneck {
+						bottleneck = caps[e]
+					}
+				}
+				sent := math.Min(rem, bottleneck)
+				x[f*k+best] += sent
+				for _, e := range tun.Edges {
+					old := length[e]
+					length[e] *= 1 + eps*sent/caps[e]
+					sumLC += (length[e] - old) * caps[e]
+				}
+				rem -= sent
+				iterations++
+			}
+			if sumLC >= 1 {
+				break
+			}
+		}
+	}
+
+	splits := splitsFromTunnelTraffic(p, x)
+	splits, mlu := polish(p, demand, splits, polishRounds)
+	return Result{MLU: mlu, Splits: splits, Iterations: iterations, Method: "mwu"}
+}
+
+// polish runs multiplicative-weights refinement on split ratios: each round
+// computes per-tunnel bottleneck utilization and reweights every flow's
+// tunnels by exp(−η·bottleneck/MLU), keeping the best solution seen. This
+// both tightens the MWU output and is reused by experiments that need a
+// quick near-optimal warm start.
+func polish(p *te.Problem, demand *tensor.Dense, splits *tensor.Dense, rounds int) (*tensor.Dense, float64) {
+	numFlows := p.NumFlows()
+	k := p.Tunnels.K
+	cur := splits.Clone()
+	best := splits.Clone()
+	bestMLU := p.MLU(best, demand)
+	eta := 1.0
+	for r := 0; r < rounds; r++ {
+		util := p.Utilizations(cur, demand)
+		mlu, _ := util.Max()
+		if mlu < bestMLU {
+			bestMLU = mlu
+			copy(best.Data, cur.Data)
+		}
+		if mlu < 1e-15 {
+			break
+		}
+		for f := 0; f < numFlows; f++ {
+			if demand.Data[f] <= 0 {
+				continue
+			}
+			row := cur.Row(f)
+			var norm float64
+			for j := 0; j < k; j++ {
+				var bn float64
+				for _, e := range p.Tunnels.Tunnel(f, j).Edges {
+					if util.Data[e] > bn {
+						bn = util.Data[e]
+					}
+				}
+				row[j] *= math.Exp(-eta * bn / mlu)
+				norm += row[j]
+			}
+			if norm < 1e-300 {
+				for j := range row {
+					row[j] = 1 / float64(k)
+				}
+				continue
+			}
+			for j := range row {
+				row[j] /= norm
+			}
+		}
+		eta *= 0.99 // anneal toward a fixed point
+	}
+	if mlu := p.MLU(cur, demand); mlu < bestMLU {
+		bestMLU = mlu
+		copy(best.Data, cur.Data)
+	}
+	return best, bestMLU
+}

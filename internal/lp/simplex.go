@@ -1,0 +1,214 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+)
+
+// solveSimplex solves the min-MLU LP exactly with a two-phase dense-tableau
+// simplex. Variable layout:
+//
+//	[0, T)            x_t   traffic on tunnel t (flow-major)
+//	T                 θ     the MLU bound
+//	[T+1, T+1+E)      s_e   edge slack
+//	[T+1+E, …+F)      a_f   flow artificial (phase 1 only)
+//
+// Constraint rows: F flow equalities then E edge inequalities. Bland's rule
+// kicks in after an initial Dantzig phase, guaranteeing termination on the
+// (highly degenerate) TE instances.
+func solveSimplex(p *te.Problem, demand *tensor.Dense, maxPivots int) (Result, error) {
+	const tol = 1e-9
+	numFlows := p.NumFlows()
+	numEdges := p.Graph.NumEdges()
+	numTunnels := p.Tunnels.NumTunnels()
+	k := p.Tunnels.K
+
+	thetaCol := numTunnels
+	slack0 := numTunnels + 1
+	art0 := slack0 + numEdges
+	nv := art0 + numFlows
+	m := numFlows + numEdges
+
+	// Dense tableau rows of length nv+1 (last entry = rhs).
+	tab := make([][]float64, m)
+	for i := range tab {
+		tab[i] = make([]float64, nv+1)
+	}
+	basis := make([]int, m)
+
+	// Flow rows: Σ_k x + a_f = d_f.
+	for f := 0; f < numFlows; f++ {
+		row := tab[f]
+		for j := 0; j < k; j++ {
+			row[f*k+j] = 1
+		}
+		row[art0+f] = 1
+		row[nv] = demand.Data[f]
+		if row[nv] < 0 {
+			return Result{}, fmt.Errorf("lp: negative demand on flow %d", f)
+		}
+		basis[f] = art0 + f
+	}
+	// Edge rows: Σ_{t∋e} x_t − c_e θ + s_e = 0.
+	inc := p.Incidence()
+	for e := 0; e < numEdges; e++ {
+		row := tab[numFlows+e]
+		for ptr := inc.RowPtr[e]; ptr < inc.RowPtr[e+1]; ptr++ {
+			row[inc.ColIdx[ptr]] = inc.Val[ptr]
+		}
+		row[thetaCol] = -p.Graph.Edges[e].Capacity
+		row[slack0+e] = 1
+		row[nv] = 0
+		basis[numFlows+e] = slack0 + e
+	}
+
+	// Reduced-cost row for the current phase objective.
+	red := make([]float64, nv+1)
+	setObjective := func(cost func(j int) float64) {
+		for j := 0; j <= nv; j++ {
+			red[j] = 0
+		}
+		for j := 0; j < nv; j++ {
+			red[j] = cost(j)
+		}
+		for i, bv := range basis {
+			cb := cost(bv)
+			if cb == 0 {
+				continue
+			}
+			for j := 0; j <= nv; j++ {
+				red[j] -= cb * tab[i][j]
+			}
+		}
+	}
+
+	pivots := 0
+	iterate := func(eligible func(j int) bool) error {
+		blandAfter := maxPivots / 2
+		for {
+			// Entering variable.
+			enter := -1
+			if pivots < blandAfter {
+				best := -tol
+				for j := 0; j < nv; j++ {
+					if eligible(j) && red[j] < best {
+						best = red[j]
+						enter = j
+					}
+				}
+			} else { // Bland: first eligible negative.
+				for j := 0; j < nv; j++ {
+					if eligible(j) && red[j] < -tol {
+						enter = j
+						break
+					}
+				}
+			}
+			if enter == -1 {
+				return nil // optimal for this phase
+			}
+			// Ratio test.
+			leave := -1
+			bestRatio := math.Inf(1)
+			for i := 0; i < m; i++ {
+				a := tab[i][enter]
+				if a > tol {
+					ratio := tab[i][nv] / a
+					if ratio < bestRatio-tol || (ratio < bestRatio+tol && (leave == -1 || basis[i] < basis[leave])) {
+						bestRatio = ratio
+						leave = i
+					}
+				}
+			}
+			if leave == -1 {
+				return fmt.Errorf("lp: unbounded objective")
+			}
+			// Pivot.
+			pivotVal := tab[leave][enter]
+			rowL := tab[leave]
+			for j := 0; j <= nv; j++ {
+				rowL[j] /= pivotVal
+			}
+			for i := 0; i < m; i++ {
+				if i == leave {
+					continue
+				}
+				factor := tab[i][enter]
+				if factor == 0 {
+					continue
+				}
+				row := tab[i]
+				for j := 0; j <= nv; j++ {
+					row[j] -= factor * rowL[j]
+				}
+			}
+			if f := red[enter]; f != 0 {
+				for j := 0; j <= nv; j++ {
+					red[j] -= f * rowL[j]
+				}
+			}
+			basis[leave] = enter
+			pivots++
+			if pivots > maxPivots {
+				return fmt.Errorf("lp: pivot limit %d exceeded", maxPivots)
+			}
+		}
+	}
+
+	// Phase 1: minimize Σ artificials.
+	setObjective(func(j int) float64 {
+		if j >= art0 {
+			return 1
+		}
+		return 0
+	})
+	if err := iterate(func(j int) bool { return true }); err != nil {
+		return Result{}, fmt.Errorf("phase 1: %w", err)
+	}
+	var phase1 float64
+	for i, bv := range basis {
+		if bv >= art0 {
+			phase1 += tab[i][nv]
+		}
+	}
+	if phase1 > 1e-6 {
+		return Result{}, fmt.Errorf("lp: infeasible (phase-1 objective %g)", phase1)
+	}
+
+	// Phase 2: minimize θ; artificials may not re-enter.
+	setObjective(func(j int) float64 {
+		if j == thetaCol {
+			return 1
+		}
+		return 0
+	})
+	if err := iterate(func(j int) bool { return j < art0 }); err != nil {
+		return Result{}, fmt.Errorf("phase 2: %w", err)
+	}
+
+	x := make([]float64, numTunnels)
+	for i, bv := range basis {
+		if bv < numTunnels {
+			x[bv] = tab[i][nv]
+		}
+	}
+	// Dual values: at optimality the reduced cost of slack s_e equals the
+	// dual of edge e's capacity constraint — the marginal decrease in the
+	// optimal MLU per unit of extra (θ-scaled) headroom on that edge. A
+	// positive dual identifies a binding link.
+	duals := make([]float64, numEdges)
+	for e := 0; e < numEdges; e++ {
+		duals[e] = red[slack0+e]
+	}
+	splits := splitsFromTunnelTraffic(p, x)
+	return Result{
+		MLU:        p.MLU(splits, demand),
+		Splits:     splits,
+		Iterations: pivots,
+		Method:     "simplex",
+		LinkDuals:  duals,
+	}, nil
+}

@@ -1,0 +1,242 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"harpte/internal/autograd"
+	"harpte/internal/tensor"
+)
+
+// Segment identifies a contiguous [Start,End) row range of a stacked
+// activation matrix. HARP stacks every tunnel's token rows (CLS + one row
+// per edge) into one big matrix; each tunnel is one segment and attention
+// never crosses segment boundaries, which is what makes the same module both
+// batched and per-tunnel.
+type Segment struct {
+	Start, End int
+}
+
+// Len returns the number of rows in the segment.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// SegmentAttention is multi-head self-attention applied independently
+// within each segment, with no positional encoding. Because softmax
+// attention is permutation-equivariant over its input set, this layer is
+// equivariant to reordering rows within a segment — Principle 1(c) of the
+// paper (invariance to the order of edges within a tunnel).
+//
+// The whole layer is one fused tape node: forward and backward are written
+// directly against the tensor kernels, which keeps tape size independent of
+// the number of tunnels.
+type SegmentAttention struct {
+	Heads          int
+	Dim            int
+	Wq, Wk, Wv, Wo *autograd.Tensor
+}
+
+// NewSegmentAttention returns an attention layer over feature dim with the
+// given head count; dim must be divisible by heads.
+func NewSegmentAttention(rng *rand.Rand, dim, heads int) *SegmentAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: attention dim %d not divisible by heads %d", dim, heads))
+	}
+	return &SegmentAttention{
+		Heads: heads,
+		Dim:   dim,
+		Wq:    autograd.XavierParam(rng, dim, dim),
+		Wk:    autograd.XavierParam(rng, dim, dim),
+		Wv:    autograd.XavierParam(rng, dim, dim),
+		Wo:    autograd.XavierParam(rng, dim, dim),
+	}
+}
+
+// Params implements Module.
+func (sa *SegmentAttention) Params() []*autograd.Tensor {
+	return []*autograd.Tensor{sa.Wq, sa.Wk, sa.Wv, sa.Wo}
+}
+
+// rowsView returns a no-copy view of rows [s.Start,s.End) of m.
+func rowsView(m *tensor.Dense, s Segment) *tensor.Dense {
+	return &tensor.Dense{Rows: s.Len(), Cols: m.Cols, Data: m.Data[s.Start*m.Cols : s.End*m.Cols]}
+}
+
+// colBlock copies columns [c0,c1) of src into a new (src.Rows)×(c1-c0) matrix.
+func colBlock(src *tensor.Dense, c0, c1 int) *tensor.Dense {
+	out := tensor.New(src.Rows, c1-c0)
+	for i := 0; i < src.Rows; i++ {
+		copy(out.Row(i), src.Row(i)[c0:c1])
+	}
+	return out
+}
+
+// addColBlock adds blk into columns [c0,c0+blk.Cols) of dst.
+func addColBlock(dst, blk *tensor.Dense, c0 int) {
+	for i := 0; i < dst.Rows; i++ {
+		drow := dst.Row(i)[c0 : c0+blk.Cols]
+		brow := blk.Row(i)
+		for j := range drow {
+			drow[j] += brow[j]
+		}
+	}
+}
+
+// segState caches the per-segment intermediates needed for backward.
+type segState struct {
+	q, k, v, o *tensor.Dense   // L×d
+	attn       []*tensor.Dense // per head, L×L softmax weights
+}
+
+// Forward applies attention to x (N×dim) with the given segmentation.
+// Segments must tile rows they cover contiguously; rows outside every
+// segment pass through untouched (gradient included).
+func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs []Segment) *autograd.Tensor {
+	d, h := sa.Dim, sa.Heads
+	dh := d / h
+	scale := 1 / math.Sqrt(float64(dh))
+	if x.Cols() != d {
+		panic("nn: SegmentAttention input dim mismatch")
+	}
+	val := x.Val.Clone() // rows outside segments are identity
+	states := make([]segState, len(segs))
+	for si, s := range segs {
+		xs := rowsView(x.Val, s)
+		L := s.Len()
+		q := tensor.New(L, d)
+		k := tensor.New(L, d)
+		v := tensor.New(L, d)
+		tensor.MatMulAcc(q, xs, sa.Wq.Val)
+		tensor.MatMulAcc(k, xs, sa.Wk.Val)
+		tensor.MatMulAcc(v, xs, sa.Wv.Val)
+		o := tensor.New(L, d)
+		attn := make([]*tensor.Dense, h)
+		for hd := 0; hd < h; hd++ {
+			c0, c1 := hd*dh, (hd+1)*dh
+			qh := colBlock(q, c0, c1)
+			kh := colBlock(k, c0, c1)
+			vh := colBlock(v, c0, c1)
+			sc := tensor.New(L, L)
+			tensor.MatMulABT(sc, qh, kh)
+			tensor.ScaleInto(sc, sc, scale)
+			for i := 0; i < L; i++ {
+				softmaxRowInPlace(sc.Row(i))
+			}
+			attn[hd] = sc
+			oh := tensor.New(L, dh)
+			tensor.MatMulAcc(oh, sc, vh)
+			for i := 0; i < L; i++ {
+				copy(o.Row(i)[c0:c1], oh.Row(i))
+			}
+		}
+		states[si] = segState{q: q, k: k, v: v, o: o, attn: attn}
+		ys := rowsView(val, s)
+		tensor.MatMul(ys, o, sa.Wo.Val)
+	}
+
+	return tp.Custom(val, func(out *autograd.Tensor) {
+		// Identity gradient for rows outside all segments.
+		if x.NeedsGrad() {
+			covered := make([]bool, x.Rows())
+			for _, s := range segs {
+				for i := s.Start; i < s.End; i++ {
+					covered[i] = true
+				}
+			}
+			for i := 0; i < x.Rows(); i++ {
+				if !covered[i] {
+					dst := x.Grad.Row(i)
+					src := out.Grad.Row(i)
+					for j := range dst {
+						dst[j] += src[j]
+					}
+				}
+			}
+		}
+		for si, s := range segs {
+			st := states[si]
+			L := s.Len()
+			dy := rowsView(out.Grad, s)
+			xs := rowsView(x.Val, s)
+
+			// dO = dY·Woᵀ ; dWo += Oᵀ·dY
+			do := tensor.New(L, d)
+			tensor.MatMulABT(do, dy, sa.Wo.Val)
+			if sa.Wo.NeedsGrad() {
+				tensor.MatMulATBAcc(sa.Wo.Grad, st.o, dy)
+			}
+
+			dq := tensor.New(L, d)
+			dk := tensor.New(L, d)
+			dv := tensor.New(L, d)
+			for hd := 0; hd < h; hd++ {
+				c0, c1 := hd*dh, (hd+1)*dh
+				a := st.attn[hd]
+				doh := colBlock(do, c0, c1)
+				vh := colBlock(st.v, c0, c1)
+				qh := colBlock(st.q, c0, c1)
+				kh := colBlock(st.k, c0, c1)
+
+				// dA = dOh·Vhᵀ ; dVh = Aᵀ·dOh
+				da := tensor.New(L, L)
+				tensor.MatMulABT(da, doh, vh)
+				dvh := tensor.New(L, dh)
+				tensor.MatMulATB(dvh, a, doh)
+
+				// Softmax backward per row: ds = a ⊙ (da - Σ da⊙a)
+				ds := tensor.New(L, L)
+				for i := 0; i < L; i++ {
+					ar, dar, dsr := a.Row(i), da.Row(i), ds.Row(i)
+					var dot float64
+					for j := range ar {
+						dot += ar[j] * dar[j]
+					}
+					for j := range ar {
+						dsr[j] = ar[j] * (dar[j] - dot) * scale
+					}
+				}
+				dqh := tensor.New(L, dh)
+				tensor.MatMul(dqh, ds, kh)
+				dkh := tensor.New(L, dh)
+				tensor.MatMulATB(dkh, ds, qh)
+
+				addColBlock(dq, dqh, c0)
+				addColBlock(dk, dkh, c0)
+				addColBlock(dv, dvh, c0)
+			}
+
+			if x.NeedsGrad() {
+				gs := rowsView(x.Grad, s)
+				tensor.MatMulABTAcc(gs, dq, sa.Wq.Val)
+				tensor.MatMulABTAcc(gs, dk, sa.Wk.Val)
+				tensor.MatMulABTAcc(gs, dv, sa.Wv.Val)
+			}
+			for _, pw := range []struct {
+				w  *autograd.Tensor
+				dp *tensor.Dense
+			}{{sa.Wq, dq}, {sa.Wk, dk}, {sa.Wv, dv}} {
+				if pw.w.NeedsGrad() {
+					tensor.MatMulATBAcc(pw.w.Grad, xs, pw.dp)
+				}
+			}
+		}
+	}, x, sa.Wq, sa.Wk, sa.Wv, sa.Wo)
+}
+
+func softmaxRowInPlace(row []float64) {
+	m := row[0]
+	for _, v := range row[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var s float64
+	for j, v := range row {
+		e := math.Exp(v - m)
+		row[j] = e
+		s += e
+	}
+	for j := range row {
+		row[j] /= s
+	}
+}

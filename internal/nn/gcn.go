@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"math/rand"
+
+	"harpte/internal/autograd"
+	"harpte/internal/tensor"
+)
+
+// GCNConv is one graph-convolution layer (Kipf & Welling):
+//
+//	H' = act(Â H W + b)
+//
+// where Â is the symmetrically normalized adjacency with self-loops,
+// supplied as a constant CSR at Forward time so that the same layer works
+// on any topology — the property HARP relies on for transfer across
+// changing WANs.
+type GCNConv struct {
+	Lin *Linear
+}
+
+// NewGCNConv builds an in→out graph convolution.
+func NewGCNConv(rng *rand.Rand, in, out int) *GCNConv {
+	return &GCNConv{Lin: NewLinear(rng, in, out)}
+}
+
+// Forward applies the convolution: x is V×in node features, aHat the
+// normalized adjacency (V×V).
+func (g *GCNConv) Forward(tp *autograd.Tape, aHat *tensor.CSR, x *autograd.Tensor) *autograd.Tensor {
+	return tp.ReLU(g.Lin.Forward(tp, tp.CSRMul(aHat, x)))
+}
+
+// Params implements Module.
+func (g *GCNConv) Params() []*autograd.Tensor { return g.Lin.Params() }
+
+// GCN is the stack of GCNConv layers from HARP's appendix (Figure 14): the
+// final node embedding is the concatenation of every layer's output, so
+// both local and multi-hop structure reach the edge embeddings.
+type GCN struct {
+	Layers []*GCNConv
+}
+
+// NewGCN builds depth layers mapping in features to hidden features each.
+func NewGCN(rng *rand.Rand, depth, in, hidden int) *GCN {
+	g := &GCN{}
+	cur := in
+	for i := 0; i < depth; i++ {
+		g.Layers = append(g.Layers, NewGCNConv(rng, cur, hidden))
+		cur = hidden
+	}
+	return g
+}
+
+// OutDim returns the dimensionality of the concatenated node embedding.
+func (g *GCN) OutDim() int {
+	total := 0
+	for _, l := range g.Layers {
+		total += l.Lin.W.Cols()
+	}
+	return total
+}
+
+// Forward returns the V×OutDim concatenation of all layer outputs.
+func (g *GCN) Forward(tp *autograd.Tape, aHat *tensor.CSR, x *autograd.Tensor) *autograd.Tensor {
+	var outs []*autograd.Tensor
+	h := x
+	for _, l := range g.Layers {
+		h = l.Forward(tp, aHat, h)
+		outs = append(outs, h)
+	}
+	if len(outs) == 1 {
+		return outs[0]
+	}
+	return tp.ConcatCols(outs...)
+}
+
+// Params implements Module.
+func (g *GCN) Params() []*autograd.Tensor {
+	var out []*autograd.Tensor
+	for _, l := range g.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Package nn provides the neural layers HARP and the baseline TE models are
+// assembled from: linear/MLP blocks, graph convolutions, layer
+// normalization, and a segment-batched multi-head self-attention that
+// implements the paper's SETTRANS (a transformer encoder without positional
+// encodings, applied independently to each tunnel's edge multiset).
+//
+// Layers hold parameters; all activations flow through an autograd.Tape so
+// a single Backward call differentiates entire models.
+package nn
+
+import (
+	"math/rand"
+
+	"harpte/internal/autograd"
+)
+
+// Module is anything that owns trainable parameters.
+type Module interface {
+	Params() []*autograd.Tensor
+}
+
+// CollectParams concatenates the parameters of several modules.
+func CollectParams(mods ...Module) []*autograd.Tensor {
+	var out []*autograd.Tensor
+	for _, m := range mods {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// Linear is a fully connected layer y = xW + b.
+type Linear struct {
+	W, B *autograd.Tensor
+}
+
+// NewLinear returns a Glorot-initialized in→out linear layer.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	return &Linear{
+		W: autograd.XavierParam(rng, in, out),
+		B: autograd.ZeroParam(1, out),
+	}
+}
+
+// Forward applies the layer to an N×in activation matrix.
+func (l *Linear) Forward(tp *autograd.Tape, x *autograd.Tensor) *autograd.Tensor {
+	return tp.AddRow(tp.MatMul(x, l.W), l.B)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*autograd.Tensor { return []*autograd.Tensor{l.W, l.B} }
+
+// Activation selects the nonlinearity used between MLP layers.
+type Activation int
+
+// Supported activations.
+const (
+	ActReLU Activation = iota
+	ActLeakyReLU
+	ActTanh
+)
+
+func applyAct(tp *autograd.Tape, a Activation, x *autograd.Tensor) *autograd.Tensor {
+	switch a {
+	case ActReLU:
+		return tp.ReLU(x)
+	case ActLeakyReLU:
+		return tp.LeakyReLU(x, 0.01)
+	case ActTanh:
+		return tp.Tanh(x)
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// MLP is a stack of linear layers with a nonlinearity between them (none
+// after the last layer). HARP uses shared MLPs for its initial split-ratio
+// predictor (MLP1) and its recurrent adjustment unit.
+type MLP struct {
+	Layers []*Linear
+	Act    Activation
+}
+
+// NewMLP builds an MLP with the given layer widths, e.g. dims = [in, h, out].
+func NewMLP(rng *rand.Rand, act Activation, dims ...int) *MLP {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims")
+	}
+	m := &MLP{Act: act}
+	for i := 0; i+1 < len(dims); i++ {
+		m.Layers = append(m.Layers, NewLinear(rng, dims[i], dims[i+1]))
+	}
+	return m
+}
+
+// Forward applies the MLP to an N×in activation matrix.
+func (m *MLP) Forward(tp *autograd.Tape, x *autograd.Tensor) *autograd.Tensor {
+	for i, l := range m.Layers {
+		x = l.Forward(tp, x)
+		if i+1 < len(m.Layers) {
+			x = applyAct(tp, m.Act, x)
+		}
+	}
+	return x
+}
+
+// Params implements Module.
+func (m *MLP) Params() []*autograd.Tensor {
+	var out []*autograd.Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package te_test
+
+import (
+	"fmt"
+
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+// Example demonstrates evaluating split ratios on a tiny network: one flow
+// from node 0 to node 1 with a 10G direct link and a 5G two-hop detour.
+func Example() {
+	g := topology.New("demo", 3)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(0, 2, 5)
+	g.AddBidirectional(2, 1, 5)
+	g.EdgeNodes = []int{0, 1}
+
+	set := tunnels.Compute(g, 2)
+	problem := te.NewProblem(g, set)
+
+	demand := tensor.New(problem.NumFlows(), 1)
+	demand.Data[set.FlowIndex(0, 1)] = 9
+
+	// Split 2/3 on the direct tunnel, 1/3 on the detour — proportional to
+	// capacity, which equalizes utilizations.
+	splits := problem.UniformSplits()
+	f := set.FlowIndex(0, 1)
+	splits.Set(f, 0, 2.0/3.0)
+	splits.Set(f, 1, 1.0/3.0)
+
+	fmt.Printf("MLU: %.2f\n", problem.MLU(splits, demand))
+	// Output:
+	// MLU: 0.60
+}
+
+// ExampleRescale shows the local-rescaling failover policy: when the direct
+// link fails, its share moves to the surviving tunnel.
+func ExampleRescale() {
+	g := topology.New("demo", 3)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(0, 2, 5)
+	g.AddBidirectional(2, 1, 5)
+	g.EdgeNodes = []int{0, 1}
+	set := tunnels.Compute(g, 2)
+
+	failed := te.NewProblem(g.WithFailedLink(0, 1), set)
+	splits := failed.UniformSplits()
+	rescaled := te.Rescale(failed, splits)
+
+	f := set.FlowIndex(0, 1)
+	fmt.Printf("direct %.0f%%, detour %.0f%%\n",
+		100*rescaled.At(f, 0), 100*rescaled.At(f, 1))
+	// Output:
+	// direct 0%, detour 100%
+}
+
+// ExampleProblem_MaxMinRates computes max-min fair shares for two flows
+// forced through a shared 6G bottleneck.
+func ExampleProblem_MaxMinRates() {
+	g := topology.New("shared", 4)
+	g.AddBidirectional(0, 3, 100)
+	g.AddBidirectional(1, 3, 100)
+	g.AddBidirectional(3, 2, 6)
+	set := tunnels.ComputeForPairs(g, [][2]int{{0, 2}, {1, 2}}, 1)
+	problem := te.NewProblem(g, set)
+
+	rates := problem.MaxMinRates(problem.UniformSplits())
+	fmt.Printf("fair shares: %.0f and %.0f\n", rates[0], rates[1])
+	// Output:
+	// fair shares: 3 and 3
+}

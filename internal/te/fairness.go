@@ -1,0 +1,148 @@
+package te
+
+import (
+	"math"
+
+	"harpte/internal/tensor"
+)
+
+// This file implements the evaluation metrics the paper defers to future
+// work (§7): throughput (MaxFlow-style admission) and max-min fairness,
+// both computed for a fixed split-ratio matrix. They let any TE scheme in
+// this repository — HARP included — be scored on objectives beyond MLU.
+
+// Throughput returns the total demand admitted when every flow is scaled
+// by the largest common factor that fits in the capacities under the given
+// splits: min(1, 1/MLU) · Σd. This is the natural MaxFlow-style score of a
+// split-ratio solution: with MLU ≤ 1 everything fits; beyond that,
+// admission degrades proportionally.
+func (p *Problem) Throughput(splits, demand *tensor.Dense) float64 {
+	var total float64
+	for _, d := range demand.Data {
+		total += d
+	}
+	mlu := p.MLU(splits, demand)
+	if mlu <= 1 || total == 0 {
+		return total
+	}
+	return total / mlu
+}
+
+// MaxMinRates computes the max-min fair per-flow rates achievable when
+// each flow's traffic is distributed over its tunnels with the given split
+// ratios (progressive filling / water-filling): all unfrozen flows grow at
+// the same rate; when a link saturates, every flow crossing it freezes.
+// Demands are ignored — rates are the fair shares the configuration
+// supports. The returned slice is indexed by flow.
+func (p *Problem) MaxMinRates(splits *tensor.Dense) []float64 {
+	p.checkSplits(splits)
+	numFlows := p.NumFlows()
+	k := p.Tunnels.K
+	numEdges := p.Graph.NumEdges()
+
+	// coeff[e][f]: load on edge e per unit rate of flow f.
+	// Stored sparsely: for each flow, the list of (edge, weight).
+	type term struct {
+		edge int
+		w    float64
+	}
+	perFlow := make([][]term, numFlows)
+	edgeCoefSum := make([]float64, numEdges) // Σ over active flows of coeff
+	edgeActiveFlows := make([]int, numEdges) // # active flows crossing e
+	for f := 0; f < numFlows; f++ {
+		acc := map[int]float64{}
+		for j := 0; j < k; j++ {
+			w := splits.At(f, j)
+			if w <= 0 {
+				continue
+			}
+			for _, e := range p.Tunnels.Tunnel(f, j).Edges {
+				acc[e] += w
+			}
+		}
+		for e, w := range acc {
+			perFlow[f] = append(perFlow[f], term{edge: e, w: w})
+			edgeCoefSum[e] += w
+			edgeActiveFlows[e]++
+		}
+	}
+
+	residual := make([]float64, numEdges)
+	for i, e := range p.Graph.Edges {
+		residual[i] = e.Capacity
+	}
+	rates := make([]float64, numFlows)
+	frozen := make([]bool, numFlows)
+	active := numFlows
+
+	for active > 0 {
+		// The common increment Δ is limited by the tightest link:
+		// Δ = min over links still crossed by an ACTIVE flow of
+		// residual/coefSum. The integer crossing count (not the float
+		// coefficient sum, which can retain ~1e-15 cancellation residue
+		// after freezes) decides whether a link still constrains anyone —
+		// using the float here once produced a tiny negative delta and a
+		// livelock.
+		delta := math.Inf(1)
+		for e := 0; e < numEdges; e++ {
+			if edgeActiveFlows[e] > 0 && edgeCoefSum[e] > 0 {
+				if d := residual[e] / edgeCoefSum[e]; d < delta {
+					delta = d
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			break // remaining flows use no capacity (zero splits)
+		}
+		if delta < 0 {
+			delta = 0 // numerical guard; the freeze pass below makes progress
+		}
+		// Grow everyone, consume capacity.
+		for f := 0; f < numFlows; f++ {
+			if frozen[f] {
+				continue
+			}
+			rates[f] += delta
+			for _, t := range perFlow[f] {
+				residual[t.edge] -= delta * t.w
+			}
+		}
+		// Freeze flows crossing saturated links.
+		for f := 0; f < numFlows; f++ {
+			if frozen[f] {
+				continue
+			}
+			for _, t := range perFlow[f] {
+				if residual[t.edge] <= 1e-9*p.Graph.Edges[t.edge].Capacity {
+					frozen[f] = true
+					break
+				}
+			}
+			if frozen[f] {
+				active--
+				for _, t := range perFlow[f] {
+					edgeCoefSum[t.edge] -= t.w
+					edgeActiveFlows[t.edge]--
+				}
+			}
+		}
+	}
+	return rates
+}
+
+// FairnessIndex returns Jain's fairness index of the rates: (Σr)²/(n·Σr²),
+// 1 for perfectly equal rates, →1/n for maximally skewed ones.
+func FairnessIndex(rates []float64) float64 {
+	if len(rates) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, r := range rates {
+		sum += r
+		sumSq += r * r
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(rates)) * sumSq)
+}

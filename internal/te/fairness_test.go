@@ -1,0 +1,148 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+func TestThroughputBelowAndAboveCapacity(t *testing.T) {
+	g, set := twoPath()
+	p := NewProblem(g, set)
+	f := set.FlowIndex(0, 1)
+	splits := p.UniformSplits()
+
+	// Demand 8 split 50/50: direct util .4, detour .8 → MLU .8 ≤ 1 → all in.
+	d := tensor.New(p.NumFlows(), 1)
+	d.Data[f] = 8
+	if got := p.Throughput(splits, d); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("Throughput below capacity got %v", got)
+	}
+	// Demand 24 → detour util 2.4 → MLU 2.4 → admitted = 24/2.4 = 10.
+	d.Data[f] = 24
+	if got := p.Throughput(splits, d); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Throughput above capacity got %v", got)
+	}
+}
+
+func TestThroughputZeroDemand(t *testing.T) {
+	g, set := twoPath()
+	p := NewProblem(g, set)
+	if got := p.Throughput(p.UniformSplits(), tensor.New(p.NumFlows(), 1)); got != 0 {
+		t.Fatalf("zero demand throughput %v", got)
+	}
+}
+
+// Single flow, all weight on the direct 10G link: the max-min rate is the
+// link capacity.
+func TestMaxMinRatesSingleFlow(t *testing.T) {
+	g, set := twoPath()
+	p := NewProblem(g, set)
+	f := set.FlowIndex(0, 1)
+	splits := tensor.New(p.NumFlows(), 2)
+	for i := 0; i < p.NumFlows(); i++ {
+		splits.Set(i, 0, 1)
+	}
+	rates := p.MaxMinRates(splits)
+	// Flow 0→1 direct tunnel over cap-10 link; reverse flow shares nothing
+	// (opposite direction), so both get 10.
+	if math.Abs(rates[f]-10) > 1e-6 {
+		t.Fatalf("rate %v want 10", rates[f])
+	}
+}
+
+// Two flows forced through one shared link split it equally.
+func TestMaxMinRatesSharedBottleneck(t *testing.T) {
+	// 0→2 and 1→2 both must traverse link 3→2 (capacity 6) in this build:
+	// 0-3, 1-3, 3-2.
+	g := topology.New("shared", 4)
+	g.AddBidirectional(0, 3, 100)
+	g.AddBidirectional(1, 3, 100)
+	g.AddBidirectional(3, 2, 6)
+	pairs := [][2]int{{0, 2}, {1, 2}}
+	set := tunnels.ComputeForPairs(g, pairs, 1)
+	p := NewProblem(g, set)
+	splits := p.UniformSplits()
+	rates := p.MaxMinRates(splits)
+	if math.Abs(rates[0]-3) > 1e-6 || math.Abs(rates[1]-3) > 1e-6 {
+		t.Fatalf("rates %v want [3 3]", rates)
+	}
+}
+
+// Water-filling: a flow with a private bottleneck keeps growing after the
+// shared one saturates.
+func TestMaxMinRatesWaterFilling(t *testing.T) {
+	// Flows: A = 0→2 via 0-1 (cap 4) then 1-2 (cap 100);
+	//        B = 3→2 via 3-1 (cap 100) then 1-2 (cap 100).
+	// Link 0-1 caps A at 4; B continues until 1-2 saturates at 100:
+	// A + B = 100 → B = 96.
+	g := topology.New("wf", 4)
+	g.AddBidirectional(0, 1, 4)
+	g.AddBidirectional(1, 2, 100)
+	g.AddBidirectional(3, 1, 100)
+	pairs := [][2]int{{0, 2}, {3, 2}}
+	set := tunnels.ComputeForPairs(g, pairs, 1)
+	p := NewProblem(g, set)
+	rates := p.MaxMinRates(p.UniformSplits())
+	if math.Abs(rates[0]-4) > 1e-6 {
+		t.Fatalf("capped flow rate %v want 4", rates[0])
+	}
+	if math.Abs(rates[1]-96) > 1e-6 {
+		t.Fatalf("free flow rate %v want 96", rates[1])
+	}
+}
+
+func TestMaxMinRatesZeroSplitFlow(t *testing.T) {
+	g, set := twoPath()
+	p := NewProblem(g, set)
+	splits := tensor.New(p.NumFlows(), 2) // all-zero rows: no tunnels used
+	rates := p.MaxMinRates(splits)
+	for f, r := range rates {
+		if r != 0 {
+			t.Fatalf("flow %d with zero splits got rate %v", f, r)
+		}
+	}
+}
+
+func TestFairnessIndex(t *testing.T) {
+	if got := FairnessIndex([]float64{5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal rates index %v", got)
+	}
+	got := FairnessIndex([]float64{1, 0, 0, 0})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("max-skew index %v want 0.25", got)
+	}
+	if FairnessIndex(nil) != 1 || FairnessIndex([]float64{0, 0}) != 1 {
+		t.Fatal("degenerate cases should be 1")
+	}
+}
+
+func TestMaxMinRatesRespectCapacities(t *testing.T) {
+	// Property: the resulting rates never overload any link.
+	g := topology.Abilene()
+	set := tunnels.Compute(g, 3)
+	p := NewProblem(g, set)
+	splits := p.UniformSplits()
+	rates := p.MaxMinRates(splits)
+	d := tensor.New(p.NumFlows(), 1)
+	copy(d.Data, rates)
+	loads := p.LinkLoads(splits, d)
+	for e, load := range loads.Data {
+		if load > g.Edges[e].Capacity*(1+1e-6) {
+			t.Fatalf("edge %d overloaded: %v > %v", e, load, g.Edges[e].Capacity)
+		}
+	}
+	// And at least one link is saturated (otherwise rates could grow).
+	saturated := false
+	for e, load := range loads.Data {
+		if load > g.Edges[e].Capacity*(1-1e-6) {
+			saturated = true
+		}
+	}
+	if !saturated {
+		t.Fatal("no saturated link at the max-min allocation")
+	}
+}

@@ -1,0 +1,131 @@
+package te
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"harpte/internal/tensor"
+)
+
+// This file provides the operator-facing what-if analysis a production TE
+// controller ships with: utilization reports, hot-link ranking, and the
+// single-failure impact matrix for a given allocation.
+
+// LinkReport describes one link's state under an allocation.
+type LinkReport struct {
+	Edge        int
+	Src, Dst    int
+	Capacity    float64
+	Load        float64
+	Utilization float64
+	// Tunnels is the number of tunnels crossing the link.
+	Tunnels int
+}
+
+// UtilizationReport returns per-link reports sorted by utilization,
+// hottest first.
+func (p *Problem) UtilizationReport(splits, demand *tensor.Dense) []LinkReport {
+	loads := p.LinkLoads(splits, demand)
+	inc := p.Incidence()
+	out := make([]LinkReport, p.Graph.NumEdges())
+	for e, edge := range p.Graph.Edges {
+		out[e] = LinkReport{
+			Edge:        e,
+			Src:         edge.Src,
+			Dst:         edge.Dst,
+			Capacity:    edge.Capacity,
+			Load:        loads.Data[e],
+			Utilization: loads.Data[e] / edge.Capacity,
+			Tunnels:     inc.RowPtr[e+1] - inc.RowPtr[e],
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].Utilization > out[b].Utilization
+	})
+	return out
+}
+
+// FailureImpact is the outcome of one what-if link failure.
+type FailureImpact struct {
+	U, V int
+	// MLU is the network MLU after the failure when the allocation is
+	// locally rescaled (Rescale) — the transient state before any
+	// recomputation.
+	MLU float64
+	// Disconnects reports whether the failure strands a flow entirely
+	// (every tunnel of some flow crosses the failed link).
+	Disconnects bool
+}
+
+// FailureImpactMatrix evaluates every single-link failure's transient
+// impact on the given allocation (with local rescaling), sorted worst
+// first. This answers the operator question "which link loss hurts most
+// right now?" without retraining or resolving anything.
+func (p *Problem) FailureImpactMatrix(splits, demand *tensor.Dense) []FailureImpact {
+	var out []FailureImpact
+	for _, l := range p.Graph.UndirectedLinks() {
+		fg := p.Graph.WithFailedLink(l[0], l[1])
+		fp := NewProblem(fg, p.Tunnels)
+		rescaled := Rescale(fp, splits)
+		impact := FailureImpact{U: l[0], V: l[1], MLU: fp.MLU(rescaled, demand)}
+		for f := 0; f < fp.NumFlows(); f++ {
+			if demand.Data[f] <= 0 {
+				continue
+			}
+			alive := false
+			for k := 0; k < fp.Tunnels.K; k++ {
+				if TunnelAlive(fg, fp.Tunnels.Tunnel(f, k)) {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				impact.Disconnects = true
+				break
+			}
+		}
+		out = append(out, impact)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Disconnects != out[b].Disconnects {
+			return out[a].Disconnects
+		}
+		return out[a].MLU > out[b].MLU
+	})
+	return out
+}
+
+// WriteReport renders a human-readable what-if summary: the top hot links
+// and the worst failure impacts.
+func (p *Problem) WriteReport(w io.Writer, splits, demand *tensor.Dense, top int) error {
+	if top <= 0 {
+		top = 5
+	}
+	mlu := p.MLU(splits, demand)
+	if _, err := fmt.Fprintf(w, "network MLU: %.4f\n\nhottest links:\n", mlu); err != nil {
+		return err
+	}
+	links := p.UtilizationReport(splits, demand)
+	for i, l := range links {
+		if i >= top {
+			break
+		}
+		fmt.Fprintf(w, "  %2d->%-2d  util %6.2f%%  load %8.3f / %g  (%d tunnels)\n",
+			l.Src, l.Dst, 100*l.Utilization, l.Load, l.Capacity, l.Tunnels)
+	}
+	fmt.Fprintf(w, "\nworst single-link failures (transient, local rescaling):\n")
+	impacts := p.FailureImpactMatrix(splits, demand)
+	for i, im := range impacts {
+		if i >= top {
+			break
+		}
+		suffix := ""
+		if im.Disconnects {
+			suffix = "  STRANDS A FLOW"
+		}
+		fmt.Fprintf(w, "  %2d<->%-2d  MLU %8.4f (%.2fx)%s\n",
+			im.U, im.V, im.MLU, im.MLU/mlu, suffix)
+	}
+	return nil
+}

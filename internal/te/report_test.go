@@ -1,0 +1,87 @@
+package te
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+func TestUtilizationReportSortedAndComplete(t *testing.T) {
+	g, set := twoPath()
+	p := NewProblem(g, set)
+	d := tensor.New(p.NumFlows(), 1)
+	d.Data[set.FlowIndex(0, 1)] = 8
+	splits := p.UniformSplits()
+	rep := p.UtilizationReport(splits, d)
+	if len(rep) != g.NumEdges() {
+		t.Fatalf("report covers %d of %d links", len(rep), g.NumEdges())
+	}
+	for i := 1; i < len(rep); i++ {
+		if rep[i].Utilization > rep[i-1].Utilization+1e-12 {
+			t.Fatal("report not sorted by utilization")
+		}
+	}
+	// The hottest entry must equal the MLU.
+	if got, want := rep[0].Utilization, p.MLU(splits, d); got != want {
+		t.Fatalf("top utilization %v != MLU %v", got, want)
+	}
+	// Tunnel counts: the direct 0->1 link carries the direct tunnel only.
+	for _, r := range rep {
+		if r.Tunnels < 0 {
+			t.Fatal("negative tunnel count")
+		}
+	}
+}
+
+func TestFailureImpactMatrixRanksWorstFirst(t *testing.T) {
+	g, set := twoPath()
+	p := NewProblem(g, set)
+	d := tensor.New(p.NumFlows(), 1)
+	d.Data[set.FlowIndex(0, 1)] = 8
+	splits := p.UniformSplits()
+	impacts := p.FailureImpactMatrix(splits, d)
+	if len(impacts) != len(g.UndirectedLinks()) {
+		t.Fatalf("impacts %d want %d", len(impacts), len(g.UndirectedLinks()))
+	}
+	for i := 1; i < len(impacts); i++ {
+		if impacts[i-1].Disconnects == impacts[i].Disconnects &&
+			impacts[i].MLU > impacts[i-1].MLU+1e-12 {
+			t.Fatal("impacts not sorted worst-first")
+		}
+	}
+}
+
+func TestFailureImpactDetectsStrandedFlows(t *testing.T) {
+	// A line topology: failing the only link strands the flow.
+	g := topology.New("line", 2)
+	g.AddBidirectional(0, 1, 10)
+	set := tunnels.Compute(g, 2)
+	p := NewProblem(g, set)
+	d := tensor.New(p.NumFlows(), 1)
+	d.Fill(1)
+	impacts := p.FailureImpactMatrix(p.UniformSplits(), d)
+	if len(impacts) != 1 || !impacts[0].Disconnects {
+		t.Fatalf("expected stranded flow, got %+v", impacts)
+	}
+}
+
+func TestWriteReportRenders(t *testing.T) {
+	g, set := twoPath()
+	p := NewProblem(g, set)
+	d := tensor.New(p.NumFlows(), 1)
+	d.Data[set.FlowIndex(0, 1)] = 8
+	var buf bytes.Buffer
+	if err := p.WriteReport(&buf, p.UniformSplits(), d, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"network MLU", "hottest links", "worst single-link failures"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

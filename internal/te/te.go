@@ -1,0 +1,183 @@
+// Package te defines the traffic-engineering problem shared by the
+// optimization solvers and the neural models: a topology, a tunnel set, a
+// demand vector, and the evaluation of split ratios into link loads and
+// Maximum Link Utilization (MLU), plus the local rescaling policy the paper
+// applies to DOTE and TEAL under complete link failures.
+package te
+
+import (
+	"fmt"
+	"math"
+
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+// Problem bundles a topology with a tunnel configuration. Split ratios are
+// F×K matrices (rows = flows in Tunnels.Flows order, columns = tunnels in
+// per-flow order); every row must sum to 1.
+type Problem struct {
+	Graph   *topology.Graph
+	Tunnels *tunnels.Set
+
+	incidence *tensor.CSR // E×T, cached
+}
+
+// NewProblem builds a Problem and caches the edge-tunnel incidence.
+func NewProblem(g *topology.Graph, set *tunnels.Set) *Problem {
+	return &Problem{Graph: g, Tunnels: set, incidence: set.IncidenceCSR(g.NumEdges())}
+}
+
+// Incidence returns the cached E×T edge-tunnel incidence matrix.
+func (p *Problem) Incidence() *tensor.CSR { return p.incidence }
+
+// NumFlows returns the flow count.
+func (p *Problem) NumFlows() int { return len(p.Tunnels.Flows) }
+
+// checkSplits validates the split matrix shape.
+func (p *Problem) checkSplits(splits *tensor.Dense) {
+	if splits.Rows != p.NumFlows() || splits.Cols != p.Tunnels.K {
+		panic(fmt.Sprintf("te: splits shape %dx%d, want %dx%d",
+			splits.Rows, splits.Cols, p.NumFlows(), p.Tunnels.K))
+	}
+}
+
+// LinkLoads returns the E×1 vector of per-link traffic for the given splits
+// and per-flow demands (F×1).
+func (p *Problem) LinkLoads(splits, demand *tensor.Dense) *tensor.Dense {
+	p.checkSplits(splits)
+	x := tensor.New(p.Tunnels.NumTunnels(), 1)
+	for f := 0; f < p.NumFlows(); f++ {
+		d := demand.Data[f]
+		row := splits.Row(f)
+		for k := 0; k < p.Tunnels.K; k++ {
+			x.Data[f*p.Tunnels.K+k] = d * row[k]
+		}
+	}
+	loads := tensor.New(p.Graph.NumEdges(), 1)
+	p.incidence.MulDense(loads, x)
+	return loads
+}
+
+// Utilizations returns per-link load/capacity.
+func (p *Problem) Utilizations(splits, demand *tensor.Dense) *tensor.Dense {
+	loads := p.LinkLoads(splits, demand)
+	for i, e := range p.Graph.Edges {
+		loads.Data[i] /= e.Capacity
+	}
+	return loads
+}
+
+// MLU returns the maximum link utilization under the given splits.
+func (p *Problem) MLU(splits, demand *tensor.Dense) float64 {
+	u := p.Utilizations(splits, demand)
+	m, _ := u.Max()
+	return m
+}
+
+// UniformSplits returns the F×K matrix that spreads every flow evenly.
+func (p *Problem) UniformSplits() *tensor.Dense {
+	s := tensor.New(p.NumFlows(), p.Tunnels.K)
+	s.Fill(1 / float64(p.Tunnels.K))
+	return s
+}
+
+// NormalizeRows scales each row of splits to sum to 1; rows summing to ~0
+// are replaced by a uniform distribution. The input is modified in place
+// and returned.
+func NormalizeRows(splits *tensor.Dense) *tensor.Dense {
+	for i := 0; i < splits.Rows; i++ {
+		row := splits.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if s < 1e-12 {
+			for j := range row {
+				row[j] = 1 / float64(len(row))
+			}
+			continue
+		}
+		for j := range row {
+			row[j] /= s
+		}
+	}
+	return splits
+}
+
+// TunnelAlive reports whether every edge of the tunnel is active on g.
+func TunnelAlive(g *topology.Graph, t tunnels.Tunnel) bool {
+	for _, e := range t.Edges {
+		if !g.IsActive(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rescale implements the local rescaling policy of §4: traffic on tunnels
+// that traverse a completely failed link is redistributed to the flow's
+// surviving tunnels in proportion to their existing shares. Flows with no
+// surviving tunnel keep their splits unchanged (their traffic is stuck, and
+// the resulting utilization spike is exactly what the paper's MLU=∞
+// discussion refers to). Returns a new matrix.
+func Rescale(p *Problem, splits *tensor.Dense) *tensor.Dense {
+	p.checkSplits(splits)
+	out := splits.Clone()
+	for f := 0; f < p.NumFlows(); f++ {
+		row := out.Row(f)
+		var alive float64
+		anyDead := false
+		for k := 0; k < p.Tunnels.K; k++ {
+			if TunnelAlive(p.Graph, p.Tunnels.Tunnel(f, k)) {
+				alive += row[k]
+			} else {
+				anyDead = true
+			}
+		}
+		if !anyDead {
+			continue
+		}
+		if alive < 1e-12 {
+			// No surviving share to scale proportionally; split evenly over
+			// surviving tunnels if any exist.
+			var survivors []int
+			for k := 0; k < p.Tunnels.K; k++ {
+				if TunnelAlive(p.Graph, p.Tunnels.Tunnel(f, k)) {
+					survivors = append(survivors, k)
+				}
+			}
+			if len(survivors) == 0 {
+				continue
+			}
+			for j := range row {
+				row[j] = 0
+			}
+			for _, k := range survivors {
+				row[k] = 1 / float64(len(survivors))
+			}
+			continue
+		}
+		for k := 0; k < p.Tunnels.K; k++ {
+			if TunnelAlive(p.Graph, p.Tunnels.Tunnel(f, k)) {
+				row[k] /= alive
+			} else {
+				row[k] = 0
+			}
+		}
+	}
+	return out
+}
+
+// NormMLU returns achieved/optimal, the paper's headline metric. It guards
+// against division by ~0 (no demand).
+func NormMLU(achieved, optimal float64) float64 {
+	if optimal < 1e-12 {
+		if achieved < 1e-12 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return achieved / optimal
+}

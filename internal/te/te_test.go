@@ -1,0 +1,224 @@
+package te
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+// twoPath builds a 2-node graph with two parallel routes 0→1: a direct link
+// (cap 10) and a 2-hop route via node 2 (cap 5 per hop).
+func twoPath() (*topology.Graph, *tunnels.Set) {
+	g := topology.New("twopath", 3)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(0, 2, 5)
+	g.AddBidirectional(2, 1, 5)
+	g.EdgeNodes = []int{0, 1}
+	set := tunnels.Compute(g, 2)
+	return g, set
+}
+
+func TestLinkLoadsAndMLU(t *testing.T) {
+	g, set := twoPath()
+	p := NewProblem(g, set)
+	f := set.FlowIndex(0, 1)
+	demand := tensor.New(p.NumFlows(), 1)
+	demand.Data[f] = 8
+
+	splits := tensor.New(p.NumFlows(), 2)
+	// All demand on the direct tunnel (tunnel 0 is the 1-hop shortest).
+	for i := 0; i < p.NumFlows(); i++ {
+		splits.Set(i, 0, 1)
+	}
+	mlu := p.MLU(splits, demand)
+	if math.Abs(mlu-0.8) > 1e-12 {
+		t.Fatalf("MLU got %v want 0.8", mlu)
+	}
+
+	// 50/50 split: direct carries 4 (util .4), detour carries 4 over cap-5
+	// links (util .8).
+	splits.Set(f, 0, 0.5)
+	splits.Set(f, 1, 0.5)
+	mlu = p.MLU(splits, demand)
+	if math.Abs(mlu-0.8) > 1e-12 {
+		t.Fatalf("split MLU got %v want 0.8", mlu)
+	}
+}
+
+func TestLinkLoadsMatchManualSum(t *testing.T) {
+	g := topology.Abilene()
+	set := tunnels.Compute(g, 4)
+	p := NewProblem(g, set)
+	rng := rand.New(rand.NewSource(8))
+	demand := tensor.New(p.NumFlows(), 1)
+	for i := range demand.Data {
+		demand.Data[i] = rng.Float64()
+	}
+	splits := NormalizeRows(randomMatrix(rng, p.NumFlows(), set.K))
+	loads := p.LinkLoads(splits, demand)
+
+	want := make([]float64, g.NumEdges())
+	for f := 0; f < p.NumFlows(); f++ {
+		for k := 0; k < set.K; k++ {
+			x := demand.Data[f] * splits.At(f, k)
+			for _, e := range set.Tunnel(f, k).Edges {
+				want[e] += x
+			}
+		}
+	}
+	for e := range want {
+		if math.Abs(loads.Data[e]-want[e]) > 1e-9 {
+			t.Fatalf("edge %d load %v want %v", e, loads.Data[e], want[e])
+		}
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *tensor.Dense {
+	m := tensor.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	return m
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := tensor.FromSlice(2, 2, []float64{2, 2, 0, 0})
+	NormalizeRows(m)
+	if m.At(0, 0) != 0.5 || m.At(1, 0) != 0.5 {
+		t.Fatalf("NormalizeRows got %v", m.Data)
+	}
+}
+
+func TestNormalizeRowsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(5), 1+rng.Intn(5))
+		NormalizeRows(m)
+		for i := 0; i < m.Rows; i++ {
+			var s float64
+			for _, v := range m.Row(i) {
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRescaleMovesTrafficOffFailedLink(t *testing.T) {
+	g, set := twoPath()
+	failed := g.WithFailedLink(0, 1) // kill the direct link
+	p := NewProblem(failed, set)
+	f := set.FlowIndex(0, 1)
+	splits := p.UniformSplits()
+	rescaled := Rescale(p, splits)
+	// Tunnel 0 (direct) is dead: all weight must move to tunnel 1.
+	if rescaled.At(f, 0) != 0 || math.Abs(rescaled.At(f, 1)-1) > 1e-12 {
+		t.Fatalf("rescale got %v", rescaled.Row(f))
+	}
+	// Reverse flow likewise.
+	fr := set.FlowIndex(1, 0)
+	if rescaled.At(fr, 0) != 0 {
+		t.Fatal("reverse flow not rescaled")
+	}
+}
+
+func TestRescaleProportional(t *testing.T) {
+	// Three tunnels, one dead; survivors keep their ratio.
+	g := topology.New("tri", 4)
+	g.AddBidirectional(0, 1, 10) // direct
+	g.AddBidirectional(0, 2, 10)
+	g.AddBidirectional(2, 1, 10)
+	g.AddBidirectional(0, 3, 10)
+	g.AddBidirectional(3, 1, 10)
+	g.EdgeNodes = []int{0, 1}
+	set := tunnels.Compute(g, 3)
+	failed := g.WithFailedLink(0, 1)
+	p := NewProblem(failed, set)
+	f := set.FlowIndex(0, 1)
+	splits := p.UniformSplits()
+	splits.Set(f, 0, 0.5) // dead direct tunnel
+	splits.Set(f, 1, 0.3)
+	splits.Set(f, 2, 0.2)
+	out := Rescale(p, splits)
+	if math.Abs(out.At(f, 1)-0.6) > 1e-12 || math.Abs(out.At(f, 2)-0.4) > 1e-12 {
+		t.Fatalf("proportional rescale got %v", out.Row(f))
+	}
+}
+
+func TestRescaleNoSurvivors(t *testing.T) {
+	// Line topology: the single path dies with the link; splits unchanged.
+	g := topology.New("line", 2)
+	g.AddBidirectional(0, 1, 10)
+	set := tunnels.Compute(g, 2)
+	failed := g.WithFailedLink(0, 1)
+	p := NewProblem(failed, set)
+	splits := p.UniformSplits()
+	out := Rescale(p, splits)
+	if !tensor.Equal(out, splits, 0) {
+		t.Fatal("splits should be unchanged when no tunnel survives")
+	}
+}
+
+func TestRescaleZeroAliveShare(t *testing.T) {
+	g, set := twoPath()
+	failed := g.WithFailedLink(0, 1)
+	p := NewProblem(failed, set)
+	f := set.FlowIndex(0, 1)
+	splits := p.UniformSplits()
+	splits.Set(f, 0, 1) // everything on the dead tunnel
+	splits.Set(f, 1, 0)
+	out := Rescale(p, splits)
+	if math.Abs(out.At(f, 1)-1) > 1e-12 {
+		t.Fatalf("expected even spread to survivors, got %v", out.Row(f))
+	}
+}
+
+func TestTunnelAlive(t *testing.T) {
+	g, set := twoPath()
+	f := set.FlowIndex(0, 1)
+	if !TunnelAlive(g, set.Tunnel(f, 0)) {
+		t.Fatal("tunnel should be alive")
+	}
+	failed := g.WithFailedLink(0, 1)
+	if TunnelAlive(failed, set.Tunnel(f, 0)) {
+		t.Fatal("tunnel over failed link should be dead")
+	}
+}
+
+func TestNormMLU(t *testing.T) {
+	if NormMLU(1.2, 1.0) != 1.2 {
+		t.Fatal("NormMLU basic")
+	}
+	if NormMLU(0, 0) != 1 {
+		t.Fatal("NormMLU zero/zero should be 1")
+	}
+	if !math.IsInf(NormMLU(1, 0), 1) {
+		t.Fatal("NormMLU x/0 should be +Inf")
+	}
+}
+
+func TestMLUScaleInvarianceOfNormalized(t *testing.T) {
+	// Scaling demand scales MLU linearly — NormMLU is thus scale-free.
+	g, set := twoPath()
+	p := NewProblem(g, set)
+	demand := tensor.New(p.NumFlows(), 1)
+	demand.Data[set.FlowIndex(0, 1)] = 3
+	splits := p.UniformSplits()
+	m1 := p.MLU(splits, demand)
+	tensor.ScaleInto(demand, demand, 10)
+	m2 := p.MLU(splits, demand)
+	if math.Abs(m2-10*m1) > 1e-9 {
+		t.Fatalf("MLU not linear in demand: %v vs %v", m1, m2)
+	}
+}

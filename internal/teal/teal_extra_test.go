@@ -1,0 +1,123 @@
+package teal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"harpte/internal/autograd"
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+func TestCapacityChangesOutput(t *testing.T) {
+	// Unlike DOTE, TEAL models topology: halving a capacity must change the
+	// splits (Table 1's "models topology" row).
+	p := twoPathProblem()
+	m := New(DefaultConfig(), p.Tunnels.K)
+	d := demandVec(p, 0, 1, 5)
+	s1 := m.Splits(m.NewContext(p), d)
+	p2 := te.NewProblem(p.Graph.WithPartialFailure(0, 1, 0.4), p.Tunnels)
+	s2 := m.Splits(m.NewContext(p2), d)
+	if tensor.Equal(s1, s2, 1e-12) {
+		t.Fatal("TEAL ignored a capacity change")
+	}
+}
+
+func TestReinforceAccumulatesGradients(t *testing.T) {
+	p := twoPathProblem()
+	cfg := DefaultConfig()
+	cfg.RL = true
+	m := New(cfg, p.Tunnels.K)
+	ctx := m.NewContext(p)
+	d := demandVec(p, 0, 1, 9)
+	rng := rand.New(rand.NewSource(2))
+	// A single RL step must produce nonzero gradients somewhere and then
+	// zero them after the optimizer step.
+	opt := autograd.NewAdam(1e-3)
+	before := m.snapshot()
+	m.TrainStep(opt, []Sample{{Ctx: ctx, Demand: d}}, rng)
+	changed := false
+	after := m.snapshot()
+	for i := range before {
+		for j := range before[i] {
+			if before[i][j] != after[i][j] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("REINFORCE step changed no parameters")
+	}
+	for _, param := range m.Params() {
+		for _, g := range param.Grad.Data {
+			if g != 0 {
+				t.Fatal("gradients not zeroed after step")
+			}
+		}
+	}
+}
+
+func TestRLSamplesFloor(t *testing.T) {
+	p := twoPathProblem()
+	cfg := DefaultConfig()
+	cfg.RL = true
+	cfg.RLSamples = 0 // must be clamped internally to >= 2
+	m := New(cfg, p.Tunnels.K)
+	ctx := m.NewContext(p)
+	rng := rand.New(rand.NewSource(3))
+	opt := autograd.NewAdam(1e-3)
+	mlu := m.TrainStep(opt, []Sample{{Ctx: ctx, Demand: demandVec(p, 0, 1, 4)}}, rng)
+	if math.IsNaN(mlu) || mlu <= 0 {
+		t.Fatalf("bad MLU %v", mlu)
+	}
+}
+
+func TestFitValidationSelection(t *testing.T) {
+	p := twoPathProblem()
+	m := New(DefaultConfig(), p.Tunnels.K)
+	ctx := m.NewContext(p)
+	d := demandVec(p, 0, 1, 9)
+	samples := []Sample{{Ctx: ctx, Demand: d}}
+	_, bestVal := m.Fit(samples, samples, 30, 5e-3, 1, 1)
+	// After Fit the restored parameters must achieve the reported best.
+	got := m.MeanMLU(samples)
+	if math.Abs(got-bestVal) > 1e-9 {
+		t.Fatalf("restored model MLU %v != best val %v", got, bestVal)
+	}
+}
+
+func TestEmptyBatchNoop(t *testing.T) {
+	m := New(DefaultConfig(), 2)
+	opt := autograd.NewAdam(1e-3)
+	if v := m.TrainStep(opt, nil, rand.New(rand.NewSource(1))); v != 0 {
+		t.Fatalf("empty batch returned %v", v)
+	}
+}
+
+func TestNumParamsPositive(t *testing.T) {
+	m := New(DefaultConfig(), 4)
+	if m.NumParams() <= 0 {
+		t.Fatal("no parameters")
+	}
+}
+
+func TestContextOnFailedTopology(t *testing.T) {
+	g := topology.Abilene()
+	g.EdgeNodes = []int{0, 9}
+	set := tunnels.Compute(g, 2)
+	failed := g.WithFailedLink(0, 1)
+	p := te.NewProblem(failed, set)
+	m := New(DefaultConfig(), 2)
+	ctx := m.NewContext(p)
+	d := tensor.New(p.NumFlows(), 1)
+	d.Fill(1)
+	splits := m.Splits(ctx, d)
+	for _, v := range splits.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN split on failed topology")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package teal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"harpte/internal/autograd"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+func twoPathProblem() *te.Problem {
+	g := topology.New("twopath", 3)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(0, 2, 5)
+	g.AddBidirectional(2, 1, 5)
+	g.EdgeNodes = []int{0, 1}
+	return te.NewProblem(g, tunnels.Compute(g, 2))
+}
+
+func demandVec(p *te.Problem, src, dst int, v float64) *tensor.Dense {
+	d := tensor.New(p.NumFlows(), 1)
+	d.Data[p.Tunnels.FlowIndex(src, dst)] = v
+	return d
+}
+
+func TestForwardIsDistribution(t *testing.T) {
+	p := twoPathProblem()
+	m := New(DefaultConfig(), p.Tunnels.K)
+	ctx := m.NewContext(p)
+	splits := m.Splits(ctx, demandVec(p, 0, 1, 5))
+	for f := 0; f < splits.Rows; f++ {
+		var s float64
+		for _, v := range splits.Row(f) {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", f, s)
+		}
+	}
+}
+
+func TestDirectTrainingApproachesOptimal(t *testing.T) {
+	p := twoPathProblem()
+	m := New(DefaultConfig(), p.Tunnels.K)
+	ctx := m.NewContext(p)
+	d := demandVec(p, 0, 1, 9)
+	opt := lp.Solve(p, d)
+	samples := []Sample{{Ctx: ctx, Demand: d}}
+	m.Fit(samples, samples, 200, 5e-3, 1, 1)
+	mlu := p.MLU(m.Splits(ctx, d), d)
+	if te.NormMLU(mlu, opt.MLU) > 1.10 {
+		t.Fatalf("TEAL NormMLU %.3f after training", te.NormMLU(mlu, opt.MLU))
+	}
+}
+
+func TestRLTrainingImproves(t *testing.T) {
+	p := twoPathProblem()
+	cfg := DefaultConfig()
+	cfg.RL = true
+	cfg.RLSamples = 8
+	m := New(cfg, p.Tunnels.K)
+	ctx := m.NewContext(p)
+	d := demandVec(p, 0, 1, 9)
+	samples := []Sample{{Ctx: ctx, Demand: d}}
+	before := m.MeanMLU(samples)
+	curve, _ := m.Fit(samples, samples, 120, 5e-3, 1, 1)
+	after := m.MeanMLU(samples)
+	if len(curve) != 120 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if after >= before {
+		t.Fatalf("RL training did not improve MLU: %v -> %v", before, after)
+	}
+}
+
+// TestSensitiveToTunnelOrder verifies the architectural property the paper
+// exploits in §5.4: permuting a flow's tunnels does NOT simply permute
+// TEAL's splits (the per-flow concat DNN is positional).
+func TestSensitiveToTunnelOrder(t *testing.T) {
+	g := topology.Abilene()
+	g.EdgeNodes = []int{0, 4, 9, 11}
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	m := New(DefaultConfig(), set.K)
+	rng := rand.New(rand.NewSource(3))
+	tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, rng), 40)
+	d := traffic.DemandVector(tm, set.Flows)
+
+	base := m.Splits(m.NewContext(p), d)
+	shuffled := set.Shuffled(rng)
+	p2 := te.NewProblem(g, shuffled)
+	got := m.Splits(m.NewContext(p2), d)
+
+	// If TEAL were order-invariant, split mass per tunnel key would match.
+	equivariant := true
+	for f := range set.Flows {
+		for k := 0; k < set.K; k++ {
+			key := shuffled.Tunnel(f, k).Key(g)
+			var want, have float64
+			for j := 0; j < set.K; j++ {
+				if set.Tunnel(f, j).Key(g) == key {
+					want += base.At(f, j)
+				}
+				if shuffled.Tunnel(f, j).Key(g) == key {
+					have += got.At(f, j)
+				}
+			}
+			if math.Abs(want-have) > 1e-6 {
+				equivariant = false
+			}
+		}
+	}
+	if equivariant {
+		t.Fatal("TEAL unexpectedly invariant to tunnel reordering — the concat DNN should be positional")
+	}
+}
+
+func TestContextHandlesVaryingEdgeCounts(t *testing.T) {
+	// Same model instance must run on two topologies with different E and F
+	// (TEAL "does allow for some topology changes").
+	m := New(DefaultConfig(), 2)
+	for _, build := range []func() *te.Problem{
+		twoPathProblem,
+		func() *te.Problem {
+			g := topology.Abilene()
+			g.EdgeNodes = []int{0, 9}
+			return te.NewProblem(g, tunnels.Compute(g, 2))
+		},
+	} {
+		p := build()
+		ctx := m.NewContext(p)
+		d := tensor.New(p.NumFlows(), 1)
+		d.Fill(1)
+		splits := m.Splits(ctx, d)
+		if splits.Rows != p.NumFlows() {
+			t.Fatalf("splits rows %d want %d", splits.Rows, p.NumFlows())
+		}
+	}
+}
+
+func TestTrainStepDirectReducesMLU(t *testing.T) {
+	p := twoPathProblem()
+	m := New(DefaultConfig(), p.Tunnels.K)
+	ctx := m.NewContext(p)
+	d := demandVec(p, 0, 1, 9)
+	s := Sample{Ctx: ctx, Demand: d}
+	opt := autograd.NewAdam(5e-3)
+	rng := rand.New(rand.NewSource(1))
+	first := m.TrainStep(opt, []Sample{s}, rng)
+	var last float64
+	for i := 0; i < 120; i++ {
+		last = m.TrainStep(opt, []Sample{s}, rng)
+	}
+	if last >= first {
+		t.Fatalf("MLU did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+}
+
+func TestRLCurveIsNoisierThanDirect(t *testing.T) {
+	// Sanity check of the Fig-18 mechanism: on the same data the RL curve
+	// should show more epoch-to-epoch variation than the direct one.
+	p := twoPathProblem()
+	d := demandVec(p, 0, 1, 9)
+
+	direct := New(DefaultConfig(), p.Tunnels.K)
+	dctx := direct.NewContext(p)
+	dcurve, _ := direct.Fit([]Sample{{Ctx: dctx, Demand: d}}, nil, 60, 5e-3, 1, 1)
+
+	cfg := DefaultConfig()
+	cfg.RL = true
+	cfg.RLSigma = 0.5
+	rl := New(cfg, p.Tunnels.K)
+	rctx := rl.NewContext(p)
+	rcurve, _ := rl.Fit([]Sample{{Ctx: rctx, Demand: d}}, nil, 60, 5e-3, 1, 1)
+
+	if roughness(rcurve) <= roughness(dcurve)*0.5 {
+		t.Fatalf("RL curve suspiciously smooth: %v vs direct %v",
+			roughness(rcurve), roughness(dcurve))
+	}
+}
+
+func roughness(curve []float64) float64 {
+	var r float64
+	for i := 1; i < len(curve); i++ {
+		r += math.Abs(curve[i] - curve[i-1])
+	}
+	return r
+}

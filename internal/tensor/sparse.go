@@ -1,0 +1,141 @@
+package tensor
+
+import "fmt"
+
+// CSR is a compressed-sparse-row matrix used for constant structural
+// operators: GCN-normalized adjacency, tunnel-edge incidence, and the like.
+// CSR matrices never carry gradients; they multiply dense activations.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // len Rows+1
+	ColIdx     []int
+	Val        []float64
+}
+
+// COO is a coordinate-format triple used to build CSR matrices.
+type COO struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR builds a CSR matrix from coordinate entries. Duplicate (row,col)
+// entries are summed. Entries are not required to be sorted.
+func NewCSR(rows, cols int, entries []COO) *CSR {
+	counts := make([]int, rows+1)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("tensor: CSR entry (%d,%d) out of bounds %dx%d", e.Row, e.Col, rows, cols))
+		}
+		counts[e.Row+1]++
+	}
+	for i := 0; i < rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	colIdx := make([]int, len(entries))
+	val := make([]float64, len(entries))
+	next := make([]int, rows)
+	copy(next, counts[:rows])
+	for _, e := range entries {
+		p := next[e.Row]
+		colIdx[p] = e.Col
+		val[p] = e.Val
+		next[e.Row]++
+	}
+	c := &CSR{Rows: rows, Cols: cols, RowPtr: counts, ColIdx: colIdx, Val: val}
+	c.sumDuplicates()
+	return c
+}
+
+// sumDuplicates sorts each row by column and merges repeated column indices
+// (rows are short in our graphs, so insertion sort is fine).
+func (c *CSR) sumDuplicates() {
+	outPtr := make([]int, c.Rows+1)
+	outCol := make([]int, 0, len(c.ColIdx))
+	outVal := make([]float64, 0, len(c.Val))
+	for i := 0; i < c.Rows; i++ {
+		start, end := c.RowPtr[i], c.RowPtr[i+1]
+		cols := c.ColIdx[start:end]
+		vals := c.Val[start:end]
+		for a := 1; a < len(cols); a++ {
+			for b := a; b > 0 && cols[b] < cols[b-1]; b-- {
+				cols[b], cols[b-1] = cols[b-1], cols[b]
+				vals[b], vals[b-1] = vals[b-1], vals[b]
+			}
+		}
+		for a := 0; a < len(cols); {
+			col, v := cols[a], vals[a]
+			a++
+			for a < len(cols) && cols[a] == col {
+				v += vals[a]
+				a++
+			}
+			outCol = append(outCol, col)
+			outVal = append(outVal, v)
+		}
+		outPtr[i+1] = len(outCol)
+	}
+	c.RowPtr = outPtr
+	c.ColIdx = outCol
+	c.Val = outVal
+}
+
+// MulDense computes dst = C × x for dense x. dst must be C.Rows×x.Cols and
+// must not alias x.
+func (c *CSR) MulDense(dst, x *Dense) {
+	if c.Cols != x.Rows || dst.Rows != c.Rows || dst.Cols != x.Cols {
+		panic("tensor: CSR MulDense shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < c.Rows; i++ {
+		drow := dst.Row(i)
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			v := c.Val[p]
+			xrow := x.Row(c.ColIdx[p])
+			for j := range drow {
+				drow[j] += v * xrow[j]
+			}
+		}
+	}
+}
+
+// MulDenseT computes dst = Cᵀ × x. dst must be C.Cols×x.Cols and must not
+// alias x. This is the adjoint used in backward passes.
+func (c *CSR) MulDenseT(dst, x *Dense) {
+	if c.Rows != x.Rows || dst.Rows != c.Cols || dst.Cols != x.Cols {
+		panic("tensor: CSR MulDenseT shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < c.Rows; i++ {
+		xrow := x.Row(i)
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			v := c.Val[p]
+			drow := dst.Row(c.ColIdx[p])
+			for j := range xrow {
+				drow[j] += v * xrow[j]
+			}
+		}
+	}
+}
+
+// NNZ returns the number of stored entries.
+func (c *CSR) NNZ() int { return len(c.Val) }
+
+// E is a convenience constructor for a COO entry.
+func E(row, col int, val float64) COO { return COO{Row: row, Col: col, Val: val} }
+
+// MulDenseTAcc computes dst += Cᵀ × x without zeroing dst first.
+func (c *CSR) MulDenseTAcc(dst, x *Dense) {
+	if c.Rows != x.Rows || dst.Rows != c.Cols || dst.Cols != x.Cols {
+		panic("tensor: CSR MulDenseTAcc shape mismatch")
+	}
+	for i := 0; i < c.Rows; i++ {
+		xrow := x.Row(i)
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			v := c.Val[p]
+			drow := dst.Row(c.ColIdx[p])
+			for j := range xrow {
+				drow[j] += v * xrow[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package tensor provides dense, row-major 2-D float64 matrices and the
+// numeric kernels used by the autograd engine and neural layers.
+//
+// The package is intentionally minimal: HARP and the baseline models only
+// need 2-D algebra (vectors are 1×n or n×1 matrices). All kernels are
+// allocation-free when the caller supplies the destination, which keeps the
+// training loops garbage-friendly.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major matrix with Rows×Cols entries.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// New returns a zero-initialized Rows×Cols matrix.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a Rows×Cols matrix.
+func FromSlice(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero sets every element to 0.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether a and b have identical dimensions.
+func SameShape(a, b *Dense) bool { return a.Rows == b.Rows && a.Cols == b.Cols }
+
+// MatMul computes dst = a × b. dst must be a.Rows×b.Cols and must not alias
+// a or b. The inner loop is ordered (i,k,j) so that both b and dst stream
+// sequentially, which is the cache-friendly order for row-major data.
+func MatMul(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)x(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range drow {
+				drow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ × b (dst is a.Cols×b.Cols).
+func MatMulATB(dst, a, b *Dense) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MatMulATB shape mismatch")
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] += aki * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a × bᵀ (dst is a.Rows×b.Rows).
+func MatMulABT(dst, a, b *Dense) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MatMulABT shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// AddInto computes dst = a + b elementwise. dst may alias a or b.
+func AddInto(dst, a, b *Dense) {
+	checkSame3(dst, a, b, "AddInto")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// SubInto computes dst = a - b elementwise. dst may alias a or b.
+func SubInto(dst, a, b *Dense) {
+	checkSame3(dst, a, b, "SubInto")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// MulInto computes dst = a ⊙ b (Hadamard). dst may alias a or b.
+func MulInto(dst, a, b *Dense) {
+	checkSame3(dst, a, b, "MulInto")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// ScaleInto computes dst = s·a. dst may alias a.
+func ScaleInto(dst, a *Dense, s float64) {
+	if !SameShape(dst, a) {
+		panic("tensor: ScaleInto shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = s * a.Data[i]
+	}
+}
+
+// AxpyInto computes dst += s·a.
+func AxpyInto(dst, a *Dense, s float64) {
+	if !SameShape(dst, a) {
+		panic("tensor: AxpyInto shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] += s * a.Data[i]
+	}
+}
+
+// AddRowVecInto computes dst = a + 1·vᵀ, broadcasting the 1×Cols row vector v
+// over every row of a.
+func AddRowVecInto(dst, a, v *Dense) {
+	if v.Rows != 1 || v.Cols != a.Cols || !SameShape(dst, a) {
+		panic("tensor: AddRowVecInto shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = arow[j] + v.Data[j]
+		}
+	}
+}
+
+// Transpose returns aᵀ as a new matrix.
+func Transpose(a *Dense) *Dense {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*out.Cols+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element and its flat index. It panics on an empty
+// matrix.
+func (m *Dense) Max() (float64, int) {
+	if len(m.Data) == 0 {
+		panic("tensor: Max of empty matrix")
+	}
+	best, idx := m.Data[0], 0
+	for i, v := range m.Data {
+		if v > best {
+			best, idx = v, i
+		}
+	}
+	return best, idx
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Dense) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports whether a and b have the same shape and all entries within
+// tol of one another.
+func Equal(a, b *Dense, tol float64) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func checkSame3(a, b, c *Dense, op string) {
+	if !SameShape(a, b) || !SameShape(b, c) {
+		panic("tensor: " + op + " shape mismatch")
+	}
+}
+
+// MatMulAcc computes dst += a × b without zeroing dst first.
+func MatMulAcc(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulAcc shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range drow {
+				drow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulATBAcc computes dst += aᵀ × b without zeroing dst first.
+func MatMulATBAcc(dst, a, b *Dense) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MatMulATBAcc shape mismatch")
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] += aki * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulABTAcc computes dst += a × bᵀ without zeroing dst first.
+func MatMulABTAcc(dst, a, b *Dense) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MatMulABTAcc shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] += s
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randDense(rng *rand.Rand, rows, cols int) *Dense {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// naiveMatMul is the reference triple loop in (i,j,k) order.
+func naiveMatMul(a, b *Dense) *Dense {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a, b := randDense(rng, m, k), randDense(rng, k, n)
+		got := New(m, n)
+		MatMul(got, a, b)
+		want := naiveMatMul(a, b)
+		if !Equal(got, want, 1e-12) {
+			t.Fatalf("trial %d: MatMul mismatch for %dx%d x %dx%d", trial, m, k, k, n)
+		}
+	}
+}
+
+func TestMatMulATB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randDense(rng, 7, 4), randDense(rng, 7, 5)
+	got := New(4, 5)
+	MatMulATB(got, a, b)
+	want := naiveMatMul(Transpose(a), b)
+	if !Equal(got, want, 1e-12) {
+		t.Fatal("MatMulATB != naive(aT x b)")
+	}
+}
+
+func TestMatMulABT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := randDense(rng, 6, 4), randDense(rng, 5, 4)
+	got := New(6, 5)
+	MatMulABT(got, a, b)
+	want := naiveMatMul(a, Transpose(b))
+	if !Equal(got, want, 1e-12) {
+		t.Fatal("MatMulABT != naive(a x bT)")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{10, 20, 30, 40})
+	dst := New(2, 2)
+	AddInto(dst, a, b)
+	if dst.At(1, 1) != 44 {
+		t.Fatalf("AddInto got %v", dst.Data)
+	}
+	SubInto(dst, b, a)
+	if dst.At(0, 0) != 9 {
+		t.Fatalf("SubInto got %v", dst.Data)
+	}
+	MulInto(dst, a, b)
+	if dst.At(1, 0) != 90 {
+		t.Fatalf("MulInto got %v", dst.Data)
+	}
+	ScaleInto(dst, a, 3)
+	if dst.At(0, 1) != 6 {
+		t.Fatalf("ScaleInto got %v", dst.Data)
+	}
+	AxpyInto(dst, a, 1) // dst = 3a + a = 4a
+	if dst.At(1, 1) != 16 {
+		t.Fatalf("AxpyInto got %v", dst.Data)
+	}
+}
+
+func TestAddRowVec(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 1, 1, 2, 2, 2})
+	v := FromSlice(1, 3, []float64{10, 20, 30})
+	dst := New(2, 3)
+	AddRowVecInto(dst, a, v)
+	want := FromSlice(2, 3, []float64{11, 21, 31, 12, 22, 32})
+	if !Equal(dst, want, 0) {
+		t.Fatalf("AddRowVecInto got %v", dst.Data)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randDense(rng, 1+rng.Intn(6), 1+rng.Intn(6))
+		return Equal(Transpose(Transpose(m)), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAndSum(t *testing.T) {
+	m := FromSlice(2, 2, []float64{-5, 3, 7, 1})
+	v, idx := m.Max()
+	if v != 7 || idx != 2 {
+		t.Fatalf("Max got %v at %d", v, idx)
+	}
+	if m.Sum() != 6 {
+		t.Fatalf("Sum got %v", m.Sum())
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	m := FromSlice(1, 2, []float64{3, 4})
+	if math.Abs(m.Norm2()-5) > 1e-12 {
+		t.Fatalf("Norm2 got %v", m.Norm2())
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 2), New(2, 3), New(2, 2))
+}
+
+func TestCSRMulDense(t *testing.T) {
+	// C = [[1 0 2],[0 3 0]]
+	c := NewCSR(2, 3, []COO{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}})
+	x := FromSlice(3, 2, []float64{1, 10, 2, 20, 3, 30})
+	dst := New(2, 2)
+	c.MulDense(dst, x)
+	want := FromSlice(2, 2, []float64{7, 70, 6, 60})
+	if !Equal(dst, want, 1e-12) {
+		t.Fatalf("CSR MulDense got %v", dst.Data)
+	}
+}
+
+func TestCSRDuplicateEntriesSummed(t *testing.T) {
+	c := NewCSR(1, 2, []COO{{0, 1, 2}, {0, 1, 3}, {0, 0, 1}})
+	if c.NNZ() != 2 {
+		t.Fatalf("expected duplicates merged, nnz=%d", c.NNZ())
+	}
+	x := FromSlice(2, 1, []float64{1, 1})
+	dst := New(1, 1)
+	c.MulDense(dst, x)
+	if dst.At(0, 0) != 6 {
+		t.Fatalf("got %v want 6", dst.At(0, 0))
+	}
+}
+
+func TestCSRTransposeAdjoint(t *testing.T) {
+	// <Cx, y> == <x, CTy> is the adjoint identity that backward passes rely on.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		rows, cols := 2+rng.Intn(6), 2+rng.Intn(6)
+		var entries []COO
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if rng.Float64() < 0.4 {
+					entries = append(entries, COO{i, j, rng.NormFloat64()})
+				}
+			}
+		}
+		c := NewCSR(rows, cols, entries)
+		x := randDense(rng, cols, 1)
+		y := randDense(rng, rows, 1)
+		cx := New(rows, 1)
+		c.MulDense(cx, x)
+		cty := New(cols, 1)
+		c.MulDenseT(cty, y)
+		var lhs, rhs float64
+		for i := range cx.Data {
+			lhs += cx.Data[i] * y.Data[i]
+		}
+		for i := range x.Data {
+			rhs += x.Data[i] * cty.Data[i]
+		}
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("adjoint identity violated: %v vs %v", lhs, rhs)
+		}
+	}
+}

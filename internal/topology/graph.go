@@ -1,0 +1,257 @@
+// Package topology models WAN topologies: directed capacitated links,
+// edge (ingress/egress) nodes, structural operators for graph neural
+// networks, and the perturbations the paper evaluates (link failures,
+// partial capacity loss, node/link churn).
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"harpte/internal/tensor"
+)
+
+// FailedCapacity is the capacity assigned to a completely failed link.
+// Following §5.1 of the paper, failed links keep a tiny positive capacity
+// (rather than being removed) so gradients still flow during training. The
+// paper uses 1e-4 in its normalized capacity units ("significantly smaller
+// than the capacity of other links"); our capacities are in Gbps with
+// typical links of 10–400, so 0.01 Gbps keeps the same relative order
+// (1e-4 of a 100G link).
+const FailedCapacity = 0.01
+
+// Edge is a directed capacitated link.
+type Edge struct {
+	Src, Dst int
+	Capacity float64
+}
+
+// Graph is a directed WAN topology. The zero value is an empty graph;
+// construct with New.
+type Graph struct {
+	// Name labels the topology in experiment output.
+	Name string
+	// NumNodes is the node count; node ids are 0..NumNodes-1.
+	NumNodes int
+	// Edges holds the directed links in a stable order; the position of an
+	// edge in this slice is its edge id.
+	Edges []Edge
+	// EdgeNodes lists the nodes where traffic can ingress/egress. Empty
+	// means every node is an edge node.
+	EdgeNodes []int
+
+	index map[[2]int]int
+}
+
+// New returns an empty graph with n nodes.
+func New(name string, n int) *Graph {
+	return &Graph{Name: name, NumNodes: n, index: make(map[[2]int]int)}
+}
+
+// AddEdge appends a directed link and returns its edge id. It panics on a
+// duplicate or out-of-range endpoint, which always indicates a programming
+// error in a builder.
+func (g *Graph) AddEdge(src, dst int, capacity float64) int {
+	if src < 0 || src >= g.NumNodes || dst < 0 || dst >= g.NumNodes || src == dst {
+		panic(fmt.Sprintf("topology: invalid edge %d->%d in graph with %d nodes", src, dst, g.NumNodes))
+	}
+	key := [2]int{src, dst}
+	if _, dup := g.index[key]; dup {
+		panic(fmt.Sprintf("topology: duplicate edge %d->%d", src, dst))
+	}
+	id := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{Src: src, Dst: dst, Capacity: capacity})
+	g.index[key] = id
+	return id
+}
+
+// AddBidirectional adds both directions with the same capacity.
+func (g *Graph) AddBidirectional(u, v int, capacity float64) {
+	g.AddEdge(u, v, capacity)
+	g.AddEdge(v, u, capacity)
+}
+
+// EdgeID returns the id of the directed edge src→dst.
+func (g *Graph) EdgeID(src, dst int) (int, bool) {
+	id, ok := g.index[[2]int{src, dst}]
+	return id, ok
+}
+
+// NumEdges returns the directed link count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	out := New(g.Name, g.NumNodes)
+	out.EdgeNodes = append([]int(nil), g.EdgeNodes...)
+	for _, e := range g.Edges {
+		out.AddEdge(e.Src, e.Dst, e.Capacity)
+	}
+	return out
+}
+
+// EdgeNodeList returns the effective set of edge nodes (all nodes when
+// EdgeNodes is empty).
+func (g *Graph) EdgeNodeList() []int {
+	if len(g.EdgeNodes) > 0 {
+		return g.EdgeNodes
+	}
+	all := make([]int, g.NumNodes)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// OutEdges returns, for each node, the ids of its outgoing edges.
+func (g *Graph) OutEdges() [][]int {
+	out := make([][]int, g.NumNodes)
+	for id, e := range g.Edges {
+		out[e.Src] = append(out[e.Src], id)
+	}
+	return out
+}
+
+// IsActive reports whether the edge with the given id has non-failed
+// capacity.
+func (g *Graph) IsActive(id int) bool { return g.Edges[id].Capacity > FailedCapacity }
+
+// Capacities returns the per-edge capacity vector as an E×1 matrix.
+func (g *Graph) Capacities() *tensor.Dense {
+	d := tensor.New(len(g.Edges), 1)
+	for i, e := range g.Edges {
+		d.Data[i] = e.Capacity
+	}
+	return d
+}
+
+// MaxCapacity returns the largest link capacity (0 for an empty graph).
+func (g *Graph) MaxCapacity() float64 {
+	var m float64
+	for _, e := range g.Edges {
+		if e.Capacity > m {
+			m = e.Capacity
+		}
+	}
+	return m
+}
+
+// NodeFeatures returns the V×2 feature matrix HARP's GNN consumes: for each
+// node, the total capacity of its outgoing links and its out-degree (§3.3).
+func (g *Graph) NodeFeatures() *tensor.Dense {
+	f := tensor.New(g.NumNodes, 2)
+	for _, e := range g.Edges {
+		f.Data[e.Src*2] += e.Capacity
+		f.Data[e.Src*2+1]++
+	}
+	return f
+}
+
+// NormalizedAdjacency returns Â = D^(-1/2)(A+I)D^(-1/2) over the undirected
+// support of the graph (an edge in either direction connects the nodes),
+// the standard GCN operator. It is a constant with respect to training.
+func (g *Graph) NormalizedAdjacency() *tensor.CSR {
+	adj := make(map[[2]int]bool)
+	deg := make([]float64, g.NumNodes)
+	for i := 0; i < g.NumNodes; i++ {
+		adj[[2]int{i, i}] = true
+		deg[i] = 1 // self loop
+	}
+	for _, e := range g.Edges {
+		a, b := e.Src, e.Dst
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if !adj[key] {
+			adj[key] = true
+			deg[a]++
+			deg[b]++
+		}
+	}
+	var entries []tensor.COO
+	for key := range adj {
+		a, b := key[0], key[1]
+		w := 1 / math.Sqrt(deg[a]*deg[b])
+		entries = append(entries, tensor.E(a, b, w))
+		if a != b {
+			entries = append(entries, tensor.E(b, a, w))
+		}
+	}
+	return tensor.NewCSR(g.NumNodes, g.NumNodes, entries)
+}
+
+// Permute returns an isomorphic graph with node i relabeled perm[i]. Edge
+// order is preserved (only endpoints are renamed); combine with
+// ShuffledEdges to also reorder edge ids. Used by the invariance tests.
+func (g *Graph) Permute(perm []int) *Graph {
+	if len(perm) != g.NumNodes {
+		panic("topology: permutation length mismatch")
+	}
+	out := New(g.Name, g.NumNodes)
+	for _, e := range g.Edges {
+		out.AddEdge(perm[e.Src], perm[e.Dst], e.Capacity)
+	}
+	for _, n := range g.EdgeNodes {
+		out.EdgeNodes = append(out.EdgeNodes, perm[n])
+	}
+	return out
+}
+
+// ShuffledEdges returns a copy of g with edge ids randomly reordered.
+func (g *Graph) ShuffledEdges(rng *rand.Rand) *Graph {
+	out := New(g.Name, g.NumNodes)
+	out.EdgeNodes = append([]int(nil), g.EdgeNodes...)
+	order := rng.Perm(len(g.Edges))
+	for _, i := range order {
+		e := g.Edges[i]
+		out.AddEdge(e.Src, e.Dst, e.Capacity)
+	}
+	return out
+}
+
+// Connected reports whether the undirected support of the active links
+// connects all nodes with at least one active incident link. Isolated
+// inactive nodes are ignored (they carry no traffic).
+func (g *Graph) Connected() bool {
+	adjacency := make([][]int, g.NumNodes)
+	touched := make([]bool, g.NumNodes)
+	for id, e := range g.Edges {
+		if !g.IsActive(id) {
+			continue
+		}
+		adjacency[e.Src] = append(adjacency[e.Src], e.Dst)
+		adjacency[e.Dst] = append(adjacency[e.Dst], e.Src)
+		touched[e.Src], touched[e.Dst] = true, true
+	}
+	start := -1
+	for i, t := range touched {
+		if t {
+			start = i
+			break
+		}
+	}
+	if start == -1 {
+		return g.NumNodes <= 1
+	}
+	seen := make([]bool, g.NumNodes)
+	stack := []int{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range adjacency[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	for i := range seen {
+		if touched[i] && !seen[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file provides a plain-text topology interchange format so real
+// networks (e.g. Topology Zoo exports, SNDlib instances converted with a
+// one-liner) can be loaded instead of the bundled builders.
+//
+// Format (whitespace-separated, '#' comments):
+//
+//	topology <name> <numNodes>
+//	edgenodes <id> <id> ...          # optional; omitted = all nodes
+//	link <u> <v> <capacity>          # bidirectional, one per line
+//	edge <src> <dst> <capacity>      # directed, one per line
+//
+// Lines may appear in any order after the topology header.
+
+// Write serializes g in the text format. Links that exist symmetrically
+// with equal capacity are emitted as single "link" lines.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "topology %s %d\n", sanitizeName(g.Name), g.NumNodes)
+	if len(g.EdgeNodes) > 0 {
+		nodes := append([]int(nil), g.EdgeNodes...)
+		sort.Ints(nodes)
+		fmt.Fprint(bw, "edgenodes")
+		for _, n := range nodes {
+			fmt.Fprintf(bw, " %d", n)
+		}
+		fmt.Fprintln(bw)
+	}
+	emitted := make([]bool, len(g.Edges))
+	for id, e := range g.Edges {
+		if emitted[id] {
+			continue
+		}
+		if rid, ok := g.EdgeID(e.Dst, e.Src); ok && !emitted[rid] && g.Edges[rid].Capacity == e.Capacity {
+			fmt.Fprintf(bw, "link %d %d %g\n", e.Src, e.Dst, e.Capacity)
+			emitted[id], emitted[rid] = true, true
+			continue
+		}
+		fmt.Fprintf(bw, "edge %d %d %g\n", e.Src, e.Dst, e.Capacity)
+		emitted[id] = true
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("topology: writing: %w", err)
+	}
+	return nil
+}
+
+// Parse reads a topology in the text format.
+func Parse(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "topology":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topology: line %d: want 'topology <name> <nodes>'", line)
+			}
+			var n int
+			if _, err := fmt.Sscanf(fields[2], "%d", &n); err != nil || n <= 0 {
+				return nil, fmt.Errorf("topology: line %d: bad node count %q", line, fields[2])
+			}
+			g = New(fields[1], n)
+		case "edgenodes":
+			if g == nil {
+				return nil, fmt.Errorf("topology: line %d: edgenodes before topology header", line)
+			}
+			for _, f := range fields[1:] {
+				var id int
+				if _, err := fmt.Sscanf(f, "%d", &id); err != nil || id < 0 || id >= g.NumNodes {
+					return nil, fmt.Errorf("topology: line %d: bad edge node %q", line, f)
+				}
+				g.EdgeNodes = append(g.EdgeNodes, id)
+			}
+		case "link", "edge":
+			if g == nil {
+				return nil, fmt.Errorf("topology: line %d: %s before topology header", line, fields[0])
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topology: line %d: want '%s <u> <v> <capacity>'", line, fields[0])
+			}
+			var u, v int
+			var c float64
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2]+" "+fields[3], "%d %d %g", &u, &v, &c); err != nil {
+				return nil, fmt.Errorf("topology: line %d: %v", line, err)
+			}
+			if u < 0 || u >= g.NumNodes || v < 0 || v >= g.NumNodes || u == v || c <= 0 {
+				return nil, fmt.Errorf("topology: line %d: invalid %s %d-%d cap %g", line, fields[0], u, v, c)
+			}
+			if fields[0] == "link" {
+				if _, dup := g.EdgeID(u, v); dup {
+					return nil, fmt.Errorf("topology: line %d: duplicate link %d-%d", line, u, v)
+				}
+				g.AddBidirectional(u, v, c)
+			} else {
+				if _, dup := g.EdgeID(u, v); dup {
+					return nil, fmt.Errorf("topology: line %d: duplicate edge %d->%d", line, u, v)
+				}
+				g.AddEdge(u, v, c)
+			}
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("topology: missing 'topology' header")
+	}
+	return g, nil
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.ReplaceAll(s, " ", "_")
+}

@@ -1,0 +1,109 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTopologyRoundtrip(t *testing.T) {
+	for _, build := range []func() *Graph{Abilene, Geant, B4} {
+		g := build()
+		g.EdgeNodes = []int{1, 3, 5}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if got.NumNodes != g.NumNodes || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: size changed: %d/%d vs %d/%d",
+				g.Name, got.NumNodes, got.NumEdges(), g.NumNodes, g.NumEdges())
+		}
+		for _, e := range g.Edges {
+			id, ok := got.EdgeID(e.Src, e.Dst)
+			if !ok || got.Edges[id].Capacity != e.Capacity {
+				t.Fatalf("%s: edge %d->%d lost or changed", g.Name, e.Src, e.Dst)
+			}
+		}
+		if len(got.EdgeNodes) != 3 {
+			t.Fatalf("%s: edge nodes lost", g.Name)
+		}
+	}
+}
+
+func TestParseAsymmetricEdges(t *testing.T) {
+	in := `# asymmetric capacities become directed edges
+topology t 2
+edge 0 1 5
+edge 1 0 9
+`
+	g, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.EdgeID(0, 1)
+	b, _ := g.EdgeID(1, 0)
+	if g.Edges[a].Capacity != 5 || g.Edges[b].Capacity != 9 {
+		t.Fatal("asymmetric capacities lost")
+	}
+	// Writing must preserve them as separate edge lines.
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "edge 0 1 5") || !strings.Contains(buf.String(), "edge 1 0 9") {
+		t.Fatalf("asymmetric serialization wrong:\n%s", buf.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // no header
+		"link 0 1 5",                           // link before header
+		"topology t 0",                         // zero nodes
+		"topology t 2\nlink 0 0 5",             // self loop
+		"topology t 2\nlink 0 1 -1",            // non-positive capacity
+		"topology t 2\nlink 0 5 1",             // out of range
+		"topology t 2\nlink 0 1 1\nlink 0 1 2", // duplicate
+		"topology t 2\nfrobnicate",             // unknown directive
+		"topology t 2\nedgenodes 9",            // bad edge node
+		"topology t",                           // short header
+	}
+	for i, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	in := `
+# full-line comment
+topology demo 3
+
+link 0 1 10   # trailing comment
+link 1 2 20
+`
+	g, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "demo" || g.NumEdges() != 4 {
+		t.Fatalf("parsed %s with %d edges", g.Name, g.NumEdges())
+	}
+}
+
+func TestWriteSanitizesName(t *testing.T) {
+	g := New("my net", 2)
+	g.AddBidirectional(0, 1, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "topology my_net 2") {
+		t.Fatalf("name not sanitized: %q", buf.String())
+	}
+}

@@ -1,0 +1,116 @@
+package topology
+
+import "math/rand"
+
+// This file implements the topology perturbations of §5.4–§5.5: complete
+// single-link failures, partial capacity failures, and helpers to enumerate
+// failure scenarios. All perturbations return modified copies; the input
+// graph is never mutated, so a training topology can be shared safely.
+
+// WithFailedLink returns a copy of g where both directions between u and v
+// have FailedCapacity. It panics if the link does not exist.
+func (g *Graph) WithFailedLink(u, v int) *Graph {
+	out := g.Clone()
+	found := false
+	for i := range out.Edges {
+		e := &out.Edges[i]
+		if (e.Src == u && e.Dst == v) || (e.Src == v && e.Dst == u) {
+			e.Capacity = FailedCapacity
+			found = true
+		}
+	}
+	if !found {
+		panic("topology: WithFailedLink on nonexistent link")
+	}
+	return out
+}
+
+// WithPartialFailure returns a copy of g where both directions between u
+// and v retain only keepFraction of their capacity (e.g. 0.3 keeps 30%,
+// modeling the failure of a subset of the link's physical circuits).
+func (g *Graph) WithPartialFailure(u, v int, keepFraction float64) *Graph {
+	out := g.Clone()
+	for i := range out.Edges {
+		e := &out.Edges[i]
+		if (e.Src == u && e.Dst == v) || (e.Src == v && e.Dst == u) {
+			e.Capacity *= keepFraction
+			if e.Capacity < FailedCapacity {
+				e.Capacity = FailedCapacity
+			}
+		}
+	}
+	return out
+}
+
+// UndirectedLinks returns one (u,v) pair per undirected link, u < v.
+func (g *Graph) UndirectedLinks() [][2]int {
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	for _, e := range g.Edges {
+		a, b := e.Src, e.Dst
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// SingleLinkFailures enumerates, for every undirected link whose complete
+// failure keeps every previously-active node reachable, the graph with that
+// link failed. This is the §5.5 test battery ("every possible scenario
+// involving the complete failure of a single link"); failures that isolate
+// a node (e.g. a single-homed spur) are excluded, as no TE scheme — the
+// optimum included — can route around them.
+func (g *Graph) SingleLinkFailures() []*Graph {
+	activeBefore := g.activeNodes()
+	var out []*Graph
+	for _, l := range g.UndirectedLinks() {
+		f := g.WithFailedLink(l[0], l[1])
+		if !f.Connected() {
+			continue
+		}
+		after := f.activeNodes()
+		isolated := false
+		for n := range activeBefore {
+			if !after[n] {
+				isolated = true
+				break
+			}
+		}
+		if !isolated {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// activeNodes returns the set of nodes with at least one active link.
+func (g *Graph) activeNodes() map[int]bool {
+	out := map[int]bool{}
+	for id, e := range g.Edges {
+		if g.IsActive(id) {
+			out[e.Src] = true
+			out[e.Dst] = true
+		}
+	}
+	return out
+}
+
+// RandomPartialFailures generates n scenarios, each reducing the capacity of
+// one random link by 50–90% (§5.4: "selecting a single link at random, and
+// reducing its capacity by a value selected randomly between 50% and 90%").
+func (g *Graph) RandomPartialFailures(n int, rng *rand.Rand) []*Graph {
+	links := g.UndirectedLinks()
+	out := make([]*Graph, 0, n)
+	for i := 0; i < n; i++ {
+		l := links[rng.Intn(len(links))]
+		reduction := 0.5 + 0.4*rng.Float64()
+		out = append(out, g.WithPartialFailure(l[0], l[1], 1-reduction))
+	}
+	return out
+}

@@ -1,0 +1,332 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbileneShape(t *testing.T) {
+	g := Abilene()
+	if g.NumNodes != 12 {
+		t.Fatalf("Abilene nodes = %d", g.NumNodes)
+	}
+	if g.NumEdges() != 30 {
+		t.Fatalf("Abilene directed edges = %d", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("Abilene must be connected")
+	}
+}
+
+func TestGeantShape(t *testing.T) {
+	g := Geant()
+	if g.NumNodes != 22 {
+		t.Fatalf("GEANT nodes = %d", g.NumNodes)
+	}
+	if g.NumEdges() != 72 {
+		t.Fatalf("GEANT directed edges = %d", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("GEANT must be connected")
+	}
+}
+
+func TestRandomConnectedIsConnectedAndDeterministic(t *testing.T) {
+	for _, n := range []int{5, 30, 158} {
+		a := RandomConnected("t", n, 2.4, []float64{10, 40}, 7)
+		b := RandomConnected("t", n, 2.4, []float64{10, 40}, 7)
+		if !a.Connected() {
+			t.Fatalf("n=%d not connected", n)
+		}
+		if a.NumEdges() != b.NumEdges() {
+			t.Fatalf("n=%d nondeterministic", n)
+		}
+		for i := range a.Edges {
+			if a.Edges[i] != b.Edges[i] {
+				t.Fatalf("n=%d edge %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestKDLScaleSize(t *testing.T) {
+	g := KDLScale(1)
+	if g.NumNodes != 754 {
+		t.Fatalf("KDL nodes = %d", g.NumNodes)
+	}
+	undirected := g.NumEdges() / 2
+	if undirected < 800 || undirected > 1000 {
+		t.Fatalf("KDL undirected links = %d, want ≈895", undirected)
+	}
+}
+
+func TestEdgeIDLookup(t *testing.T) {
+	g := Abilene()
+	id, ok := g.EdgeID(0, 1)
+	if !ok {
+		t.Fatal("edge 0->1 should exist")
+	}
+	if g.Edges[id].Src != 0 || g.Edges[id].Dst != 1 {
+		t.Fatal("EdgeID returned wrong edge")
+	}
+	if _, ok := g.EdgeID(0, 5); ok {
+		t.Fatal("edge 0->5 should not exist")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []func(){
+		func() { g := New("x", 2); g.AddEdge(0, 0, 1) },
+		func() { g := New("x", 2); g.AddEdge(0, 5, 1) },
+		func() { g := New("x", 2); g.AddEdge(0, 1, 1); g.AddEdge(0, 1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNodeFeatures(t *testing.T) {
+	g := New("x", 3)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(0, 2, 40)
+	g.AddEdge(1, 0, 10)
+	f := g.NodeFeatures()
+	if f.At(0, 0) != 50 || f.At(0, 1) != 2 {
+		t.Fatalf("node 0 features = %v", f.Row(0))
+	}
+	if f.At(2, 0) != 0 || f.At(2, 1) != 0 {
+		t.Fatalf("node 2 features = %v", f.Row(2))
+	}
+}
+
+func TestNormalizedAdjacencyRowSums(t *testing.T) {
+	// For a regular graph Â has known structure; at minimum it must be
+	// symmetric and have positive diagonal.
+	g := Abilene()
+	a := g.NormalizedAdjacency()
+	// Build dense copy to check symmetry.
+	dense := make([][]float64, g.NumNodes)
+	for i := range dense {
+		dense[i] = make([]float64, g.NumNodes)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			dense[i][a.ColIdx[p]] = a.Val[p]
+		}
+	}
+	for i := 0; i < g.NumNodes; i++ {
+		if dense[i][i] <= 0 {
+			t.Fatalf("diagonal %d not positive", i)
+		}
+		for j := 0; j < g.NumNodes; j++ {
+			if math.Abs(dense[i][j]-dense[j][i]) > 1e-12 {
+				t.Fatalf("Â not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPermutePreservesStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Abilene()
+		perm := rng.Perm(g.NumNodes)
+		p := g.Permute(perm)
+		if p.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i, e := range g.Edges {
+			pe := p.Edges[i]
+			if pe.Src != perm[e.Src] || pe.Dst != perm[e.Dst] || pe.Capacity != e.Capacity {
+				return false
+			}
+		}
+		return p.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffledEdgesSameMultiset(t *testing.T) {
+	g := Geant()
+	s := g.ShuffledEdges(rand.New(rand.NewSource(3)))
+	if s.NumEdges() != g.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+	count := func(gr *Graph) map[Edge]int {
+		m := make(map[Edge]int)
+		for _, e := range gr.Edges {
+			m[e]++
+		}
+		return m
+	}
+	a, b := count(g), count(s)
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("edge multiset changed at %v", k)
+		}
+	}
+}
+
+func TestWithFailedLink(t *testing.T) {
+	g := Abilene()
+	f := g.WithFailedLink(0, 1)
+	id1, _ := f.EdgeID(0, 1)
+	id2, _ := f.EdgeID(1, 0)
+	if f.Edges[id1].Capacity != FailedCapacity || f.Edges[id2].Capacity != FailedCapacity {
+		t.Fatal("failure not applied in both directions")
+	}
+	// Original untouched.
+	id3, _ := g.EdgeID(0, 1)
+	if g.Edges[id3].Capacity != 10 {
+		t.Fatal("original mutated")
+	}
+	if f.IsActive(id1) {
+		t.Fatal("failed link should be inactive")
+	}
+}
+
+func TestWithPartialFailure(t *testing.T) {
+	g := Abilene()
+	f := g.WithPartialFailure(0, 1, 0.3)
+	id, _ := f.EdgeID(0, 1)
+	if math.Abs(f.Edges[id].Capacity-3) > 1e-12 {
+		t.Fatalf("got capacity %v want 3", f.Edges[id].Capacity)
+	}
+}
+
+func TestSingleLinkFailuresKeepConnectivity(t *testing.T) {
+	g := Geant()
+	fails := g.SingleLinkFailures()
+	if len(fails) == 0 {
+		t.Fatal("expected some failure scenarios")
+	}
+	for i, f := range fails {
+		if !f.Connected() {
+			t.Fatalf("scenario %d disconnected", i)
+		}
+	}
+}
+
+func TestRandomPartialFailuresRange(t *testing.T) {
+	g := Abilene()
+	rng := rand.New(rand.NewSource(9))
+	scenarios := g.RandomPartialFailures(40, rng)
+	if len(scenarios) != 40 {
+		t.Fatalf("got %d scenarios", len(scenarios))
+	}
+	for _, s := range scenarios {
+		// Exactly one undirected link should differ, reduced to 10–50%.
+		diff := 0
+		for i := range s.Edges {
+			if s.Edges[i].Capacity != g.Edges[i].Capacity {
+				diff++
+				ratio := s.Edges[i].Capacity / g.Edges[i].Capacity
+				if ratio < 0.099 || ratio > 0.501 {
+					t.Fatalf("keep ratio %v out of range", ratio)
+				}
+			}
+		}
+		if diff != 2 { // both directions
+			t.Fatalf("expected 2 directed edges changed, got %d", diff)
+		}
+	}
+}
+
+func TestConnectedNegative(t *testing.T) {
+	g := New("x", 4)
+	g.AddBidirectional(0, 1, 1)
+	g.AddBidirectional(2, 3, 1)
+	if g.Connected() {
+		t.Fatal("two components reported connected")
+	}
+}
+
+func TestEdgeNodeList(t *testing.T) {
+	g := New("x", 3)
+	if len(g.EdgeNodeList()) != 3 {
+		t.Fatal("default edge nodes should be all")
+	}
+	g.EdgeNodes = []int{1}
+	if l := g.EdgeNodeList(); len(l) != 1 || l[0] != 1 {
+		t.Fatal("explicit edge nodes ignored")
+	}
+}
+
+func TestCapacitiesAndMax(t *testing.T) {
+	g := New("x", 2)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 0, 7)
+	c := g.Capacities()
+	if c.Rows != 2 || c.Data[1] != 7 {
+		t.Fatal("Capacities wrong")
+	}
+	if g.MaxCapacity() != 7 {
+		t.Fatal("MaxCapacity wrong")
+	}
+}
+
+func TestB4Shape(t *testing.T) {
+	g := B4()
+	if g.NumNodes != 12 || g.NumEdges() != 38 {
+		t.Fatalf("B4 %d nodes %d directed edges", g.NumNodes, g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("B4 must be connected")
+	}
+}
+
+func TestRingTwoDisjointPaths(t *testing.T) {
+	g := Ring(6, 10)
+	if g.NumEdges() != 12 {
+		t.Fatalf("ring edges %d", g.NumEdges())
+	}
+	// Failing any single link keeps the ring connected.
+	if got := len(g.SingleLinkFailures()); got != 6 {
+		t.Fatalf("ring single-link failures %d want 6", got)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(3, 4, 10)
+	if g.NumNodes != 12 {
+		t.Fatalf("grid nodes %d", g.NumNodes)
+	}
+	// 3x4 grid: horizontal 2*4 + vertical 3*3 = 17 undirected links.
+	if g.NumEdges() != 34 {
+		t.Fatalf("grid directed edges %d want 34", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("grid must be connected")
+	}
+}
+
+func TestSingleLinkFailuresExcludeIsolation(t *testing.T) {
+	// A spur node hanging off a triangle: failing the spur link would
+	// isolate it, so it must be excluded.
+	g := New("spur", 4)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(1, 2, 10)
+	g.AddBidirectional(2, 0, 10)
+	g.AddBidirectional(3, 0, 10) // spur
+	fails := g.SingleLinkFailures()
+	if len(fails) != 3 {
+		t.Fatalf("got %d scenarios want 3 (spur excluded)", len(fails))
+	}
+	for _, f := range fails {
+		id, _ := f.EdgeID(3, 0)
+		if !f.IsActive(id) {
+			t.Fatal("spur link scenario should have been excluded")
+		}
+	}
+}

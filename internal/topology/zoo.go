@@ -1,0 +1,147 @@
+package topology
+
+import (
+	"math/rand"
+)
+
+// This file provides the evaluation topologies. Abilene and GEANT encode
+// the well-known public research networks. UsCarrier- and KDL-scale graphs
+// are deterministic synthetic stand-ins for the Internet Topology Zoo files
+// (not redistributable here): random connected graphs matched in node count
+// and approximate average degree, which preserves the scaling behaviour the
+// paper's computation-time and perturbation experiments depend on (see
+// DESIGN.md, "Documented substitutions").
+
+// Abilene returns the 12-node Internet2 Abilene backbone (15 undirected
+// links, 30 directed edges). Capacities are in Gbps: the OC-192 backbone is
+// ~10 Gbps with the Atlanta–AtlantaM5 spur at 2.5 Gbps, the convention used
+// by the TOTEM dataset the paper's Abilene traffic matrices come from.
+func Abilene() *Graph {
+	g := New("Abilene", 12)
+	// 0 NewYork 1 Chicago 2 WashingtonDC 3 Seattle 4 Sunnyvale 5 LosAngeles
+	// 6 Denver 7 KansasCity 8 Houston 9 Atlanta 10 Indianapolis 11 AtlantaM5
+	links := [][2]int{
+		{0, 1}, {0, 2}, {1, 10}, {2, 9}, {3, 4}, {3, 6}, {4, 5}, {4, 6},
+		{5, 8}, {6, 7}, {7, 8}, {7, 10}, {8, 9}, {9, 10}, {9, 11},
+	}
+	for _, l := range links {
+		capacity := 10.0
+		if l == [2]int{9, 11} {
+			capacity = 2.5
+		}
+		g.AddBidirectional(l[0], l[1], capacity)
+	}
+	return g
+}
+
+// Geant returns a 22-node GEANT-like pan-European research topology
+// (36 undirected links, 72 directed edges) with mixed 2.5/10 Gbps links,
+// matching the scale and degree distribution of the GEANT network used with
+// the public TOTEM traffic matrices.
+func Geant() *Graph {
+	g := New("GEANT", 22)
+	links := []struct {
+		u, v int
+		cap  float64
+	}{
+		{0, 1, 10}, {0, 2, 10}, {0, 7, 10}, {1, 2, 10}, {1, 3, 10},
+		{2, 4, 10}, {3, 4, 10}, {3, 5, 2.5}, {4, 6, 10}, {5, 6, 2.5},
+		{5, 9, 2.5}, {6, 7, 10}, {6, 8, 10}, {7, 8, 10}, {7, 11, 10},
+		{8, 10, 10}, {9, 10, 2.5}, {9, 13, 2.5}, {10, 12, 10}, {11, 12, 10},
+		{11, 14, 10}, {12, 13, 10}, {12, 15, 10}, {13, 16, 2.5}, {14, 15, 10},
+		{14, 17, 10}, {15, 16, 10}, {15, 18, 10}, {16, 19, 2.5}, {17, 18, 10},
+		{17, 20, 2.5}, {18, 19, 10}, {18, 21, 10}, {19, 21, 2.5}, {20, 21, 2.5},
+		{2, 11, 10},
+	}
+	for _, l := range links {
+		g.AddBidirectional(l.u, l.v, l.cap)
+	}
+	return g
+}
+
+// RandomConnected returns a deterministic random connected topology with n
+// nodes and approximately avgDegree undirected links per node. Capacities
+// are drawn from the given set (cycled through a seeded RNG). The graph is
+// built as a random spanning tree plus random extra links, so it is always
+// connected.
+func RandomConnected(name string, n int, avgDegree float64, capacities []float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(name, n)
+	pick := func() float64 { return capacities[rng.Intn(len(capacities))] }
+	// Random spanning tree: attach each node to a random earlier node.
+	order := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := order[i]
+		v := order[rng.Intn(i)]
+		g.AddBidirectional(u, v, pick())
+	}
+	target := int(avgDegree * float64(n) / 2)
+	for tries := 0; len(g.Edges)/2 < target && tries < 50*target; tries++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if _, dup := g.EdgeID(u, v); dup {
+			continue
+		}
+		g.AddBidirectional(u, v, pick())
+	}
+	return g
+}
+
+// UsCarrierScale returns a 158-node synthetic topology matched to the
+// Topology Zoo UsCarrier network's size (≈189 undirected links).
+func UsCarrierScale(seed int64) *Graph {
+	return RandomConnected("UsCarrier", 158, 2.4, []float64{10, 40, 100}, seed)
+}
+
+// KDLScale returns a 754-node synthetic topology matched to the Topology
+// Zoo Kentucky Data Link network's size (≈895 undirected links).
+func KDLScale(seed int64) *Graph {
+	return RandomConnected("KDL", 754, 2.4, []float64{10, 40}, seed)
+}
+
+// B4 returns a topology modeled on Google's B4 inter-datacenter WAN as
+// published in the SIGCOMM '13 paper: 12 sites, 19 inter-site links.
+// Capacities are uniform 100G-class trunks (B4 aggregates many parallel
+// links per site pair; we model the aggregate).
+func B4() *Graph {
+	g := New("B4", 12)
+	links := [][2]int{
+		{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}, {4, 5},
+		{3, 5}, {5, 6}, {6, 7}, {5, 7}, {7, 8}, {8, 9}, {7, 9},
+		{9, 10}, {10, 11}, {9, 11}, {6, 8}, {1, 3},
+	}
+	for _, l := range links {
+		g.AddBidirectional(l[0], l[1], 100)
+	}
+	return g
+}
+
+// Ring returns an n-node ring, the minimal topology with exactly two
+// disjoint paths between every pair — useful for analytic tests.
+func Ring(n int, capacity float64) *Graph {
+	g := New("Ring", n)
+	for i := 0; i < n; i++ {
+		g.AddBidirectional(i, (i+1)%n, capacity)
+	}
+	return g
+}
+
+// Grid returns a w×h grid (node id = row*w + col), a standard stress
+// topology with rich path diversity.
+func Grid(w, h int, capacity float64) *Graph {
+	g := New("Grid", w*h)
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			n := r*w + c
+			if c+1 < w {
+				g.AddBidirectional(n, n+1, capacity)
+			}
+			if r+1 < h {
+				g.AddBidirectional(n, n+w, capacity)
+			}
+		}
+	}
+	return g
+}

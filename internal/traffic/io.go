@@ -1,0 +1,110 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"harpte/internal/tensor"
+)
+
+// This file provides a plain-text traffic-matrix interchange format
+// compatible in spirit with the public TM archives (Abilene/TOTEM,
+// SNDlib): one snapshot per "tm" block, one "d <src> <dst> <demand>" line
+// per nonzero cell.
+//
+//	tm <numNodes>
+//	d <src> <dst> <demand>
+//	...
+//	end
+//
+// '#' starts a comment; blank lines are ignored.
+
+// WriteTMs serializes a traffic-matrix series.
+func WriteTMs(w io.Writer, tms []*tensor.Dense) error {
+	bw := bufio.NewWriter(w)
+	for _, tm := range tms {
+		if tm.Rows != tm.Cols {
+			return fmt.Errorf("traffic: matrix is %dx%d, want square", tm.Rows, tm.Cols)
+		}
+		fmt.Fprintf(bw, "tm %d\n", tm.Rows)
+		for i := 0; i < tm.Rows; i++ {
+			for j := 0; j < tm.Cols; j++ {
+				if v := tm.At(i, j); v > 0 {
+					fmt.Fprintf(bw, "d %d %d %g\n", i, j, v)
+				}
+			}
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("traffic: writing: %w", err)
+	}
+	return nil
+}
+
+// ParseTMs reads a traffic-matrix series.
+func ParseTMs(r io.Reader) ([]*tensor.Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []*tensor.Dense
+	var cur *tensor.Dense
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "tm":
+			if cur != nil {
+				return nil, fmt.Errorf("traffic: line %d: nested tm block", line)
+			}
+			var n int
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("traffic: line %d: want 'tm <nodes>'", line)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n <= 0 {
+				return nil, fmt.Errorf("traffic: line %d: bad node count %q", line, fields[1])
+			}
+			cur = tensor.New(n, n)
+		case "d":
+			if cur == nil {
+				return nil, fmt.Errorf("traffic: line %d: demand outside tm block", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("traffic: line %d: want 'd <src> <dst> <demand>'", line)
+			}
+			var i, j int
+			var v float64
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2]+" "+fields[3], "%d %d %g", &i, &j, &v); err != nil {
+				return nil, fmt.Errorf("traffic: line %d: %v", line, err)
+			}
+			if i < 0 || i >= cur.Rows || j < 0 || j >= cur.Cols || v < 0 {
+				return nil, fmt.Errorf("traffic: line %d: invalid demand %d->%d = %g", line, i, j, v)
+			}
+			cur.Set(i, j, v)
+		case "end":
+			if cur == nil {
+				return nil, fmt.Errorf("traffic: line %d: end without tm", line)
+			}
+			out = append(out, cur)
+			cur = nil
+		default:
+			return nil, fmt.Errorf("traffic: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traffic: reading: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("traffic: unterminated tm block")
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package traffic
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+)
+
+func TestTMRoundtrip(t *testing.T) {
+	g := topology.Abilene()
+	rng := rand.New(rand.NewSource(90))
+	tms := Series(g, 5, DefaultSeriesConfig(80), 11)
+	_ = rng
+	var buf bytes.Buffer
+	if err := WriteTMs(&buf, tms); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTMs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tms) {
+		t.Fatalf("got %d matrices want %d", len(got), len(tms))
+	}
+	for i := range tms {
+		if !tensor.Equal(got[i], tms[i], 1e-12) {
+			t.Fatalf("matrix %d changed in roundtrip", i)
+		}
+	}
+}
+
+func TestWriteTMsRejectsNonSquare(t *testing.T) {
+	if err := WriteTMs(&bytes.Buffer{}, []*tensor.Dense{tensor.New(2, 3)}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParseTMsErrors(t *testing.T) {
+	cases := []string{
+		"d 0 1 5",             // demand outside block
+		"tm 2\nd 0 5 1\nend",  // out of range
+		"tm 2\nd 0 1 -2\nend", // negative
+		"tm 2\ntm 2\nend",     // nested
+		"tm 2\nd 0 1 1",       // unterminated
+		"end",                 // end without tm
+		"tm 0\nend",           // zero nodes
+		"tm 2\nbogus\nend",    // unknown directive
+	}
+	for i, in := range cases {
+		if _, err := ParseTMs(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestParseTMsEmptyInput(t *testing.T) {
+	got, err := ParseTMs(strings.NewReader("# nothing here\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package traffic provides traffic matrices, synthetic traffic-series
+// generators, and the traffic-matrix predictors evaluated in §5.7
+// (moving average, exponential smoothing, linear regression).
+//
+// A traffic matrix is an N×N tensor.Dense whose (i,j) entry is the demand
+// from node i to node j. Synthetic series follow a gravity model modulated
+// by a diurnal cycle, per-cell lognormal noise and occasional bursts, the
+// standard way to emulate WAN traffic when production matrices (AnonNet)
+// are unavailable.
+package traffic
+
+import (
+	"math"
+	"math/rand"
+
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+// GravityWeights draws a positive "mass" per node (lognormal), used as both
+// attraction and emission in the gravity model. Non-edge nodes get zero.
+func GravityWeights(g *topology.Graph, rng *rand.Rand) []float64 {
+	w := make([]float64, g.NumNodes)
+	for _, n := range g.EdgeNodeList() {
+		w[n] = math.Exp(rng.NormFloat64() * 0.8)
+	}
+	return w
+}
+
+// Gravity builds a single traffic matrix with the given node weights and
+// total volume: d(i,j) ∝ w(i)·w(j).
+func Gravity(n int, weights []float64, total float64) *tensor.Dense {
+	tm := tensor.New(n, n)
+	var norm float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				norm += weights[i] * weights[j]
+			}
+		}
+	}
+	if norm == 0 {
+		return tm
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				tm.Set(i, j, total*weights[i]*weights[j]/norm)
+			}
+		}
+	}
+	return tm
+}
+
+// SeriesConfig controls synthetic traffic-series generation.
+type SeriesConfig struct {
+	// Total is the mean aggregate volume per snapshot.
+	Total float64
+	// DiurnalPeriod is the number of snapshots per diurnal cycle (0
+	// disables the cycle).
+	DiurnalPeriod int
+	// DiurnalAmplitude in [0,1) scales the sinusoidal swing.
+	DiurnalAmplitude float64
+	// NoiseSigma is the per-cell lognormal noise σ.
+	NoiseSigma float64
+	// BurstProb is the per-snapshot probability of an elephant burst on a
+	// random cell; BurstScale multiplies that cell.
+	BurstProb  float64
+	BurstScale float64
+}
+
+// DefaultSeriesConfig returns a config producing realistically bursty but
+// trainable traffic.
+func DefaultSeriesConfig(total float64) SeriesConfig {
+	return SeriesConfig{
+		Total:            total,
+		DiurnalPeriod:    48,
+		DiurnalAmplitude: 0.3,
+		NoiseSigma:       0.15,
+		BurstProb:        0.05,
+		BurstScale:       3,
+	}
+}
+
+// Series generates n successive traffic matrices on g.
+func Series(g *topology.Graph, n int, cfg SeriesConfig, seed int64) []*tensor.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	weights := GravityWeights(g, rng)
+	out := make([]*tensor.Dense, n)
+	for t := 0; t < n; t++ {
+		total := cfg.Total
+		if cfg.DiurnalPeriod > 0 {
+			phase := 2 * math.Pi * float64(t) / float64(cfg.DiurnalPeriod)
+			total *= 1 + cfg.DiurnalAmplitude*math.Sin(phase)
+		}
+		tm := Gravity(g.NumNodes, weights, total)
+		if cfg.NoiseSigma > 0 {
+			for i := range tm.Data {
+				if tm.Data[i] > 0 {
+					tm.Data[i] *= math.Exp(rng.NormFloat64() * cfg.NoiseSigma)
+				}
+			}
+		}
+		if cfg.BurstProb > 0 && rng.Float64() < cfg.BurstProb {
+			nodes := g.EdgeNodeList()
+			if len(nodes) >= 2 {
+				i := nodes[rng.Intn(len(nodes))]
+				j := nodes[rng.Intn(len(nodes))]
+				if i != j {
+					tm.Set(i, j, tm.At(i, j)*cfg.BurstScale)
+				}
+			}
+		}
+		out[t] = tm
+	}
+	return out
+}
+
+// DemandVector extracts the per-flow demand column (F×1) aligned with the
+// tunnel set's flow order.
+func DemandVector(tm *tensor.Dense, flows []tunnels.Flow) *tensor.Dense {
+	d := tensor.New(len(flows), 1)
+	for i, f := range flows {
+		d.Data[i] = tm.At(f.Src, f.Dst)
+	}
+	return d
+}
+
+// TotalVolume returns the sum of all demands in the matrix.
+func TotalVolume(tm *tensor.Dense) float64 { return tm.Sum() }
+
+// Transpose returns the transposed traffic matrix (the §2.2 invariance
+// discussion: optimal MLU is typically unchanged under transposition on
+// symmetric topologies).
+func Transpose(tm *tensor.Dense) *tensor.Dense { return tensor.Transpose(tm) }
+
+// ---- predictors (§5.7) ----
+
+// Predictor forecasts the next traffic matrix from a history window,
+// oldest first.
+type Predictor interface {
+	// Predict returns the forecast for the snapshot following the history.
+	// history must be non-empty; all matrices must share a shape.
+	Predict(history []*tensor.Dense) *tensor.Dense
+	// Name identifies the predictor in experiment output.
+	Name() string
+}
+
+// MovAvg predicts each cell as the mean of its last Window values
+// ("MovAvg" in the paper: average of the last 12 TMs).
+type MovAvg struct {
+	Window int
+}
+
+// Name implements Predictor.
+func (m MovAvg) Name() string { return "MovAvg" }
+
+// Predict implements Predictor.
+func (m MovAvg) Predict(history []*tensor.Dense) *tensor.Dense {
+	h := window(history, m.Window)
+	n := h[0].Rows
+	out := tensor.New(n, n)
+	for _, tm := range h {
+		tensor.AxpyInto(out, tm, 1/float64(len(h)))
+	}
+	return out
+}
+
+// ExpSmooth predicts each cell by exponential smoothing with factor Alpha
+// (the paper uses 0.5).
+type ExpSmooth struct {
+	Alpha float64
+}
+
+// Name implements Predictor.
+func (e ExpSmooth) Name() string { return "ExpSmooth" }
+
+// Predict implements Predictor.
+func (e ExpSmooth) Predict(history []*tensor.Dense) *tensor.Dense {
+	out := history[0].Clone()
+	for _, tm := range history[1:] {
+		for i := range out.Data {
+			out.Data[i] = e.Alpha*tm.Data[i] + (1-e.Alpha)*out.Data[i]
+		}
+	}
+	return out
+}
+
+// LinReg predicts each cell by extrapolating an ordinary-least-squares line
+// fit over its last Window values (the paper's best predictor). Forecasts
+// are clamped at zero.
+type LinReg struct {
+	Window int
+}
+
+// Name implements Predictor.
+func (l LinReg) Name() string { return "LinReg" }
+
+// Predict implements Predictor.
+func (l LinReg) Predict(history []*tensor.Dense) *tensor.Dense {
+	h := window(history, l.Window)
+	n := h[0].Rows
+	w := float64(len(h))
+	out := tensor.New(n, n)
+	// For x = 0..w-1: slope = (Σxy - Σx Σy/w) / (Σx² - (Σx)²/w); predict at x=w.
+	var sx, sxx float64
+	for x := 0; x < len(h); x++ {
+		sx += float64(x)
+		sxx += float64(x) * float64(x)
+	}
+	den := sxx - sx*sx/w
+	for idx := range out.Data {
+		var sy, sxy float64
+		for x, tm := range h {
+			sy += tm.Data[idx]
+			sxy += float64(x) * tm.Data[idx]
+		}
+		var pred float64
+		if den == 0 {
+			pred = sy / w
+		} else {
+			slope := (sxy - sx*sy/w) / den
+			intercept := (sy - slope*sx) / w
+			pred = intercept + slope*w
+		}
+		if pred < 0 {
+			pred = 0
+		}
+		out.Data[idx] = pred
+	}
+	return out
+}
+
+// NoisePredictor forecasts pure noise; used for the paper's weak-predictor
+// discussion (§5.7: with an extremely weak predictor HARP learns to ignore
+// the input while the solver's output has no relation to the true matrix).
+type NoisePredictor struct {
+	Rng   *rand.Rand
+	Scale float64
+}
+
+// Name implements Predictor.
+func (n NoisePredictor) Name() string { return "Noise" }
+
+// Predict implements Predictor.
+func (n NoisePredictor) Predict(history []*tensor.Dense) *tensor.Dense {
+	last := history[len(history)-1]
+	out := tensor.New(last.Rows, last.Cols)
+	for i := range out.Data {
+		if last.Data[i] > 0 {
+			out.Data[i] = n.Scale * n.Rng.Float64()
+		}
+	}
+	return out
+}
+
+func window(history []*tensor.Dense, w int) []*tensor.Dense {
+	if w <= 0 || w > len(history) {
+		return history
+	}
+	return history[len(history)-w:]
+}
+
+// CapToAccess scales demands so no node's aggregate in/out demand exceeds
+// frac of its incident capacity. Real WAN matrices have this property by
+// construction (access links are provisioned above the traffic they
+// admit), and it is what makes core links — where TE decisions matter —
+// the binding constraint. The matrix is modified in place and returned.
+func CapToAccess(tm *tensor.Dense, g *topology.Graph, frac float64) *tensor.Dense {
+	n := g.NumNodes
+	outCap := make([]float64, n)
+	inCap := make([]float64, n)
+	for _, e := range g.Edges {
+		outCap[e.Src] += e.Capacity
+		inCap[e.Dst] += e.Capacity
+	}
+	outScale := make([]float64, n)
+	inScale := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var outSum, inSum float64
+		for j := 0; j < n; j++ {
+			outSum += tm.At(i, j)
+			inSum += tm.At(j, i)
+		}
+		outScale[i], inScale[i] = 1, 1
+		if outSum > frac*outCap[i] && outSum > 0 {
+			outScale[i] = frac * outCap[i] / outSum
+		}
+		if inSum > frac*inCap[i] && inSum > 0 {
+			inScale[i] = frac * inCap[i] / inSum
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := outScale[i]
+			if inScale[j] < s {
+				s = inScale[j]
+			}
+			if s < 1 {
+				tm.Set(i, j, tm.At(i, j)*s)
+			}
+		}
+	}
+	return tm
+}

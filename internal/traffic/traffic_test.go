@@ -1,0 +1,255 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+func TestGravityTotalAndDiagonal(t *testing.T) {
+	g := topology.Abilene()
+	rng := rand.New(rand.NewSource(1))
+	w := GravityWeights(g, rng)
+	tm := Gravity(g.NumNodes, w, 100)
+	if math.Abs(TotalVolume(tm)-100) > 1e-9 {
+		t.Fatalf("total = %v", TotalVolume(tm))
+	}
+	for i := 0; i < g.NumNodes; i++ {
+		if tm.At(i, i) != 0 {
+			t.Fatal("diagonal must be zero")
+		}
+	}
+}
+
+func TestGravityRespectsEdgeNodes(t *testing.T) {
+	g := topology.Abilene()
+	g.EdgeNodes = []int{0, 1, 2}
+	rng := rand.New(rand.NewSource(2))
+	w := GravityWeights(g, rng)
+	tm := Gravity(g.NumNodes, w, 50)
+	for i := 0; i < g.NumNodes; i++ {
+		for j := 0; j < g.NumNodes; j++ {
+			if tm.At(i, j) > 0 && (i > 2 || j > 2) {
+				t.Fatalf("demand on non-edge node (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSeriesDeterministicAndPositive(t *testing.T) {
+	g := topology.Geant()
+	cfg := DefaultSeriesConfig(200)
+	a := Series(g, 20, cfg, 7)
+	b := Series(g, 20, cfg, 7)
+	if len(a) != 20 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if !tensor.Equal(a[i], b[i], 0) {
+			t.Fatalf("snapshot %d nondeterministic", i)
+		}
+		for _, v := range a[i].Data {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatal("negative or NaN demand")
+			}
+		}
+	}
+}
+
+func TestSeriesDiurnalCycle(t *testing.T) {
+	g := topology.Abilene()
+	cfg := SeriesConfig{Total: 100, DiurnalPeriod: 8, DiurnalAmplitude: 0.5}
+	series := Series(g, 8, cfg, 3)
+	// Volume at phase π/2 (t=2) must exceed volume at 3π/2 (t=6).
+	if TotalVolume(series[2]) <= TotalVolume(series[6]) {
+		t.Fatalf("diurnal cycle absent: %v vs %v",
+			TotalVolume(series[2]), TotalVolume(series[6]))
+	}
+}
+
+func TestDemandVectorAlignment(t *testing.T) {
+	g := topology.Abilene()
+	set := tunnels.Compute(g, 2)
+	tm := tensor.New(g.NumNodes, g.NumNodes)
+	tm.Set(3, 7, 42)
+	d := DemandVector(tm, set.Flows)
+	f := set.FlowIndex(3, 7)
+	if d.Data[f] != 42 {
+		t.Fatal("demand vector misaligned")
+	}
+	var sum float64
+	for _, v := range d.Data {
+		sum += v
+	}
+	if sum != 42 {
+		t.Fatalf("unexpected total %v", sum)
+	}
+}
+
+func constSeries(n int, vals ...float64) []*tensor.Dense {
+	out := make([]*tensor.Dense, len(vals))
+	for i, v := range vals {
+		m := tensor.New(n, n)
+		m.Set(0, 1, v)
+		out[i] = m
+	}
+	return out
+}
+
+func TestMovAvg(t *testing.T) {
+	h := constSeries(2, 1, 2, 3, 4)
+	p := MovAvg{Window: 2}.Predict(h)
+	if math.Abs(p.At(0, 1)-3.5) > 1e-12 {
+		t.Fatalf("MovAvg got %v want 3.5", p.At(0, 1))
+	}
+	// Window larger than history falls back to the whole history.
+	p = MovAvg{Window: 100}.Predict(h)
+	if math.Abs(p.At(0, 1)-2.5) > 1e-12 {
+		t.Fatalf("MovAvg full-history got %v want 2.5", p.At(0, 1))
+	}
+}
+
+func TestExpSmooth(t *testing.T) {
+	h := constSeries(2, 1, 3)
+	p := ExpSmooth{Alpha: 0.5}.Predict(h)
+	if math.Abs(p.At(0, 1)-2) > 1e-12 {
+		t.Fatalf("ExpSmooth got %v want 2", p.At(0, 1))
+	}
+}
+
+func TestLinRegExactLine(t *testing.T) {
+	// Perfectly linear history 1,2,3,4 → forecast 5.
+	h := constSeries(2, 1, 2, 3, 4)
+	p := LinReg{Window: 4}.Predict(h)
+	if math.Abs(p.At(0, 1)-5) > 1e-9 {
+		t.Fatalf("LinReg got %v want 5", p.At(0, 1))
+	}
+}
+
+func TestLinRegClampsNegative(t *testing.T) {
+	h := constSeries(2, 4, 2, 0)
+	p := LinReg{Window: 3}.Predict(h)
+	if p.At(0, 1) != 0 {
+		t.Fatalf("LinReg should clamp to 0, got %v", p.At(0, 1))
+	}
+}
+
+func TestLinRegConstantHistory(t *testing.T) {
+	h := constSeries(2, 7, 7, 7)
+	p := LinReg{Window: 3}.Predict(h)
+	if math.Abs(p.At(0, 1)-7) > 1e-9 {
+		t.Fatalf("LinReg constant got %v want 7", p.At(0, 1))
+	}
+}
+
+func TestNoisePredictorIgnoresValues(t *testing.T) {
+	h := constSeries(2, 5, 5)
+	n := NoisePredictor{Rng: rand.New(rand.NewSource(1)), Scale: 1}
+	p := n.Predict(h)
+	if p.At(0, 1) < 0 || p.At(0, 1) > 1 {
+		t.Fatalf("noise out of range: %v", p.At(0, 1))
+	}
+	// Cells with no demand stay zero (preserves sparsity pattern).
+	if p.At(1, 0) != 0 {
+		t.Fatal("noise should preserve zero cells")
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	for _, p := range []Predictor{MovAvg{12}, ExpSmooth{0.5}, LinReg{12},
+		NoisePredictor{Rng: rand.New(rand.NewSource(1))}} {
+		if p.Name() == "" {
+			t.Fatal("empty predictor name")
+		}
+	}
+}
+
+func TestTransposeMatchesTensor(t *testing.T) {
+	g := topology.Abilene()
+	rng := rand.New(rand.NewSource(4))
+	tm := Gravity(g.NumNodes, GravityWeights(g, rng), 10)
+	tt := Transpose(tm)
+	if tt.At(2, 5) != tm.At(5, 2) {
+		t.Fatal("transpose wrong")
+	}
+}
+
+func TestCapToAccessBoundsNodeDemand(t *testing.T) {
+	g := topology.Abilene()
+	rng := rand.New(rand.NewSource(70))
+	tm := Gravity(g.NumNodes, GravityWeights(g, rng), 1e6) // absurdly large
+	CapToAccess(tm, g, 0.5)
+	outCap := make([]float64, g.NumNodes)
+	inCap := make([]float64, g.NumNodes)
+	for _, e := range g.Edges {
+		outCap[e.Src] += e.Capacity
+		inCap[e.Dst] += e.Capacity
+	}
+	for i := 0; i < g.NumNodes; i++ {
+		var outSum, inSum float64
+		for j := 0; j < g.NumNodes; j++ {
+			outSum += tm.At(i, j)
+			inSum += tm.At(j, i)
+		}
+		if outSum > 0.5*outCap[i]+1e-9 {
+			t.Fatalf("node %d out demand %v exceeds cap %v", i, outSum, 0.5*outCap[i])
+		}
+		if inSum > 0.5*inCap[i]+1e-9 {
+			t.Fatalf("node %d in demand %v exceeds cap %v", i, inSum, 0.5*inCap[i])
+		}
+	}
+}
+
+func TestCapToAccessNoOpWhenUnderCap(t *testing.T) {
+	g := topology.Abilene()
+	rng := rand.New(rand.NewSource(71))
+	tm := Gravity(g.NumNodes, GravityWeights(g, rng), 0.001) // tiny
+	before := tm.Clone()
+	CapToAccess(tm, g, 0.5)
+	if !tensor.Equal(tm, before, 0) {
+		t.Fatal("capping changed an already-feasible matrix")
+	}
+}
+
+func TestCapToAccessPreservesNonNegativity(t *testing.T) {
+	g := topology.Geant()
+	rng := rand.New(rand.NewSource(72))
+	tm := Gravity(g.NumNodes, GravityWeights(g, rng), 1e5)
+	CapToAccess(tm, g, 0.3)
+	for _, v := range tm.Data {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatal("invalid demand after capping")
+		}
+	}
+}
+
+func TestSeriesBurstsOccur(t *testing.T) {
+	g := topology.Abilene()
+	cfg := DefaultSeriesConfig(100)
+	cfg.BurstProb = 1 // burst every snapshot
+	cfg.NoiseSigma = 0
+	cfg.DiurnalPeriod = 0
+	withBursts := Series(g, 5, cfg, 9)
+	cfg.BurstProb = 0
+	without := Series(g, 5, cfg, 9)
+	diff := false
+	for i := range withBursts {
+		if !tensor.Equal(withBursts[i], without[i], 1e-12) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("bursts had no effect")
+	}
+}
+
+func TestGravityZeroWeights(t *testing.T) {
+	tm := Gravity(4, []float64{0, 0, 0, 0}, 100)
+	if tm.Sum() != 0 {
+		t.Fatal("zero weights must give empty matrix")
+	}
+}

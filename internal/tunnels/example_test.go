@@ -1,0 +1,36 @@
+package tunnels_test
+
+import (
+	"fmt"
+
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+// Example provisions 3 shortest paths between the far corners of a diamond
+// network and prints them as node sequences.
+func Example() {
+	g := topology.New("diamond", 4)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(1, 3, 10)
+	g.AddBidirectional(0, 2, 10)
+	g.AddBidirectional(2, 3, 10)
+	g.AddBidirectional(0, 3, 10)
+
+	for _, t := range tunnels.KShortestPaths(g, 0, 3, 3) {
+		fmt.Println(t.Key(g))
+	}
+	// Output:
+	// 0-3
+	// 0-1-3
+	// 0-2-3
+}
+
+// ExampleCompute provisions a full tunnel set and shows its shape.
+func ExampleCompute() {
+	g := topology.Abilene()
+	set := tunnels.Compute(g, 4)
+	fmt.Printf("%d flows x %d tunnels = %d\n", len(set.Flows), set.K, set.NumTunnels())
+	// Output:
+	// 132 flows x 4 tunnels = 528
+}
