@@ -1,0 +1,21 @@
+# Tier-1 verification gate plus extras. `make check` is what CI should run.
+GO ?= go
+
+.PHONY: check vet build test race
+
+# check runs static analysis, the full build, the full test suite, and the
+# race detector on internal/core (exercises ParallelTrainStep's shared-
+# weight/private-gradient scheme under -race).
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core

@@ -4,8 +4,12 @@
 // Subcommands:
 //
 //	train -topo geant|abilene|anonnet [-k N] [-tms N] [-epochs N] [-out model.gob]
+//	      [-checkpoint ck.harp] [-resume]
 //	    Train on synthetic traffic over the chosen topology and report
 //	    NormMLU on a held-out test set; optionally save the model.
+//	    -checkpoint writes an atomic, CRC-checksummed training checkpoint
+//	    after every epoch; -resume continues a killed run from it
+//	    bit-identically.
 //
 //	eval -model model.gob -topo geant|abilene [-k N] [-tms N] [-fail u,v]
 //	    Load a model and evaluate NormMLU, optionally under a link failure.
@@ -108,7 +112,12 @@ func cmdTrain(args []string) {
 	seed := fs.Int64("seed", 1, "seed")
 	workers := fs.Int("workers", 1, "data-parallel training workers (>1 trades exact reproducibility for speed)")
 	out := fs.String("out", "", "save trained model to this path")
+	ckpt := fs.String("checkpoint", "", "write an atomic training checkpoint to this path after every epoch")
+	resume := fs.Bool("resume", false, "resume from -checkpoint if it exists (continues bit-identically)")
 	mustParse(fs, args)
+	if *resume && *ckpt == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
 
 	g := buildTopologyOrFile(*topoName, *topoFile, *seed)
 	set := tunnels.Compute(g, *k)
@@ -140,7 +149,20 @@ func cmdTrain(args []string) {
 	tc.LR = *lr
 	tc.Workers = *workers
 	tc.Log = os.Stdout
-	res := m.Fit(experiments.HarpSamples(m, trainI), experiments.HarpSamples(m, valI), tc)
+	tc.CheckpointPath = *ckpt
+	tc.CheckpointEvery = 1
+	tc.Resume = *resume
+	res, err := m.FitCheckpointed(experiments.HarpSamples(m, trainI), experiments.HarpSamples(m, valI), tc)
+	if err != nil {
+		fatal(err)
+	}
+	if res.ResumedAtEpoch > 0 {
+		fmt.Printf("resumed from checkpoint at epoch %d\n", res.ResumedAtEpoch)
+	}
+	if res.SkippedBatches > 0 {
+		fmt.Printf("health guard: skipped %d poisoned batches, %d snapshot restores\n",
+			res.SkippedBatches, res.GuardRestores)
+	}
 	fmt.Printf("best validation MLU: %.4f after %d epochs\n", res.BestValMLU, res.Epochs)
 
 	experiments.ComputeOptimal(testI)
@@ -196,7 +218,12 @@ func cmdEval(args []string) {
 		if err1 != nil || err2 != nil {
 			fatal(fmt.Errorf("-fail wants integer node ids"))
 		}
-		g = g.WithFailedLink(u, v)
+		// The link id comes straight from user input: fail with a message,
+		// not a panic, when it does not exist.
+		g, err = g.WithFailedLinkErr(u, v)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("failed link %d<->%d\n", u, v)
 	}
 	p := te.NewProblem(g, set)

@@ -5,9 +5,17 @@
 // the NormMLU timeline, flagging topology events and failures as they
 // stream past.
 //
+// The replay loop serves each snapshot through the guarded inference path
+// (internal/resilience): inputs are validated, panics become errors, every
+// output is vetted for NaN and row normalization, a per-request deadline is
+// enforced, and requests degrade full-RAU → reduced-RAU → ECMP. The tier
+// that served each snapshot is shown in the timeline and totaled at the
+// end.
+//
 // Usage:
 //
 //	tereplay [-nodes N] [-snapshots N] [-seed N] [-epochs N] [-every N]
+//	         [-deadline D]
 package main
 
 import (
@@ -15,11 +23,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"harpte/internal/core"
 	"harpte/internal/dataset"
 	"harpte/internal/experiments"
 	"harpte/internal/lp"
+	"harpte/internal/resilience"
 	"harpte/internal/te"
 	"harpte/internal/traffic"
 )
@@ -31,6 +41,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed")
 		epochs    = flag.Int("epochs", 30, "training epochs")
 		every     = flag.Int("every", 4, "replay every N-th snapshot")
+		deadline  = flag.Duration("deadline", 5*time.Second, "per-request wall-clock budget before degrading to ECMP (0 disables)")
 	)
 	flag.Parse()
 
@@ -69,7 +80,9 @@ func main() {
 		experiments.HarpSamples(model, valInst), tc)
 	fmt.Printf("trained: best val MLU %.4f\n\n", res.BestValMLU)
 
-	fmt.Println("  t  cluster  event            HARP-MLU  optimal   NormMLU")
+	srv := resilience.NewServer(model, resilience.Options{Deadline: *deadline})
+
+	fmt.Println("  t  cluster  event            tier         HARP-MLU  optimal   NormMLU")
 	var norms []float64
 	lastCluster := -1
 	for si := 0; si < len(ds.Snapshots); si += *every {
@@ -80,8 +93,12 @@ func main() {
 		c := ds.Clusters[snap.Cluster]
 		p := te.NewProblem(snap.Graph, c.Tunnels)
 		d := traffic.DemandVector(snap.TM, c.Tunnels.Flows)
-		splits := model.Splits(model.Context(p), d)
-		mlu := p.MLU(splits, d)
+		dec := srv.Serve(p, d)
+		if dec.Tier == resilience.TierRejected {
+			fmt.Fprintf(os.Stderr, "tereplay: snapshot %d rejected: %v\n", si, dec.Err)
+			continue
+		}
+		mlu := p.MLU(dec.Splits, d)
 		opt := lp.Solve(p, d).MLU
 		norm := te.NormMLU(mlu, opt)
 		norms = append(norms, norm)
@@ -101,8 +118,8 @@ func main() {
 		if norm > 1.2 {
 			marker = "  <-- degraded"
 		}
-		fmt.Printf("%4d  %6d  %-16s %8.4f  %8.4f  %7.3f%s\n",
-			si, snap.Cluster, strings.Join(events, ","), mlu, opt, norm, marker)
+		fmt.Printf("%4d  %6d  %-16s %-12s %8.4f  %8.4f  %7.3f%s\n",
+			si, snap.Cluster, strings.Join(events, ","), dec.Tier, mlu, opt, norm, marker)
 	}
 	if len(norms) == 0 {
 		fmt.Fprintln(os.Stderr, "tereplay: no test snapshots (dataset too small?)")
@@ -110,4 +127,8 @@ func main() {
 	}
 	d := experiments.NewDistribution(norms)
 	fmt.Printf("\nreplayed %d snapshots: %s\n", len(norms), d.CDFRow())
+	counts := srv.TierCounts()
+	fmt.Printf("serving tiers: full=%d reduced-rau=%d ecmp=%d rejected=%d\n",
+		counts[resilience.TierFull], counts[resilience.TierReducedRAU],
+		counts[resilience.TierECMP], counts[resilience.TierRejected])
 }

@@ -1,6 +1,7 @@
 package autograd
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -67,6 +68,62 @@ func (o *Adam) Step(params []*Tensor) {
 		}
 		p.Grad.Zero()
 	}
+}
+
+// AdamState is a serializable snapshot of an Adam optimizer's internal
+// state: the step counter plus the first and second moment estimates,
+// aligned index-by-index with the parameter slice passed to State/SetState.
+// Together with the parameter values it is everything needed to resume
+// training bit-identically after a crash.
+type AdamState struct {
+	Step int
+	M    [][]float64
+	V    [][]float64
+}
+
+// State exports the optimizer state for params. Parameters the optimizer
+// has never stepped export zero moments, which is exactly the state a
+// fresh optimizer would lazily create for them.
+func (o *Adam) State(params []*Tensor) AdamState {
+	st := AdamState{Step: o.step, M: make([][]float64, len(params)), V: make([][]float64, len(params))}
+	for i, p := range params {
+		n := len(p.Val.Data)
+		st.M[i] = make([]float64, n)
+		st.V[i] = make([]float64, n)
+		if m, ok := o.m[p]; ok {
+			copy(st.M[i], m.Data)
+			copy(st.V[i], o.v[p].Data)
+		}
+	}
+	return st
+}
+
+// SetState restores optimizer state previously captured by State. The
+// params slice must match the one used at capture time in length and
+// per-parameter size.
+func (o *Adam) SetState(params []*Tensor, st AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("autograd: Adam state has %d/%d moment slices, want %d",
+			len(st.M), len(st.V), len(params))
+	}
+	for i, p := range params {
+		if len(st.M[i]) != len(p.Val.Data) || len(st.V[i]) != len(p.Val.Data) {
+			return fmt.Errorf("autograd: Adam state moment %d has %d/%d values, want %d",
+				i, len(st.M[i]), len(st.V[i]), len(p.Val.Data))
+		}
+	}
+	o.step = st.Step
+	o.m = make(map[*Tensor]*tensor.Dense, len(params))
+	o.v = make(map[*Tensor]*tensor.Dense, len(params))
+	for i, p := range params {
+		m := tensor.New(p.Rows(), p.Cols())
+		v := tensor.New(p.Rows(), p.Cols())
+		copy(m.Data, st.M[i])
+		copy(v.Data, st.V[i])
+		o.m[p] = m
+		o.v[p] = v
+	}
+	return nil
 }
 
 // XavierParam returns a trainable rows×cols parameter initialized with

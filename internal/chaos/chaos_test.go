@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTruncatingWriterDropsTail(t *testing.T) {
+	var out bytes.Buffer
+	w := &TruncatingWriter{W: &out, Limit: 5}
+	n, err := w.Write([]byte("hello world"))
+	if err != nil || n != 11 {
+		t.Fatalf("torn write reported (%d, %v), want silent success", n, err)
+	}
+	if out.String() != "hello" {
+		t.Fatalf("wrote %q, want prefix %q", out.String(), "hello")
+	}
+	// Later writes vanish entirely.
+	if n, err := w.Write([]byte("more")); err != nil || n != 4 {
+		t.Fatalf("post-limit write (%d, %v)", n, err)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("buffer grew past the limit: %d bytes", out.Len())
+	}
+}
+
+func TestTruncatingWriterErrMode(t *testing.T) {
+	boom := errors.New("disk full")
+	var out bytes.Buffer
+	w := &TruncatingWriter{W: &out, Limit: 3, Err: boom}
+	if _, err := w.Write([]byte("abcdef")); !errors.Is(err, boom) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("want injected error on later writes, got %v", err)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	buf := []byte{0b0000_0000}
+	FlipBit(buf, 0, 3)
+	if buf[0] != 0b0000_1000 {
+		t.Fatalf("got %08b", buf[0])
+	}
+	FlipBit(buf, 0, 3)
+	if buf[0] != 0 {
+		t.Fatalf("double flip not identity: %08b", buf[0])
+	}
+}
+
+func TestCorruptAndTruncateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("abcdefgh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFile(path, -1, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if data[7] != 'h'^1 {
+		t.Fatalf("last byte %q", data[7])
+	}
+	if err := TruncateFile(path, -3); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if len(data) != 5 {
+		t.Fatalf("len %d after truncation, want 5", len(data))
+	}
+	if err := CorruptFile(path, 99, 0); err == nil {
+		t.Fatal("out-of-range corruption must error")
+	}
+}
+
+func TestNaNHooks(t *testing.T) {
+	h := NaNAfter(2)
+	if v := h(1.5); v != 1.5 {
+		t.Fatalf("call 1 poisoned: %v", v)
+	}
+	if v := h(2.5); v != 2.5 {
+		t.Fatalf("call 2 poisoned: %v", v)
+	}
+	if v := h(3.5); !math.IsNaN(v) {
+		t.Fatalf("call 3 not poisoned: %v", v)
+	}
+
+	e := NaNEvery(2)
+	if v := e(1); v != 1 {
+		t.Fatalf("call 1 poisoned: %v", v)
+	}
+	if v := e(2); !math.IsNaN(v) {
+		t.Fatalf("call 2 not poisoned: %v", v)
+	}
+	if v := e(3); v != 3 {
+		t.Fatalf("call 3 poisoned: %v", v)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"harpte/internal/autograd"
+)
+
+// This file implements crash-safe training checkpoints. A checkpoint holds
+// everything Fit needs to continue an interrupted run bit-identically: the
+// parameters, the full Adam state (step counter and both moment vectors),
+// the epoch counter, the RNG seed plus how far the shuffle stream has been
+// consumed, and the best-validation snapshot. The on-disk format is a fixed
+// header (magic, version, payload length, CRC-32) followed by a gob
+// payload, so truncation and bit rot are detected before a single byte is
+// trusted, and files are written atomically (temp file + rename) so a crash
+// mid-write can never tear the previous checkpoint.
+
+// Checkpoint is the resumable state of a training run. All fields are
+// exported for serialization; callers normally only inspect Epoch and
+// BestValMLU and hand the rest back to Fit via TrainConfig.Resume.
+type Checkpoint struct {
+	Cfg    Config
+	Params [][]float64
+	Adam   autograd.AdamState
+	// Epoch is the number of completed epochs.
+	Epoch int
+	// Seed and RNGDraws reconstruct the shuffle RNG: reseed with Seed and
+	// replay RNGDraws epoch permutations (Fit consumes exactly one
+	// rng.Perm per epoch).
+	Seed     int64
+	RNGDraws int
+	// NumTrain guards shuffle determinism: resuming against a different
+	// training-set size would silently diverge, so it is an error.
+	NumTrain int
+	// Best is the parameter snapshot minimizing validation MLU so far
+	// (nil if no finite validation score has been seen).
+	Best       [][]float64
+	BestValMLU float64
+	BadEpochs  int
+	TrainLoss  []float64
+	ValMLU     []float64
+	// Guard counters, carried across resume so FitResult totals are
+	// cumulative for the whole logical run.
+	SkippedBatches int
+	GuardRestores  int
+}
+
+const checkpointVersion = 1
+
+// checkpointMagic identifies a harpte checkpoint stream; exactly 8 bytes.
+var checkpointMagic = [8]byte{'H', 'A', 'R', 'P', 'C', 'K', 'P', 'T'}
+
+// ErrCorruptCheckpoint tags any integrity failure (bad magic, torn file,
+// checksum mismatch, undecodable payload) so callers can distinguish
+// corruption from ordinary IO errors with errors.Is.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
+// checkpointHeader is the fixed-size prefix of the stream, encoded
+// big-endian: magic, format version, payload byte length, payload CRC-32
+// (IEEE).
+type checkpointHeader struct {
+	Magic   [8]byte
+	Version uint32
+	Length  uint64
+	CRC     uint32
+}
+
+// WriteCheckpoint encodes ck to w in the versioned, checksummed format.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	h := checkpointHeader{
+		Magic:   checkpointMagic,
+		Version: checkpointVersion,
+		Length:  uint64(payload.Len()),
+		CRC:     crc32.ChecksumIEEE(payload.Bytes()),
+	}
+	if err := binary.Write(w, binary.BigEndian, &h); err != nil {
+		return fmt.Errorf("core: writing checkpoint header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("core: writing checkpoint payload: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint decodes a checkpoint from r, verifying magic, version and
+// checksum before decoding. Integrity failures wrap ErrCorruptCheckpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var h checkpointHeader
+	if err := binary.Read(r, binary.BigEndian, &h); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint header: %w: %v", ErrCorruptCheckpoint, err)
+	}
+	if h.Magic != checkpointMagic {
+		return nil, fmt.Errorf("core: %w: bad magic %q", ErrCorruptCheckpoint, h.Magic[:])
+	}
+	if h.Version > checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint format version %d is newer than supported version %d",
+			h.Version, checkpointVersion)
+	}
+	payload := make([]byte, h.Length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("core: %w: truncated payload (%v)", ErrCorruptCheckpoint, err)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != h.CRC {
+		return nil, fmt.Errorf("core: %w: CRC mismatch (stored %08x, computed %08x)",
+			ErrCorruptCheckpoint, h.CRC, crc)
+	}
+	ck := new(Checkpoint)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(ck); err != nil {
+		return nil, fmt.Errorf("core: %w: undecodable payload: %v", ErrCorruptCheckpoint, err)
+	}
+	return ck, nil
+}
+
+// SaveCheckpoint atomically writes ck to path: the bytes go to a temp file
+// in the same directory, are fsynced, and only then renamed over path. A
+// crash at any point leaves either the old checkpoint or the new one —
+// never a torn file.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("core: creating checkpoint temp file: %w", err)
+	}
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}
+	if err := WriteCheckpoint(tmp, ck); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("core: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: closing checkpoint temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and verifies the checkpoint at path. A missing file
+// returns an error satisfying errors.Is(err, fs.ErrNotExist).
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

@@ -92,6 +92,10 @@ type Model struct {
 
 	// debugRAU, when set (tests only), observes each RAU iteration.
 	debugRAU func(iter int, u, base, penalty *tensor.Dense)
+
+	// lossHook, when set (TrainConfig.LossHook / fault-injection tests),
+	// observes and may replace each batch loss before the health guard.
+	lossHook func(float64) float64
 }
 
 // New constructs a HARP model with freshly initialized parameters.
@@ -121,6 +125,21 @@ func New(cfg Config) *Model {
 
 // Params returns the trainable parameters.
 func (m *Model) Params() []*autograd.Tensor { return m.params }
+
+// WithRAUIterations returns a model that shares m's parameter values but
+// runs n RAU iterations in Forward — the cheaper, lower-fidelity tier of
+// the serving fallback chain (resilience package). The clone aliases m's
+// weights, so it tracks any further training of m; it is safe for
+// concurrent inference but must not itself be trained.
+func (m *Model) WithRAUIterations(n int) *Model {
+	cfg := m.Cfg
+	cfg.RAUIterations = n
+	s := New(cfg)
+	for i := range s.params {
+		s.params[i].Val = m.params[i].Val
+	}
+	return s
+}
 
 // NumParams returns the scalar parameter count (the paper reports 21K for
 // the AnonNet model, vs 1M for DOTE).

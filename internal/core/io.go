@@ -1,30 +1,94 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// modelFile is the on-disk representation of a trained model.
+// modelFormatVersion is the current on-disk model schema. Version history:
+//
+//	0 — raw gob of modelFile (no container; the original format)
+//	1 — checksummed container: magic, version, payload length, CRC-32,
+//	    then the gob payload
+//
+// Readers accept both: version-0 files keep loading, and any flipped byte
+// or truncation in a version-1 file fails the checksum instead of
+// gob-decoding into silent garbage. Files from a newer schema fail with a
+// clear error.
+const modelFormatVersion = 1
+
+// modelMagic identifies a containerized model file; exactly 8 bytes. Raw
+// gob streams can never start with these bytes (gob begins with a type
+// definition whose first byte is a small length).
+var modelMagic = [8]byte{'H', 'A', 'R', 'P', 'M', 'O', 'D', 'L'}
+
+// modelFile is the serialized representation of a trained model.
 type modelFile struct {
 	Cfg    Config
 	Params [][]float64
 }
 
-// Save writes the model configuration and parameters to w (gob encoding).
+// Save writes the model configuration and parameters to w: a versioned,
+// CRC-checksummed container around a gob payload.
 func (m *Model) Save(w io.Writer) error {
+	var payload bytes.Buffer
 	mf := modelFile{Cfg: m.Cfg, Params: m.snapshot()}
-	if err := gob.NewEncoder(w).Encode(&mf); err != nil {
+	if err := gob.NewEncoder(&payload).Encode(&mf); err != nil {
 		return fmt.Errorf("core: saving model: %w", err)
+	}
+	h := checkpointHeader{
+		Magic:   modelMagic,
+		Version: modelFormatVersion,
+		Length:  uint64(payload.Len()),
+		CRC:     crc32.ChecksumIEEE(payload.Bytes()),
+	}
+	if err := binary.Write(w, binary.BigEndian, &h); err != nil {
+		return fmt.Errorf("core: saving model header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("core: saving model payload: %w", err)
 	}
 	return nil
 }
 
-// Load reads a model previously written by Save.
+// Load reads a model previously written by Save — either the current
+// checksummed container or a legacy version-0 raw gob stream. It rejects
+// truncated or bit-flipped containers (checksum), files from a newer
+// format version, parameter tensors of the wrong cardinality, and —
+// because a model with poisoned weights would silently serve garbage —
+// any parameter containing NaN or Inf.
 func Load(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	payload := data
+	if len(data) >= len(modelMagic) && bytes.Equal(data[:len(modelMagic)], modelMagic[:]) {
+		var h checkpointHeader
+		if err := binary.Read(bytes.NewReader(data), binary.BigEndian, &h); err != nil {
+			return nil, fmt.Errorf("core: %w: truncated model header (%v)", ErrCorruptCheckpoint, err)
+		}
+		if h.Version > modelFormatVersion {
+			return nil, fmt.Errorf("core: model file format version %d is newer than supported version %d",
+				h.Version, modelFormatVersion)
+		}
+		body := data[binary.Size(h):]
+		if uint64(len(body)) < h.Length {
+			return nil, fmt.Errorf("core: %w: model payload truncated (%d of %d bytes)",
+				ErrCorruptCheckpoint, len(body), h.Length)
+		}
+		payload = body[:h.Length]
+		if crc := crc32.ChecksumIEEE(payload); crc != h.CRC {
+			return nil, fmt.Errorf("core: %w: model CRC mismatch (stored %08x, computed %08x)",
+				ErrCorruptCheckpoint, h.CRC, crc)
+		}
+	}
 	var mf modelFile
-	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&mf); err != nil {
 		return nil, fmt.Errorf("core: loading model: %w", err)
 	}
 	m := New(mf.Cfg)
@@ -36,6 +100,12 @@ func Load(r io.Reader) (*Model, error) {
 		if len(mf.Params[i]) != len(p.Val.Data) {
 			return nil, fmt.Errorf("core: parameter %d has %d values, expected %d",
 				i, len(mf.Params[i]), len(p.Val.Data))
+		}
+		for j, v := range mf.Params[i] {
+			if !isFinite(v) {
+				return nil, fmt.Errorf("core: parameter %d contains non-finite value %v at index %d",
+					i, v, j)
+			}
 		}
 		copy(p.Val.Data, mf.Params[i])
 	}

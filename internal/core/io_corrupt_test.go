@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"harpte/internal/chaos"
+)
+
+func savedModelBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := New(tinyConfig()).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRejectsTruncatedModel(t *testing.T) {
+	data := savedModelBytes(t)
+	for _, n := range []int{0, 4, len(data) / 2, len(data) - 3} {
+		if _, err := Load(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes loaded without error", n)
+		}
+	}
+}
+
+func TestLoadRejectsBitFlippedModel(t *testing.T) {
+	// Flip one bit at every eighth offset in the payload region: each must
+	// fail the CRC — no flipped byte may silently load as garbage weights.
+	base := savedModelBytes(t)
+	for off := 24; off < len(base); off += 8 {
+		data := append([]byte(nil), base...)
+		chaos.FlipBit(data, off, uint(off%8))
+		if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("bit flip at %d: want checksum error, got %v", off, err)
+		}
+	}
+}
+
+func TestLoadRejectsNewerModelVersion(t *testing.T) {
+	data := savedModelBytes(t)
+	data[8], data[9], data[10], data[11] = 0, 0, 0, 42
+	_, err := Load(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("future format version: want newer-version error, got %v", err)
+	}
+}
+
+// TestLoadLegacyVersionZero: files written before the checksummed
+// container (raw gob of modelFile) must keep loading.
+func TestLoadLegacyVersionZero(t *testing.T) {
+	m := New(tinyConfig())
+	var buf bytes.Buffer
+	mf := modelFile{Cfg: m.Cfg, Params: m.snapshot()}
+	if err := gob.NewEncoder(&buf).Encode(&mf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("legacy model failed to load: %v", err)
+	}
+	if got.Cfg != m.Cfg {
+		t.Fatalf("legacy config mismatch: %+v vs %+v", got.Cfg, m.Cfg)
+	}
+}
+
+func TestLoadRejectsNonFiniteParams(t *testing.T) {
+	m := New(tinyConfig())
+	for _, poison := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		params := m.snapshot()
+		params[1][0] = poison
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&modelFile{Cfg: m.Cfg, Params: params}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&buf)
+		if err == nil || !strings.Contains(err.Error(), "non-finite") {
+			t.Fatalf("poison %v: want non-finite rejection, got %v", poison, err)
+		}
+	}
+}
+
+func TestLoadRejectsParamCardinalityMismatch(t *testing.T) {
+	m := New(tinyConfig())
+
+	// Wrong tensor count.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&modelFile{Cfg: m.Cfg, Params: [][]float64{{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "parameter tensors") {
+		t.Fatalf("tensor-count mismatch: got %v", err)
+	}
+
+	// Right count, wrong length in one tensor.
+	params := m.snapshot()
+	params[2] = params[2][:len(params[2])-1]
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&modelFile{Cfg: m.Cfg, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "values") {
+		t.Fatalf("tensor-length mismatch: got %v", err)
+	}
+}

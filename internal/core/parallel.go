@@ -18,11 +18,7 @@ import (
 // fresh gradient buffers. Construction order is deterministic, so params
 // align index-by-index.
 func (m *Model) shadow() *Model {
-	s := New(m.Cfg)
-	for i := range s.params {
-		s.params[i].Val = m.params[i].Val
-	}
-	return s
+	return m.WithRAUIterations(m.Cfg.RAUIterations)
 }
 
 // replicas lazily builds and caches n-1 shadow replicas (the primary model
@@ -39,9 +35,19 @@ func (m *Model) replicas(n int) []*Model {
 // ParallelTrainStep is TrainStep with the batch sharded across workers
 // (default GOMAXPROCS). It produces the same gradient as the sequential
 // version up to floating-point summation order and returns the mean loss.
+// The step is numerically guarded: see ParallelTrainStepChecked.
 func (m *Model) ParallelTrainStep(opt *autograd.Adam, batch []Sample, workers int) float64 {
+	loss, _ := m.ParallelTrainStepChecked(opt, batch, workers)
+	return loss
+}
+
+// ParallelTrainStepChecked is ParallelTrainStep with the same numerical
+// health guard as TrainStepChecked: a NaN/Inf batch loss or reduced
+// gradient withholds the optimizer step, clears all gradients, and returns
+// skipped=true.
+func (m *Model) ParallelTrainStepChecked(opt *autograd.Adam, batch []Sample, workers int) (loss float64, skipped bool) {
 	if len(batch) == 0 {
-		return 0
+		return 0, false
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -50,7 +56,7 @@ func (m *Model) ParallelTrainStep(opt *autograd.Adam, batch []Sample, workers in
 		workers = len(batch)
 	}
 	if workers == 1 {
-		return m.TrainStep(opt, batch)
+		return m.TrainStepChecked(opt, batch)
 	}
 	models := append([]*Model{m}, m.replicas(workers)...)
 	scale := 1 / float64(len(batch))
@@ -85,11 +91,18 @@ func (m *Model) ParallelTrainStep(opt *autograd.Adam, batch []Sample, workers in
 			rg.Zero()
 		}
 	}
-	opt.Step(m.params)
 
 	var total float64
 	for _, l := range losses {
 		total += l
 	}
-	return total
+	if m.lossHook != nil {
+		total = m.lossHook(total)
+	}
+	if !isFinite(total) || !gradsFinite(m.params) {
+		zeroGrads(m.params)
+		return total, true
+	}
+	opt.Step(m.params)
+	return total, false
 }

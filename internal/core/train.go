@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"math/rand"
 
@@ -42,6 +44,30 @@ type TrainConfig struct {
 	// Workers > 1 shards each batch across goroutines
 	// (ParallelTrainStep); 0 or 1 trains sequentially.
 	Workers int
+
+	// CheckpointPath, when non-empty, makes Fit write a crash-safe
+	// checkpoint (atomic temp-file+rename, CRC-verified on load) every
+	// CheckpointEvery epochs, and a final one when training ends.
+	CheckpointPath string
+	// CheckpointEvery is the epoch interval between checkpoints; values
+	// <= 0 checkpoint every epoch.
+	CheckpointEvery int
+	// Resume loads CheckpointPath before training and continues from the
+	// recorded epoch. The continuation is bit-identical to a run that was
+	// never interrupted: parameters, Adam moments, shuffle order and the
+	// best-validation snapshot all pick up where they left off. A missing
+	// checkpoint file simply starts a fresh run.
+	Resume bool
+
+	// MaxConsecutiveSkips is how many poisoned batches in a row the
+	// numerical health guard tolerates before restoring the last-good
+	// parameter snapshot (<= 0 means 3).
+	MaxConsecutiveSkips int
+	// LossHook, when non-nil, observes (and may replace) every batch's
+	// mean loss before the health guard inspects it. The fault-injection
+	// tests use it (chaos.NaNAfter) to poison batches; production runs
+	// leave it nil.
+	LossHook func(float64) float64
 }
 
 // DefaultTrainConfig returns settings that converge on the bundled
@@ -51,23 +77,60 @@ func DefaultTrainConfig() TrainConfig {
 }
 
 // TrainStep accumulates gradients over the batch (mean loss) and applies
-// one optimizer step. It returns the mean loss.
+// one optimizer step. It returns the mean loss. The step is numerically
+// guarded: see TrainStepChecked.
 func (m *Model) TrainStep(opt *autograd.Adam, batch []Sample) float64 {
+	loss, _ := m.TrainStepChecked(opt, batch)
+	return loss
+}
+
+// TrainStepChecked is TrainStep with an explicit health verdict: when the
+// batch loss or the accumulated gradient norm is NaN/Inf, the optimizer
+// step is withheld, gradients are cleared, and skipped=true is returned —
+// a poisoned batch never touches the parameters or the Adam moments.
+func (m *Model) TrainStepChecked(opt *autograd.Adam, batch []Sample) (loss float64, skipped bool) {
 	if len(batch) == 0 {
-		return 0
+		return 0, false
 	}
 	var total float64
 	scale := 1 / float64(len(batch))
 	for _, s := range batch {
 		tp := autograd.NewTape()
 		fr := m.Forward(tp, s.Ctx, s.Demand)
-		loss := m.LossMLU(tp, s.Ctx, fr.Splits, s.lossDemand())
-		loss = tp.Scale(loss, scale)
-		tp.Backward(loss)
-		total += loss.Val.Data[0]
+		l := m.LossMLU(tp, s.Ctx, fr.Splits, s.lossDemand())
+		l = tp.Scale(l, scale)
+		tp.Backward(l)
+		total += l.Val.Data[0]
+	}
+	if m.lossHook != nil {
+		total = m.lossHook(total)
+	}
+	if !isFinite(total) || !gradsFinite(m.params) {
+		zeroGrads(m.params)
+		return total, true
 	}
 	opt.Step(m.params)
-	return total
+	return total, false
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// gradsFinite reports whether the accumulated gradient norm is finite.
+func gradsFinite(params []*autograd.Tensor) bool {
+	var norm float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			norm += g * g
+		}
+	}
+	return isFinite(norm)
+}
+
+func zeroGrads(params []*autograd.Tensor) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
 }
 
 // FitResult reports the outcome of Fit.
@@ -76,13 +139,39 @@ type FitResult struct {
 	BestValMLU    float64
 	TrainLoss     []float64 // mean loss per epoch
 	ValMLUHistory []float64 // mean hard MLU on the validation set per epoch
+
+	// SkippedBatches counts batches the numerical health guard discarded
+	// (NaN/Inf loss or gradient norm) instead of stepping.
+	SkippedBatches int
+	// GuardRestores counts how many times repeated consecutive skips
+	// forced a restore of the last-good parameter snapshot.
+	GuardRestores int
+	// ResumedAtEpoch is the epoch a checkpointed run continued from
+	// (0 for a fresh run).
+	ResumedAtEpoch int
 }
 
 // Fit trains the model, tracking the parameter snapshot that minimizes the
 // mean validation MLU and restoring it before returning — the paper's
 // "train for sufficient epochs, save the model after every epoch, pick the
 // best on the validation set" protocol (§4), collapsed into one call.
+// Checkpoint errors (TrainConfig.CheckpointPath/Resume) are logged to
+// tc.Log and otherwise swallowed; use FitCheckpointed when they must be
+// handled.
 func (m *Model) Fit(train, val []Sample, tc TrainConfig) FitResult {
+	res, err := m.FitCheckpointed(train, val, tc)
+	if err != nil && tc.Log != nil {
+		fmt.Fprintf(tc.Log, "fit: checkpoint error: %v\n", err)
+	}
+	return res
+}
+
+// FitCheckpointed is Fit returning checkpoint/resume errors explicitly. A
+// non-nil error is only possible when tc.CheckpointPath or tc.Resume is
+// set: a corrupt or mismatched checkpoint aborts before training starts,
+// and a failed checkpoint write aborts the run at that epoch (the partial
+// FitResult is still returned).
+func (m *Model) FitCheckpointed(train, val []Sample, tc TrainConfig) (FitResult, error) {
 	if tc.Epochs <= 0 {
 		tc.Epochs = 1
 	}
@@ -92,9 +181,14 @@ func (m *Model) Fit(train, val []Sample, tc TrainConfig) FitResult {
 	if tc.LR <= 0 {
 		tc.LR = 2e-3
 	}
+	maxSkips := tc.MaxConsecutiveSkips
+	if maxSkips <= 0 {
+		maxSkips = 3
+	}
 	opt := autograd.NewAdam(tc.LR)
 	opt.GradClip = tc.GradClip
-	rng := rand.New(rand.NewSource(tc.Seed))
+	m.lossHook = tc.LossHook
+	defer func() { m.lossHook = nil }()
 	if len(val) == 0 {
 		// Without a validation set, select the best epoch on the training
 		// set (better than keeping whatever the last epoch produced).
@@ -104,10 +198,88 @@ func (m *Model) Fit(train, val []Sample, tc TrainConfig) FitResult {
 	res := FitResult{BestValMLU: math.Inf(1)}
 	var best [][]float64
 	badEpochs := 0
-	for epoch := 0; epoch < tc.Epochs; epoch++ {
+	startEpoch := 0
+	seed := tc.Seed
+
+	if tc.Resume && tc.CheckpointPath != "" {
+		ck, err := LoadCheckpoint(tc.CheckpointPath)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing to resume from: fall through to a fresh run.
+		case err != nil:
+			return res, err
+		default:
+			if ck.Cfg != m.Cfg {
+				return res, fmt.Errorf("core: checkpoint model config %+v does not match %+v", ck.Cfg, m.Cfg)
+			}
+			if ck.NumTrain != len(train) {
+				return res, fmt.Errorf("core: checkpoint was taken with %d training samples, resuming with %d would diverge",
+					ck.NumTrain, len(train))
+			}
+			if err := m.restoreSnapshot(ck.Params); err != nil {
+				return res, err
+			}
+			if err := opt.SetState(m.params, ck.Adam); err != nil {
+				return res, err
+			}
+			seed = ck.Seed
+			startEpoch = ck.Epoch
+			best = ck.Best
+			res.BestValMLU = ck.BestValMLU
+			badEpochs = ck.BadEpochs
+			res.TrainLoss = append(res.TrainLoss, ck.TrainLoss...)
+			res.ValMLUHistory = append(res.ValMLUHistory, ck.ValMLU...)
+			res.SkippedBatches = ck.SkippedBatches
+			res.GuardRestores = ck.GuardRestores
+			res.ResumedAtEpoch = ck.Epoch
+			res.Epochs = ck.Epoch
+		}
+	}
+
+	// The shuffle RNG consumes exactly one Perm per epoch, so its position
+	// is fully determined by (seed, epochs completed) — that is what makes
+	// resumed runs bit-identical without serializing rand internals.
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < startEpoch; i++ {
+		rng.Perm(len(train))
+	}
+
+	checkpoint := func(epoch int) error {
+		if tc.CheckpointPath == "" {
+			return nil
+		}
+		ck := &Checkpoint{
+			Cfg:            m.Cfg,
+			Params:         m.snapshot(),
+			Adam:           opt.State(m.params),
+			Epoch:          epoch,
+			Seed:           seed,
+			RNGDraws:       epoch,
+			NumTrain:       len(train),
+			Best:           best,
+			BestValMLU:     res.BestValMLU,
+			BadEpochs:      badEpochs,
+			TrainLoss:      res.TrainLoss,
+			ValMLU:         res.ValMLUHistory,
+			SkippedBatches: res.SkippedBatches,
+			GuardRestores:  res.GuardRestores,
+		}
+		return SaveCheckpoint(tc.CheckpointPath, ck)
+	}
+	every := tc.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+
+	// lastGood is the guard's rollback point: the parameters as of the
+	// last epoch boundary that saw no skipped batch.
+	lastGood := m.snapshot()
+	consecutiveSkips := 0
+
+	for epoch := startEpoch; epoch < tc.Epochs; epoch++ {
 		order := rng.Perm(len(train))
 		var epochLoss float64
-		batches := 0
+		batches, epochSkips := 0, 0
 		for at := 0; at < len(order); at += tc.BatchSize {
 			end := at + tc.BatchSize
 			if end > len(order) {
@@ -117,31 +289,63 @@ func (m *Model) Fit(train, val []Sample, tc TrainConfig) FitResult {
 			for _, i := range order[at:end] {
 				batch = append(batch, train[i])
 			}
+			var loss float64
+			var skipped bool
 			if tc.Workers > 1 {
-				epochLoss += m.ParallelTrainStep(opt, batch, tc.Workers)
+				loss, skipped = m.ParallelTrainStepChecked(opt, batch, tc.Workers)
 			} else {
-				epochLoss += m.TrainStep(opt, batch)
+				loss, skipped = m.TrainStepChecked(opt, batch)
 			}
+			if skipped {
+				res.SkippedBatches++
+				epochSkips++
+				consecutiveSkips++
+				if consecutiveSkips >= maxSkips {
+					// Repeated poison suggests the parameters themselves
+					// have been damaged; roll back to the last-good
+					// snapshot rather than keep skipping forever.
+					m.restore(lastGood)
+					res.GuardRestores++
+					consecutiveSkips = 0
+				}
+				batches++
+				continue
+			}
+			consecutiveSkips = 0
+			epochLoss += loss
 			batches++
 		}
-		if batches > 0 {
-			epochLoss /= float64(batches)
+		if n := batches - epochSkips; n > 0 {
+			epochLoss /= float64(n)
 		}
 		res.TrainLoss = append(res.TrainLoss, epochLoss)
 
 		valMLU := m.MeanMLU(val)
 		res.ValMLUHistory = append(res.ValMLUHistory, valMLU)
-		if valMLU < res.BestValMLU {
+		if isFinite(valMLU) && valMLU < res.BestValMLU {
 			res.BestValMLU = valMLU
 			best = m.snapshot()
 			badEpochs = 0
 		} else {
 			badEpochs++
 		}
+		if epochSkips == 0 {
+			lastGood = m.snapshot()
+		}
 		if tc.Log != nil {
-			fmt.Fprintf(tc.Log, "epoch %3d  loss %.4f  val-MLU %.4f\n", epoch, epochLoss, valMLU)
+			fmt.Fprintf(tc.Log, "epoch %3d  loss %.4f  val-MLU %.4f", epoch, epochLoss, valMLU)
+			if epochSkips > 0 {
+				fmt.Fprintf(tc.Log, "  (skipped %d poisoned batches)", epochSkips)
+			}
+			fmt.Fprintln(tc.Log)
 		}
 		res.Epochs = epoch + 1
+		done := epoch == tc.Epochs-1 || (tc.Patience > 0 && badEpochs >= tc.Patience)
+		if done || (epoch+1-startEpoch)%every == 0 {
+			if err := checkpoint(epoch + 1); err != nil {
+				return res, err
+			}
+		}
 		if tc.Patience > 0 && badEpochs >= tc.Patience {
 			break
 		}
@@ -149,7 +353,23 @@ func (m *Model) Fit(train, val []Sample, tc TrainConfig) FitResult {
 	if best != nil {
 		m.restore(best)
 	}
-	return res
+	return res, nil
+}
+
+// restoreSnapshot is restore with shape validation, for snapshots that
+// crossed a serialization boundary.
+func (m *Model) restoreSnapshot(snap [][]float64) error {
+	if len(snap) != len(m.params) {
+		return fmt.Errorf("core: snapshot has %d parameter tensors, expected %d", len(snap), len(m.params))
+	}
+	for i, p := range m.params {
+		if len(snap[i]) != len(p.Val.Data) {
+			return fmt.Errorf("core: snapshot parameter %d has %d values, expected %d",
+				i, len(snap[i]), len(p.Val.Data))
+		}
+	}
+	m.restore(snap)
+	return nil
 }
 
 // MeanMLU evaluates the mean hard MLU over the samples (loss demand).

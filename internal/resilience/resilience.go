@@ -1,0 +1,344 @@
+// Package resilience wraps HARP inference in a guarded, gracefully
+// degrading serving path. A TE controller must keep emitting routable split
+// ratios even when the model or its inputs are broken — the same discipline
+// that leads Teal to keep a classical fallback behind its learned model.
+// Serve therefore validates every input shape up front, converts any panic
+// in the lower layers into an error, rejects NaN or denormalized outputs,
+// enforces a wall-clock deadline, and walks a fallback chain:
+//
+//	full-RAU HARP  →  reduced-RAU HARP  →  uniform ECMP splits
+//
+// ECMP (te.Problem.UniformSplits, locally rescaled around failed tunnels)
+// is computed with plain arithmetic on validated inputs, so the chain
+// always terminates with a valid, row-normalized split matrix; the tier
+// that actually served each request is recorded for observability.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"harpte/internal/core"
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+)
+
+// Tier identifies which rung of the fallback chain served a request.
+type Tier int
+
+const (
+	// TierFull is the primary model at its configured RAU depth.
+	TierFull Tier = iota
+	// TierReducedRAU is the same weights run with fewer RAU iterations —
+	// cheaper and numerically more conservative.
+	TierReducedRAU
+	// TierECMP is the classical fallback: uniform splits over each flow's
+	// tunnels, rescaled away from failed tunnels.
+	TierECMP
+	// TierRejected means the input itself was invalid; no splits were
+	// produced. Decision.Err carries the reason.
+	TierRejected
+
+	numTiers
+)
+
+// String returns the tier's short operator-facing label.
+func (t Tier) String() string {
+	switch t {
+	case TierFull:
+		return "full"
+	case TierReducedRAU:
+		return "reduced-rau"
+	case TierECMP:
+		return "ecmp"
+	case TierRejected:
+		return "rejected"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// ErrInvalidInput tags every input-validation failure so callers can
+// distinguish a bad request from an internal degradation.
+var ErrInvalidInput = errors.New("resilience: invalid input")
+
+// Options configures a Server.
+type Options struct {
+	// ReducedRAUIterations is the RAU depth of the middle tier
+	// (<= 0 means 2).
+	ReducedRAUIterations int
+	// Deadline bounds the wall clock spent on the neural tiers per
+	// request; once exceeded the request is served by ECMP immediately.
+	// 0 disables the deadline.
+	Deadline time.Duration
+}
+
+// Decision is the outcome of one Serve call.
+type Decision struct {
+	// Splits is a valid, row-normalized F×K split matrix. It is nil only
+	// when Tier == TierRejected.
+	Splits *tensor.Dense
+	// Tier records which rung of the fallback chain produced Splits.
+	Tier Tier
+	// Degraded lists, in order, why each higher tier was abandoned.
+	Degraded []string
+	// Err is non-nil only when Tier == TierRejected and wraps
+	// ErrInvalidInput.
+	Err error
+}
+
+// Server is a guarded inference frontend over one HARP model. It is safe
+// for concurrent use.
+type Server struct {
+	full    *core.Model
+	reduced *core.Model
+	opts    Options
+
+	mu     sync.Mutex
+	counts [numTiers]int64
+	// Single-entry context cache: serving loops typically replay many
+	// traffic matrices against one problem, and contexts are immutable.
+	lastProb *te.Problem
+	lastCtx  *core.Context
+}
+
+// NewServer builds a Server over m. The model is used read-only; training
+// m further between requests is allowed (the reduced tier aliases the same
+// weights).
+func NewServer(m *core.Model, opts Options) *Server {
+	if opts.ReducedRAUIterations <= 0 {
+		opts.ReducedRAUIterations = 2
+	}
+	if opts.ReducedRAUIterations > m.Cfg.RAUIterations {
+		opts.ReducedRAUIterations = m.Cfg.RAUIterations
+	}
+	return &Server{
+		full:    m,
+		reduced: m.WithRAUIterations(opts.ReducedRAUIterations),
+		opts:    opts,
+	}
+}
+
+// ValidateInput checks everything Serve assumes about a request: a
+// consistent problem (graph, tunnel set, positive finite capacities,
+// tunnel edge ids in range) and a demand vector of exactly one finite,
+// non-negative entry per flow. All failures wrap ErrInvalidInput.
+func ValidateInput(p *te.Problem, demand *tensor.Dense) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidInput, fmt.Sprintf(format, args...))
+	}
+	if p == nil || p.Graph == nil || p.Tunnels == nil {
+		return fail("nil problem, graph or tunnel set")
+	}
+	if p.Graph.NumEdges() == 0 {
+		return fail("topology has no links")
+	}
+	if p.Tunnels.K <= 0 {
+		return fail("tunnel set has K=%d", p.Tunnels.K)
+	}
+	if p.NumFlows() == 0 {
+		return fail("tunnel set has no flows")
+	}
+	if len(p.Tunnels.PerFlow) != p.NumFlows() {
+		return fail("tunnel set lists %d flows but has paths for %d", p.NumFlows(), len(p.Tunnels.PerFlow))
+	}
+	for i, e := range p.Graph.Edges {
+		if !(e.Capacity > 0) || math.IsInf(e.Capacity, 0) {
+			return fail("link %d (%d->%d) has capacity %v", i, e.Src, e.Dst, e.Capacity)
+		}
+	}
+	numEdges := p.Graph.NumEdges()
+	for f, paths := range p.Tunnels.PerFlow {
+		if len(paths) != p.Tunnels.K {
+			return fail("flow %d has %d tunnels, want K=%d", f, len(paths), p.Tunnels.K)
+		}
+		for k, tun := range paths {
+			if len(tun.Edges) == 0 {
+				return fail("flow %d tunnel %d is empty", f, k)
+			}
+			for _, e := range tun.Edges {
+				if e < 0 || e >= numEdges {
+					return fail("flow %d tunnel %d references link %d, topology has %d", f, k, e, numEdges)
+				}
+			}
+		}
+	}
+	if demand == nil {
+		return fail("nil demand")
+	}
+	if len(demand.Data) != p.NumFlows() {
+		return fail("demand has %d entries, want one per flow (%d)", len(demand.Data), p.NumFlows())
+	}
+	for i, v := range demand.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fail("demand[%d] = %v", i, v)
+		}
+	}
+	return nil
+}
+
+// Serve produces split ratios for the request, degrading through the
+// fallback chain as needed. On any non-rejected return, Decision.Splits is
+// a finite F×K matrix whose rows each sum to 1.
+func (s *Server) Serve(p *te.Problem, demand *tensor.Dense) Decision {
+	if err := ValidateInput(p, demand); err != nil {
+		s.record(TierRejected)
+		return Decision{Tier: TierRejected, Err: err}
+	}
+	var dec Decision
+	start := time.Now()
+	budget := func() (time.Duration, bool) {
+		if s.opts.Deadline <= 0 {
+			return 0, true
+		}
+		left := s.opts.Deadline - time.Since(start)
+		return left, left > 0
+	}
+
+	ctx, err := s.contextFor(p)
+	if err != nil {
+		dec.Degraded = append(dec.Degraded, fmt.Sprintf("context: %v", err))
+	} else {
+		for _, tier := range []struct {
+			t Tier
+			m *core.Model
+		}{{TierFull, s.full}, {TierReducedRAU, s.reduced}} {
+			left, ok := budget()
+			if !ok {
+				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: deadline exceeded", tier.t))
+				continue
+			}
+			splits, err := safeInfer(tier.m, ctx, p, demand, left)
+			if err != nil {
+				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: %v", tier.t, err))
+				continue
+			}
+			dec.Splits, dec.Tier = splits, tier.t
+			s.record(tier.t)
+			return dec
+		}
+	}
+
+	// Terminal tier: uniform splits rescaled off failed tunnels. Pure
+	// arithmetic on validated inputs — cannot fail.
+	dec.Splits = te.NormalizeRows(te.Rescale(p, p.UniformSplits()))
+	dec.Tier = TierECMP
+	s.record(TierECMP)
+	return dec
+}
+
+// contextFor builds (or returns the cached) model context for p,
+// converting construction panics on malformed problems into errors.
+func (s *Server) contextFor(p *te.Problem) (ctx *core.Context, err error) {
+	s.mu.Lock()
+	if s.lastProb == p && s.lastCtx != nil {
+		ctx = s.lastCtx
+		s.mu.Unlock()
+		return ctx, nil
+	}
+	s.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			ctx, err = nil, fmt.Errorf("panic building context: %v", r)
+		}
+	}()
+	ctx = s.full.Context(p)
+	s.mu.Lock()
+	s.lastProb, s.lastCtx = p, ctx
+	s.mu.Unlock()
+	return ctx, nil
+}
+
+// safeInfer runs one model tier under a recover guard and a wall-clock
+// budget, then vets the output. On timeout the inference goroutine is
+// abandoned (it finishes in the background; its result is discarded).
+func safeInfer(m *core.Model, ctx *core.Context, p *te.Problem, demand *tensor.Dense, budget time.Duration) (*tensor.Dense, error) {
+	type result struct {
+		splits *tensor.Dense
+		err    error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- result{err: fmt.Errorf("inference panic: %v", r)}
+			}
+		}()
+		ch <- result{splits: m.Splits(ctx, demand)}
+	}()
+	var r result
+	if budget > 0 {
+		timer := time.NewTimer(budget)
+		defer timer.Stop()
+		select {
+		case r = <-ch:
+		case <-timer.C:
+			return nil, fmt.Errorf("deadline exceeded after %v", budget)
+		}
+	} else {
+		r = <-ch
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return vetSplits(p, r.splits)
+}
+
+// vetSplits verifies an inference output is shaped F×K, finite and
+// non-negative, and row-normalized (renormalizing when the sums have
+// merely drifted). It returns the vetted matrix or an error.
+func vetSplits(p *te.Problem, splits *tensor.Dense) (*tensor.Dense, error) {
+	if splits == nil {
+		return nil, errors.New("nil splits")
+	}
+	if splits.Rows != p.NumFlows() || splits.Cols != p.Tunnels.K {
+		return nil, fmt.Errorf("splits shape %dx%d, want %dx%d",
+			splits.Rows, splits.Cols, p.NumFlows(), p.Tunnels.K)
+	}
+	for i, v := range splits.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("non-finite split %v at index %d", v, i)
+		}
+		if v < 0 {
+			if v < -1e-9 {
+				return nil, fmt.Errorf("negative split %v at index %d", v, i)
+			}
+			splits.Data[i] = 0
+		}
+	}
+	renorm := false
+	for f := 0; f < splits.Rows; f++ {
+		var sum float64
+		for _, v := range splits.Row(f) {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			renorm = true
+			break
+		}
+	}
+	if renorm {
+		te.NormalizeRows(splits)
+	}
+	return splits, nil
+}
+
+func (s *Server) record(t Tier) {
+	s.mu.Lock()
+	s.counts[t]++
+	s.mu.Unlock()
+}
+
+// TierCounts returns how many requests each tier has served since the
+// server was created.
+func (s *Server) TierCounts() map[Tier]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Tier]int64, numTiers)
+	for t := Tier(0); t < numTiers; t++ {
+		out[t] = s.counts[t]
+	}
+	return out
+}

@@ -1,6 +1,9 @@
 package topology
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // This file implements the topology perturbations of §5.4–§5.5: complete
 // single-link failures, partial capacity failures, and helpers to enumerate
@@ -8,8 +11,19 @@ import "math/rand"
 // graph is never mutated, so a training topology can be shared safely.
 
 // WithFailedLink returns a copy of g where both directions between u and v
-// have FailedCapacity. It panics if the link does not exist.
+// have FailedCapacity. It panics if the link does not exist; when the link
+// id comes from untrusted input (CLI flags, RPC), use WithFailedLinkErr.
 func (g *Graph) WithFailedLink(u, v int) *Graph {
+	out, err := g.WithFailedLinkErr(u, v)
+	if err != nil {
+		panic("topology: " + err.Error())
+	}
+	return out
+}
+
+// WithFailedLinkErr is WithFailedLink returning an error instead of
+// panicking when no link connects u and v.
+func (g *Graph) WithFailedLinkErr(u, v int) (*Graph, error) {
 	out := g.Clone()
 	found := false
 	for i := range out.Edges {
@@ -20,9 +34,9 @@ func (g *Graph) WithFailedLink(u, v int) *Graph {
 		}
 	}
 	if !found {
-		panic("topology: WithFailedLink on nonexistent link")
+		return nil, fmt.Errorf("no link between nodes %d and %d in %s (%d nodes)", u, v, out.Name, out.NumNodes)
 	}
-	return out
+	return out, nil
 }
 
 // WithPartialFailure returns a copy of g where both directions between u

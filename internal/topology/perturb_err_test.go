@@ -1,0 +1,49 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithFailedLinkErr(t *testing.T) {
+	g := New("t", 3)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(1, 2, 10)
+
+	failed, err := g.WithFailedLinkErr(0, 1)
+	if err != nil {
+		t.Fatalf("existing link: %v", err)
+	}
+	for _, e := range failed.Edges {
+		want := 10.0
+		if (e.Src == 0 && e.Dst == 1) || (e.Src == 1 && e.Dst == 0) {
+			want = FailedCapacity
+		}
+		if e.Capacity != want {
+			t.Fatalf("edge %d->%d capacity %v, want %v", e.Src, e.Dst, e.Capacity, want)
+		}
+	}
+	// Original graph untouched.
+	for _, e := range g.Edges {
+		if e.Capacity != 10 {
+			t.Fatalf("input graph mutated: %+v", e)
+		}
+	}
+
+	if _, err := g.WithFailedLinkErr(0, 2); err == nil {
+		t.Fatal("nonexistent link must return an error")
+	} else if !strings.Contains(err.Error(), "no link") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestWithFailedLinkStillPanicsForProgrammerErrors(t *testing.T) {
+	g := New("t", 2)
+	g.AddBidirectional(0, 1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithFailedLink on a nonexistent link must panic")
+		}
+	}()
+	g.WithFailedLink(5, 6)
+}
