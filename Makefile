@@ -1,12 +1,14 @@
 # Tier-1 verification gate plus extras. `make check` is what CI should run.
 GO ?= go
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race benchsmoke bench
 
-# check runs static analysis, the full build, the full test suite, and the
+# check runs static analysis, the full build, the full test suite, the
 # race detector on internal/core (exercises ParallelTrainStep's shared-
-# weight/private-gradient scheme under -race).
-check: vet build test race
+# weight/private-gradient scheme under -race), and a one-iteration bench
+# smoke that compiles and executes every benchmark once so the perf
+# harness can never silently rot.
+check: vet build test race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -19,3 +21,18 @@ test:
 
 race:
 	$(GO) test -race ./internal/core
+
+# benchsmoke runs every benchmark exactly once in -short mode (experiment-
+# scale benchmarks in the root package skip themselves under -short).
+benchsmoke:
+	$(GO) test -short -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench runs the perf-regression suite (hot-path micro and macro
+# benchmarks with allocation counts) and records the results as the
+# "current" entry of BENCH_1.json; the committed "baseline" entry is
+# preserved for comparison. See the Performance section of the README.
+BENCH_PKGS = ./internal/tensor ./internal/autograd ./internal/core
+bench:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | \
+		/tmp/benchjson -out BENCH_1.json -cmd "go test -run='^$$' -bench=. -benchmem $(BENCH_PKGS)"

@@ -25,8 +25,19 @@ import (
 // benchDataset memoizes the generated dataset across benchmarks in one run.
 var benchDataset *dataset.Dataset
 
+// skipIfShort exempts experiment-scale benchmarks from -short runs so the
+// Makefile's bench smoke (`go test -short -bench . -benchtime=1x ./...`)
+// finishes quickly; the micro-benchmarks below still execute once.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("experiment-scale benchmark skipped in -short mode")
+	}
+}
+
 func getDataset(b *testing.B) *dataset.Dataset {
 	b.Helper()
+	skipIfShort(b)
 	if benchDataset == nil {
 		benchDataset = dataset.Generate(experiments.AnonNetConfig(experiments.Small))
 	}
@@ -72,6 +83,7 @@ func BenchmarkFig03CapacityVariation(b *testing.B) {
 }
 
 func BenchmarkFig04Transferability(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig4(quickTransfer())
 		b.ReportMetric(r.NormMLU.Median(), "median-NormMLU")
@@ -80,6 +92,7 @@ func BenchmarkFig04Transferability(b *testing.B) {
 }
 
 func BenchmarkFig05HARPvsDOTE(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.ClusterConfig{Scale: experiments.Small, Epochs: 12, Clusters: 1, Seed: 1}
 		r := experiments.Fig5(cfg)
@@ -89,6 +102,7 @@ func BenchmarkFig05HARPvsDOTE(b *testing.B) {
 }
 
 func BenchmarkFig06RAUAblation(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.ClusterConfig{Scale: experiments.Small, Epochs: 12, Seed: 1}
 		r := experiments.Fig6(cfg)
@@ -98,6 +112,7 @@ func BenchmarkFig06RAUAblation(b *testing.B) {
 }
 
 func BenchmarkFig07TunnelShuffle(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig7(quickSchemes())
 		b.ReportMetric(r.Shuffled["HARP"].Mean(), "HARP-shuffled")
@@ -106,6 +121,7 @@ func BenchmarkFig07TunnelShuffle(b *testing.B) {
 }
 
 func BenchmarkFig08PartialFailures(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig8(quickSchemes())
 		b.ReportMetric(r.PerScheme["HARP"].Quantile(0.9), "HARP-p90")
@@ -114,6 +130,7 @@ func BenchmarkFig08PartialFailures(b *testing.B) {
 }
 
 func BenchmarkFig09GeantFailures(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.FailureConfig{SchemesConfig: quickSchemes(), MaxFailures: 5}
 		r := experiments.Fig9(cfg)
@@ -122,6 +139,7 @@ func BenchmarkFig09GeantFailures(b *testing.B) {
 }
 
 func BenchmarkFig10And17AbileneFailures(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.FailureConfig{SchemesConfig: quickSchemes(), MaxFailures: 6}
 		r := experiments.Fig10And17(cfg)
@@ -131,6 +149,7 @@ func BenchmarkFig10And17AbileneFailures(b *testing.B) {
 }
 
 func BenchmarkFig11ComputationTime(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig11(experiments.Fig11Config{Scale: experiments.Small, Seed: 1, Repeats: 1})
 		if len(r.Rows) != 5 {
@@ -140,6 +159,7 @@ func BenchmarkFig11ComputationTime(b *testing.B) {
 }
 
 func BenchmarkFig12PredictedMatrices(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.Fig12Config{Scale: experiments.Small, Epochs: 10, Stride: 6, Seed: 1}
 		rs := experiments.Fig12(cfg, traffic.LinReg{Window: 12})
@@ -159,6 +179,7 @@ func BenchmarkFig15DatasetCapacity(b *testing.B) {
 }
 
 func BenchmarkFig16SingleVsMultiCluster(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig16(quickTransfer())
 		b.ReportMetric(r.PerModel["train_ABC"].Quantile(0.95), "ABC-p95")
@@ -167,6 +188,7 @@ func BenchmarkFig16SingleVsMultiCluster(b *testing.B) {
 }
 
 func BenchmarkFig18TEALConvergence(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.Fig18Config{Scale: experiments.Small, Epochs: 12, Seed: 1}
 		r := experiments.Fig18(cfg)
@@ -210,6 +232,7 @@ func ablationEval(b *testing.B, cfg core.Config) float64 {
 }
 
 func BenchmarkAblationRAUIters(b *testing.B) {
+	skipIfShort(b)
 	for _, iters := range []int{3, 7, 14} {
 		iters := iters
 		b.Run(benchName("rau", iters), func(b *testing.B) {
@@ -223,6 +246,7 @@ func BenchmarkAblationRAUIters(b *testing.B) {
 }
 
 func BenchmarkAblationGNNDepth(b *testing.B) {
+	skipIfShort(b)
 	for _, depth := range []int{1, 2, 3} {
 		depth := depth
 		b.Run(benchName("gnn", depth), func(b *testing.B) {
@@ -236,6 +260,7 @@ func BenchmarkAblationGNNDepth(b *testing.B) {
 }
 
 func BenchmarkAblationSetTransVsMeanPool(b *testing.B) {
+	skipIfShort(b)
 	for _, meanPool := range []bool{false, true} {
 		meanPool := meanPool
 		name := "settrans"
@@ -301,6 +326,7 @@ func BenchmarkYenKShortestGEANT(b *testing.B) {
 }
 
 func BenchmarkDatasetGeneration(b *testing.B) {
+	skipIfShort(b)
 	cfg := experiments.AnonNetConfig(experiments.Small)
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -319,6 +345,7 @@ func newBenchRng() *rand.Rand { return rand.New(rand.NewSource(9)) }
 // ---- §7 future-work extension benches ----
 
 func BenchmarkExtDemandShift(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		cfg := quickSchemes()
 		r := experiments.ExtDemandShift(cfg)
@@ -329,6 +356,7 @@ func BenchmarkExtDemandShift(b *testing.B) {
 }
 
 func BenchmarkExtObjectives(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		cfg := quickSchemes()
 		r := experiments.ExtObjectives(cfg)

@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into the machine-readable benchmark ledger BENCH_1.json.
+//
+//	go test -bench=. -benchmem ./... | benchjson -out BENCH_1.json
+//
+// The ledger has two keys: "baseline" (the numbers recorded before the
+// allocation-free hot path landed — preserved verbatim from the existing
+// file) and "current" (rewritten from stdin on every run). Comparing the
+// two is the perf-regression check: see the Performance section of the
+// README for how to read it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds b.ReportMetric custom units (unit -> value).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Ledger is the BENCH_1.json document.
+type Ledger struct {
+	GoOS      string   `json:"goos,omitempty"`
+	GoArch    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Benchmark string   `json:"benchmark_cmd,omitempty"`
+	Baseline  []Result `json:"baseline,omitempty"`
+	Current   []Result `json:"current"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op   789 B/op   12 allocs/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "ledger file to update")
+	cmd := flag.String("cmd", "", "record this as the command that produced the input")
+	flag.Parse()
+
+	ledger := loadExisting(*out)
+	if *cmd != "" {
+		ledger.Benchmark = *cmd
+	}
+	ledger.Current = nil
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo so benchjson can sit at the end of a pipe without hiding output.
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			ledger.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			ledger.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			ledger.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if r, ok := parseLine(line); ok {
+				ledger.Current = append(ledger.Current, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(ledger.Current) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	if err := write(*out, ledger); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(ledger.Current), *out)
+}
+
+// parseLine decodes one benchmark result line. Measurements come in
+// "<value> <unit>" pairs; ns/op, B/op and allocs/op get dedicated fields,
+// anything else (b.ReportMetric) lands in Extra.
+func parseLine(line string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: m[1], Iterations: iters}
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, true
+}
+
+// loadExisting reads the prior ledger so the baseline survives reruns. A
+// missing or unreadable file just starts a fresh ledger.
+func loadExisting(path string) Ledger {
+	var l Ledger
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return l
+	}
+	if err := json.Unmarshal(data, &l); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: ignoring unparseable %s: %v\n", path, err)
+		return Ledger{}
+	}
+	return l
+}
+
+func write(path string, l Ledger) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

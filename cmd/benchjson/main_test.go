@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkTrainStepAbilene-8   	      10	 124618117 ns/op	108195392 B/op	  165556 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkTrainStepAbilene-8" || r.Iterations != 10 {
+		t.Fatalf("bad header: %+v", r)
+	}
+	if r.NsPerOp != 124618117 || r.BytesPerOp != 108195392 || r.AllocsPerOp != 165556 {
+		t.Fatalf("bad measurements: %+v", r)
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	r, ok := parseLine("BenchmarkFig04Transferability 	       1	9876543210 ns/op	         1.100 median-NormMLU")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Extra["median-NormMLU"] != 1.1 {
+		t.Fatalf("custom metric lost: %+v", r)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	harpte	12.3s",
+		"BenchmarkBroken-8	notanumber	1 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parsed non-benchmark line %q", line)
+		}
+	}
+}

@@ -14,6 +14,9 @@
 //	eval -model model.gob -topo geant|abilene [-k N] [-tms N] [-fail u,v]
 //	    Load a model and evaluate NormMLU, optionally under a link failure.
 //
+// train and eval also accept -cpuprofile/-memprofile to write pprof
+// profiles of the run (see the Performance section of the README).
+//
 //	info -model model.gob
 //	    Print the model configuration and parameter count.
 //
@@ -26,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -114,10 +119,13 @@ func cmdTrain(args []string) {
 	out := fs.String("out", "", "save trained model to this path")
 	ckpt := fs.String("checkpoint", "", "write an atomic training checkpoint to this path after every epoch")
 	resume := fs.Bool("resume", false, "resume from -checkpoint if it exists (continues bit-identically)")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	mustParse(fs, args)
 	if *resume && *ckpt == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
+	defer startProfiles(*cpuProf, *memProf)()
 
 	g := buildTopologyOrFile(*topoName, *topoFile, *seed)
 	set := tunnels.Compute(g, *k)
@@ -192,10 +200,13 @@ func cmdEval(args []string) {
 	seed := fs.Int64("seed", 99, "seed (use a different seed than training)")
 	failLink := fs.String("fail", "", "fail the undirected link u,v before evaluating")
 	report := fs.Bool("report", false, "print the operator what-if report for the first matrix")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	mustParse(fs, args)
 	if *modelPath == "" {
 		fatal(fmt.Errorf("eval requires -model"))
 	}
+	defer startProfiles(*cpuProf, *memProf)()
 	f, err := os.Open(*modelPath)
 	if err != nil {
 		fatal(err)
@@ -267,6 +278,39 @@ func cmdInfo(args []string) {
 	}
 	fmt.Printf("config: %+v\n", m.Cfg)
 	fmt.Printf("parameters: %d\n", m.NumParams())
+}
+
+// startProfiles begins CPU profiling (when cpu is non-empty) and returns a
+// function that stops it and writes a heap profile (when mem is non-empty).
+// Callers defer the result, so profiles are flushed on the normal return
+// path; fatal() exits the process and loses in-flight profiles, same as any
+// crash would.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}
+	}
 }
 
 func mustParse(fs *flag.FlagSet, args []string) {

@@ -1,0 +1,93 @@
+package autograd
+
+import "harpte/internal/tensor"
+
+// arena is the reuse pool behind a reusable Tape (NewReusableTape). It owns
+// three kinds of storage the tape hands out during a forward/backward pass:
+// dense buffers keyed by shape, int slices keyed by length, and the tape
+// node structs themselves (allocated from fixed-size chunks so node pointers
+// stay stable while the slab grows). Reset returns everything to the free
+// lists, so the second and subsequent passes over a graph of the same shape
+// allocate nothing.
+//
+// An arena is owned by exactly one Tape and inherits its no-concurrent-use
+// contract.
+type arena struct {
+	dense    map[int64][]*tensor.Dense
+	denseUse []*tensor.Dense
+
+	ints    map[int][][]int
+	intsUse [][]int
+
+	chunks []*[nodeChunk]Tensor
+	used   int
+}
+
+// nodeChunk is the node slab granularity. Chunks are never reallocated, so
+// *Tensor pointers handed to model code remain valid until Reset.
+const nodeChunk = 256
+
+func newArena() *arena {
+	return &arena{
+		dense: make(map[int64][]*tensor.Dense),
+		ints:  make(map[int][][]int),
+	}
+}
+
+func shapeKey(rows, cols int) int64 { return int64(rows)<<32 | int64(uint32(cols)) }
+
+// getDense returns a rows×cols buffer with unspecified contents. The caller
+// must fully overwrite (or zero) it before reading.
+func (ar *arena) getDense(rows, cols int) *tensor.Dense {
+	k := shapeKey(rows, cols)
+	if free := ar.dense[k]; len(free) > 0 {
+		d := free[len(free)-1]
+		ar.dense[k] = free[:len(free)-1]
+		ar.denseUse = append(ar.denseUse, d)
+		return d
+	}
+	d := tensor.New(rows, cols)
+	ar.denseUse = append(ar.denseUse, d)
+	return d
+}
+
+// getInts returns an int slice of length n with unspecified contents.
+func (ar *arena) getInts(n int) []int {
+	if free := ar.ints[n]; len(free) > 0 {
+		s := free[len(free)-1]
+		ar.ints[n] = free[:len(free)-1]
+		ar.intsUse = append(ar.intsUse, s)
+		return s
+	}
+	s := make([]int, n)
+	ar.intsUse = append(ar.intsUse, s)
+	return s
+}
+
+// getNode returns a zeroed Tensor node from the slab.
+func (ar *arena) getNode() *Tensor {
+	ci, off := ar.used/nodeChunk, ar.used%nodeChunk
+	if ci == len(ar.chunks) {
+		ar.chunks = append(ar.chunks, new([nodeChunk]Tensor))
+	}
+	ar.used++
+	t := &ar.chunks[ci][off]
+	*t = Tensor{}
+	return t
+}
+
+// reset recycles every buffer and node handed out since the last reset.
+// Buffer contents are left as-is; consumers re-zero on checkout where
+// required (gradBuf).
+func (ar *arena) reset() {
+	for _, d := range ar.denseUse {
+		k := shapeKey(d.Rows, d.Cols)
+		ar.dense[k] = append(ar.dense[k], d)
+	}
+	ar.denseUse = ar.denseUse[:0]
+	for _, s := range ar.intsUse {
+		ar.ints[len(s)] = append(ar.ints[len(s)], s)
+	}
+	ar.intsUse = ar.intsUse[:0]
+	ar.used = 0
+}

@@ -86,6 +86,12 @@ type Model struct {
 
 	params []*autograd.Tensor
 
+	// trainTape is the model's persistent reusable training tape, built
+	// lazily by trainingTape(). TrainStep is not safe for concurrent use on
+	// one model (it accumulates into shared gradients), so a single tape
+	// per model is safe; each data-parallel replica owns its own.
+	trainTape *autograd.Tape
+
 	// repMu guards reps, the cached data-parallel shadow replicas.
 	repMu sync.Mutex
 	reps  []*Model
@@ -134,10 +140,17 @@ func (m *Model) Params() []*autograd.Tensor { return m.params }
 func (m *Model) WithRAUIterations(n int) *Model {
 	cfg := m.Cfg
 	cfg.RAUIterations = n
-	s := New(cfg)
-	for i := range s.params {
-		s.params[i].Val = m.params[i].Val
-	}
+	s := &Model{Cfg: cfg}
+	s.gnn = m.gnn.CloneShared()
+	s.edgeProj = m.edgeProj.CloneShared()
+	s.cls = autograd.ShareParam(m.cls)
+	s.settrans = m.settrans.CloneShared()
+	s.mlp1 = m.mlp1.CloneShared()
+	s.rau = m.rau.CloneShared()
+	// Same collection order as New, so snapshot/restore and gradient
+	// reduction can pair params positionally across replicas.
+	s.params = append(s.params, s.cls)
+	s.params = append(s.params, nn.CollectParams(s.gnn, s.edgeProj, s.settrans, s.mlp1, s.rau)...)
 	return s
 }
 
@@ -274,16 +287,19 @@ func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) For
 	numTunnels := numFlows * k
 
 	// ---- 1. topology embedding (GNN) ----
+	// Gathers over Context-owned index slices use the Stable variant:
+	// contexts are immutable, so the defensive copy GatherRows makes is
+	// wasted work on the hot path.
 	nodeEmb := m.gnn.Forward(tp, ctx.aHat, ctx.feats) // V×gnnOut
-	srcEmb := tp.GatherRows(nodeEmb, ctx.srcIdx)
-	dstEmb := tp.GatherRows(nodeEmb, ctx.dstIdx)
+	srcEmb := tp.GatherRowsStable(nodeEmb, ctx.srcIdx)
+	dstEmb := tp.GatherRowsStable(nodeEmb, ctx.dstIdx)
 	// Sum of endpoints makes h_ij == h_ji unless capacities differ (§3.3).
 	edgeRaw := tp.ConcatCols(tp.Add(srcEmb, dstEmb), ctx.capCol) // E×(gnnOut+1)
 	edgeEmb := tp.Tanh(m.edgeProj.Forward(tp, edgeRaw))          // E×r
 
 	// ---- 2. tunnel embeddings (SETTRANS over hyperedge tokens) ----
 	withCLS := tp.ConcatRows(edgeEmb, m.cls) // (E+1)×r
-	tokens := tp.GatherRows(withCLS, ctx.tokenIdx)
+	tokens := tp.GatherRowsStable(withCLS, ctx.tokenIdx)
 	var h, tunnelEmb *autograd.Tensor
 	if m.Cfg.MeanPoolTunnels {
 		// Ablation: skip SETTRANS; tunnel embedding = mean of its edge
@@ -292,7 +308,7 @@ func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) For
 		tunnelEmb = tp.CSRMul(ctx.avgPool, h)
 	} else {
 		h = m.settrans.Forward(tp, tokens, ctx.segs)
-		tunnelEmb = tp.GatherRows(h, ctx.clsPos) // T×r
+		tunnelEmb = tp.GatherRowsStable(h, ctx.clsPos) // T×r
 	}
 
 	// ---- demand features and constants ----
@@ -319,9 +335,11 @@ func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) For
 	w, util, mlu = computeUtil(u)
 	for it := 0; it < m.Cfg.RAUIterations; it++ {
 		// Bottleneck edge of every tunnel under the current utilizations
-		// (numeric inspection of the eagerly computed forward values).
-		btok := make([]int, numTunnels)
-		bedge := make([]int, numTunnels)
+		// (numeric inspection of the eagerly computed forward values). The
+		// index scratch comes from the tape arena — valid until Reset, which
+		// is all the Stable gathers below need.
+		btok := tp.Ints(numTunnels)
+		bedge := tp.Ints(numTunnels)
 		for t := 0; t < numTunnels; t++ {
 			f := t / k
 			tun := set.Tunnel(f, t%k)
@@ -335,9 +353,9 @@ func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) For
 			btok[t] = ctx.edgePos[t][best]
 			bedge[t] = tun.Edges[best]
 		}
-		bottleneckEmb := tp.GatherRows(h, btok) // T×r (edge-tunnel embedding)
-		bu := tp.GatherRows(util, bedge)        // T×1
-		mluRep := tp.RepeatRow(mlu, numTunnels) // T×1
+		bottleneckEmb := tp.GatherRowsStable(h, btok) // T×r (edge-tunnel embedding)
+		bu := tp.GatherRowsStable(util, bedge)        // T×1
+		mluRep := tp.RepeatRow(mlu, numTunnels)       // T×1
 		// ε guards the all-zero-demand case (MLU = 0).
 		ratio := tp.Div(bu, tp.AddScalar(mluRep, 1e-12)) // U(l)/MLU ∈ [0,1]
 		// Log-scaled utilization features stay informative across the many
@@ -398,15 +416,17 @@ func (m *Model) demandInputs(tp *autograd.Tape, ctx *probContext, demand *tensor
 	if mean <= 0 {
 		mean = 1
 	}
-	feat := tensor.New(numFlows*k, 1)
-	load := tensor.New(numFlows*k, 1)
+	// Scratch and leaf nodes come from the tape so repeated forwards on a
+	// reused tape don't reallocate per sample.
+	feat := tp.Buffer(numFlows*k, 1)
+	load := tp.Buffer(numFlows*k, 1)
 	for f := 0; f < numFlows; f++ {
 		for j := 0; j < k; j++ {
 			feat.Data[f*k+j] = demand.Data[f] / mean
 			load.Data[f*k+j] = demand.Data[f] / ctx.maxCap
 		}
 	}
-	return autograd.NewConst(feat), autograd.NewConst(load)
+	return tp.Const(feat), tp.Const(load)
 }
 
 // LossMLU builds the training objective for splits produced by Forward,
@@ -427,10 +447,21 @@ func (m *Model) LossMLU(tp *autograd.Tape, c *Context, splits *autograd.Tensor, 
 	return tp.Max(util)
 }
 
+// inferTapes pools reusable tapes for inference. Splits must stay safe for
+// concurrent use (the resilience server races inference goroutines against
+// deadlines and may abandon them mid-forward), so tapes are pooled rather
+// than hung off the Model: each goroutine owns its tape until it Puts it
+// back, and a panicking or abandoned forward simply never returns its tape
+// — the pool regenerates.
+var inferTapes = sync.Pool{New: func() any { return autograd.NewReusableTape() }}
+
 // Splits runs inference and returns the F×K split-ratio matrix.
 func (m *Model) Splits(c *Context, demand *tensor.Dense) *tensor.Dense {
-	tp := autograd.NewTape()
-	return m.Forward(tp, c, demand).Splits.Val.Clone()
+	tp := inferTapes.Get().(*autograd.Tape)
+	out := m.Forward(tp, c, demand).Splits.Val.Clone()
+	tp.Reset()
+	inferTapes.Put(tp)
+	return out
 }
 
 // MLU runs inference and evaluates the achieved MLU exactly on the problem.

@@ -68,14 +68,18 @@ func (m *Model) ParallelTrainStepChecked(opt *autograd.Adam, batch []Sample, wor
 		go func(w int) {
 			defer wg.Done()
 			worker := models[w]
+			// One persistent reusable tape per worker model: after the first
+			// step, every node and buffer a sample needs comes from the
+			// worker's own arena.
+			tp := worker.trainingTape()
 			for i := w; i < len(batch); i += workers {
 				s := batch[i]
-				tp := autograd.NewTape()
 				fr := worker.Forward(tp, s.Ctx, s.Demand)
 				loss := worker.LossMLU(tp, s.Ctx, fr.Splits, s.lossDemand())
 				loss = tp.Scale(loss, scale)
 				tp.Backward(loss)
 				losses[w] += loss.Val.Data[0]
+				tp.Reset()
 			}
 		}(w)
 	}

@@ -94,13 +94,14 @@ func (m *Model) TrainStepChecked(opt *autograd.Adam, batch []Sample) (loss float
 	}
 	var total float64
 	scale := 1 / float64(len(batch))
+	tp := m.trainingTape()
 	for _, s := range batch {
-		tp := autograd.NewTape()
 		fr := m.Forward(tp, s.Ctx, s.Demand)
 		l := m.LossMLU(tp, s.Ctx, fr.Splits, s.lossDemand())
 		l = tp.Scale(l, scale)
 		tp.Backward(l)
 		total += l.Val.Data[0]
+		tp.Reset() // recycle all per-sample nodes and buffers
 	}
 	if m.lossHook != nil {
 		total = m.lossHook(total)
@@ -111,6 +112,16 @@ func (m *Model) TrainStepChecked(opt *autograd.Adam, batch []Sample) (loss float
 	}
 	opt.Step(m.params)
 	return total, false
+}
+
+// trainingTape returns the model's persistent reusable tape, creating it on
+// first use. Everything recorded on it is recycled by the per-sample Reset
+// in the step functions, so steady-state training allocates almost nothing.
+func (m *Model) trainingTape() *autograd.Tape {
+	if m.trainTape == nil {
+		m.trainTape = autograd.NewReusableTape()
+	}
+	return m.trainTape
 }
 
 // isFinite reports whether v is neither NaN nor ±Inf.

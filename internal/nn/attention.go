@@ -57,18 +57,19 @@ func (sa *SegmentAttention) Params() []*autograd.Tensor {
 	return []*autograd.Tensor{sa.Wq, sa.Wk, sa.Wv, sa.Wo}
 }
 
-// rowsView returns a no-copy view of rows [s.Start,s.End) of m.
-func rowsView(m *tensor.Dense, s Segment) *tensor.Dense {
-	return &tensor.Dense{Rows: s.Len(), Cols: m.Cols, Data: m.Data[s.Start*m.Cols : s.End*m.Cols]}
+// rowsView returns a no-copy view of rows [s.Start,s.End) of m. It returns
+// a value (not a pointer) so the header lives on the caller's stack — a
+// heap-allocated header per segment per pass would dominate the layer's
+// allocation profile now that all dense scratch is pooled.
+func rowsView(m *tensor.Dense, s Segment) tensor.Dense {
+	return tensor.Dense{Rows: s.Len(), Cols: m.Cols, Data: m.Data[s.Start*m.Cols : s.End*m.Cols]}
 }
 
-// colBlock copies columns [c0,c1) of src into a new (src.Rows)×(c1-c0) matrix.
-func colBlock(src *tensor.Dense, c0, c1 int) *tensor.Dense {
-	out := tensor.New(src.Rows, c1-c0)
+// colBlockInto copies columns [c0,c0+dst.Cols) of src into dst.
+func colBlockInto(dst, src *tensor.Dense, c0 int) {
 	for i := 0; i < src.Rows; i++ {
-		copy(out.Row(i), src.Row(i)[c0:c1])
+		copy(dst.Row(i), src.Row(i)[c0:c0+dst.Cols])
 	}
-	return out
 }
 
 // addColBlock adds blk into columns [c0,c0+blk.Cols) of dst.
@@ -82,15 +83,22 @@ func addColBlock(dst, blk *tensor.Dense, c0 int) {
 	}
 }
 
-// segState caches the per-segment intermediates needed for backward.
+// segState caches the per-segment intermediates needed for backward. The
+// per-head attention matrices live in the layer-wide attnFlat slice
+// (segment si, head hd at index si*heads+hd) so a forward pass costs one
+// slice allocation regardless of how many tunnels the topology has.
 type segState struct {
-	q, k, v, o *tensor.Dense   // L×d
-	attn       []*tensor.Dense // per head, L×L softmax weights
+	q, k, v, o *tensor.Dense // L×d
 }
 
 // Forward applies attention to x (N×dim) with the given segmentation.
 // Segments must tile rows they cover contiguously; rows outside every
 // segment pass through untouched (gradient included).
+//
+// All dense scratch — forward intermediates saved for backward as well as
+// the backward pass's own workspace — comes from tp.Buffer, so on a
+// reusable tape the layer's steady-state allocations are a handful of
+// bookkeeping slices, independent of segment count.
 func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs []Segment) *autograd.Tensor {
 	d, h := sa.Dim, sa.Heads
 	dh := d / h
@@ -98,53 +106,67 @@ func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs 
 	if x.Cols() != d {
 		panic("nn: SegmentAttention input dim mismatch")
 	}
-	val := x.Val.Clone() // rows outside segments are identity
+	val := tp.Buffer(x.Rows(), d)
+	copy(val.Data, x.Val.Data) // rows outside segments are identity
 	states := make([]segState, len(segs))
+	attnFlat := make([]*tensor.Dense, len(segs)*h) // L×L softmax weights
+	// View headers are hoisted out of the segment loops: their addresses go
+	// to kernels whose parallel path may hand pointers to goroutines, which
+	// makes them escape — hoisting pays that heap cost once per pass rather
+	// than once per segment. The kernels never retain the pointers (they
+	// join all goroutines before returning), so reassigning per segment is
+	// safe.
+	var xs, ys tensor.Dense
 	for si, s := range segs {
-		xs := rowsView(x.Val, s)
+		xs = rowsView(x.Val, s)
 		L := s.Len()
-		q := tensor.New(L, d)
-		k := tensor.New(L, d)
-		v := tensor.New(L, d)
-		tensor.MatMulAcc(q, xs, sa.Wq.Val)
-		tensor.MatMulAcc(k, xs, sa.Wk.Val)
-		tensor.MatMulAcc(v, xs, sa.Wv.Val)
-		o := tensor.New(L, d)
-		attn := make([]*tensor.Dense, h)
+		q := tp.Buffer(L, d)
+		k := tp.Buffer(L, d)
+		v := tp.Buffer(L, d)
+		tensor.MatMulAcc(q, &xs, sa.Wq.Val)
+		tensor.MatMulAcc(k, &xs, sa.Wk.Val)
+		tensor.MatMulAcc(v, &xs, sa.Wv.Val)
+		o := tp.Buffer(L, d)
 		for hd := 0; hd < h; hd++ {
 			c0, c1 := hd*dh, (hd+1)*dh
-			qh := colBlock(q, c0, c1)
-			kh := colBlock(k, c0, c1)
-			vh := colBlock(v, c0, c1)
-			sc := tensor.New(L, L)
+			qh := tp.Buffer(L, dh)
+			kh := tp.Buffer(L, dh)
+			vh := tp.Buffer(L, dh)
+			colBlockInto(qh, q, c0)
+			colBlockInto(kh, k, c0)
+			colBlockInto(vh, v, c0)
+			sc := tp.Buffer(L, L)
 			tensor.MatMulABT(sc, qh, kh)
 			tensor.ScaleInto(sc, sc, scale)
 			for i := 0; i < L; i++ {
 				softmaxRowInPlace(sc.Row(i))
 			}
-			attn[hd] = sc
-			oh := tensor.New(L, dh)
+			attnFlat[si*h+hd] = sc
+			oh := tp.Buffer(L, dh)
 			tensor.MatMulAcc(oh, sc, vh)
 			for i := 0; i < L; i++ {
 				copy(o.Row(i)[c0:c1], oh.Row(i))
 			}
 		}
-		states[si] = segState{q: q, k: k, v: v, o: o, attn: attn}
-		ys := rowsView(val, s)
-		tensor.MatMul(ys, o, sa.Wo.Val)
+		states[si] = segState{q: q, k: k, v: v, o: o}
+		ys = rowsView(val, s)
+		tensor.MatMul(&ys, o, sa.Wo.Val)
 	}
 
 	return tp.Custom(val, func(out *autograd.Tensor) {
 		// Identity gradient for rows outside all segments.
 		if x.NeedsGrad() {
-			covered := make([]bool, x.Rows())
+			covered := tp.Ints(x.Rows())
+			for i := range covered {
+				covered[i] = 0
+			}
 			for _, s := range segs {
 				for i := s.Start; i < s.End; i++ {
-					covered[i] = true
+					covered[i] = 1
 				}
 			}
 			for i := 0; i < x.Rows(); i++ {
-				if !covered[i] {
+				if covered[i] == 0 {
 					dst := x.Grad.Row(i)
 					src := out.Grad.Row(i)
 					for j := range dst {
@@ -153,38 +175,43 @@ func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs 
 				}
 			}
 		}
+		var dy, xs, gs tensor.Dense
 		for si, s := range segs {
 			st := states[si]
 			L := s.Len()
-			dy := rowsView(out.Grad, s)
-			xs := rowsView(x.Val, s)
+			dy = rowsView(out.Grad, s)
+			xs = rowsView(x.Val, s)
 
 			// dO = dY·Woᵀ ; dWo += Oᵀ·dY
-			do := tensor.New(L, d)
-			tensor.MatMulABT(do, dy, sa.Wo.Val)
+			do := tp.Buffer(L, d)
+			tensor.MatMulABT(do, &dy, sa.Wo.Val)
 			if sa.Wo.NeedsGrad() {
-				tensor.MatMulATBAcc(sa.Wo.Grad, st.o, dy)
+				tensor.MatMulATBAcc(sa.Wo.Grad, st.o, &dy)
 			}
 
-			dq := tensor.New(L, d)
-			dk := tensor.New(L, d)
-			dv := tensor.New(L, d)
+			dq := tp.Buffer(L, d)
+			dk := tp.Buffer(L, d)
+			dv := tp.Buffer(L, d)
 			for hd := 0; hd < h; hd++ {
-				c0, c1 := hd*dh, (hd+1)*dh
-				a := st.attn[hd]
-				doh := colBlock(do, c0, c1)
-				vh := colBlock(st.v, c0, c1)
-				qh := colBlock(st.q, c0, c1)
-				kh := colBlock(st.k, c0, c1)
+				c0 := hd * dh
+				a := attnFlat[si*h+hd]
+				doh := tp.Buffer(L, dh)
+				vh := tp.Buffer(L, dh)
+				qh := tp.Buffer(L, dh)
+				kh := tp.Buffer(L, dh)
+				colBlockInto(doh, do, c0)
+				colBlockInto(vh, st.v, c0)
+				colBlockInto(qh, st.q, c0)
+				colBlockInto(kh, st.k, c0)
 
 				// dA = dOh·Vhᵀ ; dVh = Aᵀ·dOh
-				da := tensor.New(L, L)
+				da := tp.Buffer(L, L)
 				tensor.MatMulABT(da, doh, vh)
-				dvh := tensor.New(L, dh)
+				dvh := tp.Buffer(L, dh)
 				tensor.MatMulATB(dvh, a, doh)
 
 				// Softmax backward per row: ds = a ⊙ (da - Σ da⊙a)
-				ds := tensor.New(L, L)
+				ds := tp.Buffer(L, L)
 				for i := 0; i < L; i++ {
 					ar, dar, dsr := a.Row(i), da.Row(i), ds.Row(i)
 					var dot float64
@@ -195,9 +222,9 @@ func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs 
 						dsr[j] = ar[j] * (dar[j] - dot) * scale
 					}
 				}
-				dqh := tensor.New(L, dh)
+				dqh := tp.Buffer(L, dh)
 				tensor.MatMul(dqh, ds, kh)
-				dkh := tensor.New(L, dh)
+				dkh := tp.Buffer(L, dh)
 				tensor.MatMulATB(dkh, ds, qh)
 
 				addColBlock(dq, dqh, c0)
@@ -206,18 +233,19 @@ func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs 
 			}
 
 			if x.NeedsGrad() {
-				gs := rowsView(x.Grad, s)
-				tensor.MatMulABTAcc(gs, dq, sa.Wq.Val)
-				tensor.MatMulABTAcc(gs, dk, sa.Wk.Val)
-				tensor.MatMulABTAcc(gs, dv, sa.Wv.Val)
+				gs = rowsView(x.Grad, s)
+				tensor.MatMulABTAcc(&gs, dq, sa.Wq.Val)
+				tensor.MatMulABTAcc(&gs, dk, sa.Wk.Val)
+				tensor.MatMulABTAcc(&gs, dv, sa.Wv.Val)
 			}
-			for _, pw := range []struct {
-				w  *autograd.Tensor
-				dp *tensor.Dense
-			}{{sa.Wq, dq}, {sa.Wk, dk}, {sa.Wv, dv}} {
-				if pw.w.NeedsGrad() {
-					tensor.MatMulATBAcc(pw.w.Grad, xs, pw.dp)
-				}
+			if sa.Wq.NeedsGrad() {
+				tensor.MatMulATBAcc(sa.Wq.Grad, &xs, dq)
+			}
+			if sa.Wk.NeedsGrad() {
+				tensor.MatMulATBAcc(sa.Wk.Grad, &xs, dk)
+			}
+			if sa.Wv.NeedsGrad() {
+				tensor.MatMulATBAcc(sa.Wv.Grad, &xs, dv)
 			}
 		}
 	}, x, sa.Wq, sa.Wk, sa.Wv, sa.Wo)

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"harpte/internal/autograd"
-	"harpte/internal/tensor"
 )
 
 // LayerNorm normalizes each row to zero mean and unit variance, then applies
@@ -25,12 +24,14 @@ func NewLayerNorm(_ *rand.Rand, dim int) *LayerNorm {
 	}
 }
 
-// Forward applies the normalization to an N×dim matrix.
+// Forward applies the normalization to an N×dim matrix. All scratch is
+// drawn from the tape (recycled on Reset for reusable tapes), so the layer
+// allocates nothing in steady state beyond its one tape node.
 func (ln *LayerNorm) Forward(tp *autograd.Tape, x *autograd.Tensor) *autograd.Tensor {
 	n, d := x.Rows(), x.Cols()
-	val := tensor.New(n, d)
-	xhat := tensor.New(n, d)     // saved for backward
-	invStd := make([]float64, n) // saved for backward
+	val := tp.Buffer(n, d)
+	xhat := tp.Buffer(n, d)        // saved for backward
+	invStd := tp.Buffer(1, n).Data // saved for backward
 	g := ln.Gain.Val.Data
 	b := ln.Bias.Val.Data
 	for i := 0; i < n; i++ {

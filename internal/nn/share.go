@@ -1,0 +1,81 @@
+package nn
+
+import "harpte/internal/autograd"
+
+// CloneShared constructors build weight-sharing replicas of each module:
+// the clone's parameters alias the original's value storage (updates to
+// either are visible to both) but own independent gradient buffers, so a
+// clone can run forward/backward concurrently with its original. This is
+// how data-parallel training builds its shadow replicas and how the
+// resilience server derives reduced-depth fallback models — in both cases
+// without re-running the (wasted) random initialization a fresh
+// constructor would perform.
+
+// CloneShared returns a weight-sharing replica of the layer.
+func (l *Linear) CloneShared() *Linear {
+	return &Linear{W: autograd.ShareParam(l.W), B: autograd.ShareParam(l.B)}
+}
+
+// CloneShared returns a weight-sharing replica of the MLP.
+func (m *MLP) CloneShared() *MLP {
+	out := &MLP{Act: m.Act, Layers: make([]*Linear, len(m.Layers))}
+	for i, l := range m.Layers {
+		out.Layers[i] = l.CloneShared()
+	}
+	return out
+}
+
+// CloneShared returns a weight-sharing replica of the convolution.
+func (g *GCNConv) CloneShared() *GCNConv {
+	return &GCNConv{Lin: g.Lin.CloneShared()}
+}
+
+// CloneShared returns a weight-sharing replica of the GCN stack.
+func (g *GCN) CloneShared() *GCN {
+	out := &GCN{Layers: make([]*GCNConv, len(g.Layers))}
+	for i, l := range g.Layers {
+		out.Layers[i] = l.CloneShared()
+	}
+	return out
+}
+
+// CloneShared returns a weight-sharing replica of the normalization.
+func (ln *LayerNorm) CloneShared() *LayerNorm {
+	return &LayerNorm{
+		Gain: autograd.ShareParam(ln.Gain),
+		Bias: autograd.ShareParam(ln.Bias),
+		Eps:  ln.Eps,
+	}
+}
+
+// CloneShared returns a weight-sharing replica of the attention layer.
+func (sa *SegmentAttention) CloneShared() *SegmentAttention {
+	return &SegmentAttention{
+		Heads: sa.Heads,
+		Dim:   sa.Dim,
+		Wq:    autograd.ShareParam(sa.Wq),
+		Wk:    autograd.ShareParam(sa.Wk),
+		Wv:    autograd.ShareParam(sa.Wv),
+		Wo:    autograd.ShareParam(sa.Wo),
+	}
+}
+
+// CloneShared returns a weight-sharing replica of the encoder block.
+func (e *EncoderLayer) CloneShared() *EncoderLayer {
+	return &EncoderLayer{
+		Attn:  e.Attn.CloneShared(),
+		Norm1: e.Norm1.CloneShared(),
+		Norm2: e.Norm2.CloneShared(),
+		FF1:   e.FF1.CloneShared(),
+		FF2:   e.FF2.CloneShared(),
+	}
+}
+
+// CloneShared returns a weight-sharing replica of the encoder stack.
+func (e *Encoder) CloneShared() *Encoder {
+	out := &Encoder{Layers: make([]*EncoderLayer, len(e.Layers))}
+	for i, l := range e.Layers {
+		out.Layers[i] = l.CloneShared()
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Cache-blocking factors for the matmul kernels. Blocks are chosen so the
+// streamed panel of the second operand (matmulKBlock rows of B, or
+// matmulJBlock rows of B for the ABᵀ kernel) stays resident in L1/L2 while
+// an output row panel is swept. Blocking never reorders the per-element
+// summation: every output element still accumulates its k-terms in
+// ascending order, so blocked results are bit-identical to the naive
+// triple loop — a property the checkpoint/resume determinism tests rely on.
+const (
+	matmulKBlock = 64
+	matmulJBlock = 64
+
+	// parallelFlopThreshold gates the goroutine-parallel path: kernels
+	// below this many multiply-adds always run serially, because goroutine
+	// hand-off costs more than the arithmetic. HARP's per-layer products
+	// on WAN-sized inputs sit either clearly below (embed-width GEMMs) or
+	// clearly above (token-matrix products on large topologies) this line.
+	parallelFlopThreshold = 1 << 21
+)
+
+var matmulWorkers = 1
+
+// SetMatMulWorkers sets how many goroutines large matmul kernels may use.
+// n <= 0 selects GOMAXPROCS. The default is 1 (fully serial): training
+// already parallelizes across samples in ParallelTrainStep, and nesting
+// goroutine fan-out inside each worker's kernels oversubscribes the
+// machine. Call it once at startup (e.g. for single-sample inference on a
+// big topology); it must not be called concurrently with running kernels.
+//
+// Worker count does not affect results: rows are partitioned, each output
+// element is computed by exactly one goroutine in the same ascending-k
+// order, so results are bit-identical for every worker count.
+func SetMatMulWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	matmulWorkers = n
+}
+
+// MatMulWorkers returns the current matmul worker count.
+func MatMulWorkers() int { return matmulWorkers }
+
+// parWorkers returns how many goroutines a kernel over `rows` output rows
+// and `flops` multiply-adds should use (1 = run serially). Kept separate
+// from the fan-out so the serial fast path below stays closure-free: the
+// hot per-op kernels must not allocate.
+func parWorkers(rows, flops int) int {
+	w := matmulWorkers
+	if w > rows {
+		w = rows
+	}
+	if flops < parallelFlopThreshold {
+		return 1
+	}
+	return w
+}
+
+// fanOutRows splits [0, rows) into w contiguous chunks and runs fn on each
+// in its own goroutine. Only called on the large-kernel path, where the
+// closure allocation is noise.
+func fanOutRows(w, rows int, fn func(lo, hi int)) {
+	chunk := (rows + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := min(lo+chunk, rows)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulAccImpl: dst += a × b.
+func matMulAccImpl(dst, a, b *Dense) {
+	if w := parWorkers(a.Rows, a.Rows*a.Cols*b.Cols); w > 1 {
+		fanOutRows(w, a.Rows, func(lo, hi int) { matMulAccRange(dst, a, b, lo, hi) })
+		return
+	}
+	matMulAccRange(dst, a, b, 0, a.Rows)
+}
+
+// matMulAccRange accumulates output rows [lo, hi) of a × b into dst,
+// k-blocked, (k-block, i, k, j) order.
+func matMulAccRange(dst, a, b *Dense, lo, hi int) {
+	for k0 := 0; k0 < a.Cols; k0 += matmulKBlock {
+		k1 := min(k0+matmulKBlock, a.Cols)
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for k := k0; k < k1; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j := range drow {
+					drow[j] += aik * brow[j]
+				}
+			}
+		}
+	}
+}
+
+// atbAccImpl: dst += aᵀ × b. The summation index is a's row k; output rows
+// (a's columns) partition across workers, and each element accumulates k in
+// ascending order exactly as the serial kernel does.
+func atbAccImpl(dst, a, b *Dense) {
+	if w := parWorkers(a.Cols, a.Rows*a.Cols*b.Cols); w > 1 {
+		fanOutRows(w, a.Cols, func(lo, hi int) { atbAccRange(dst, a, b, lo, hi) })
+		return
+	}
+	atbAccRange(dst, a, b, 0, a.Cols)
+}
+
+func atbAccRange(dst, a, b *Dense, lo, hi int) {
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := lo; i < hi; i++ {
+			aki := arow[i]
+			if aki == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] += aki * brow[j]
+			}
+		}
+	}
+}
+
+// abtAccImpl: dst += a × bᵀ, j-blocked so a panel of b rows stays cached
+// while the output rows sweep. Each dot product accumulates in a register
+// over the full k range before the single add into dst, preserving the
+// serial kernel's rounding exactly.
+func abtAccImpl(dst, a, b *Dense) {
+	if w := parWorkers(a.Rows, a.Rows*a.Cols*b.Rows); w > 1 {
+		fanOutRows(w, a.Rows, func(lo, hi int) { abtAccRange(dst, a, b, lo, hi) })
+		return
+	}
+	abtAccRange(dst, a, b, 0, a.Rows)
+}
+
+func abtAccRange(dst, a, b *Dense, lo, hi int) {
+	for j0 := 0; j0 < b.Rows; j0 += matmulJBlock {
+		j1 := min(j0+matmulJBlock, b.Rows)
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := j0; j < j1; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				drow[j] += s
+			}
+		}
+	}
+}

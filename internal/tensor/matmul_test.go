@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveMatMulAcc is the reference (i,k,j) triple loop the blocked kernels
+// must match bit-for-bit (same ascending-k summation order per element).
+func naiveMatMulAcc(dst, a, b *Dense) {
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				dst.Data[i*dst.Cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+}
+
+func naiveATBAcc(dst, a, b *Dense) {
+	for k := 0; k < a.Rows; k++ {
+		for i := 0; i < a.Cols; i++ {
+			aki := a.At(k, i)
+			if aki == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				dst.Data[i*dst.Cols+j] += aki * b.At(k, j)
+			}
+		}
+	}
+}
+
+func naiveABTAcc(dst, a, b *Dense) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			dst.Data[i*dst.Cols+j] += s
+		}
+	}
+}
+
+func bitIdentical(t *testing.T, name string, got, want *Dense) {
+	t.Helper()
+	if !SameShape(got, want) {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d differs: %v vs %v", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestBlockedKernelsBitIdenticalToNaive checks the blocked (and parallel)
+// kernels reproduce the naive loops exactly — not just within tolerance —
+// at shapes spanning the block boundaries, for several worker counts. The
+// sizes deliberately exceed the parallel flop threshold in the largest case
+// so the goroutine path is actually exercised.
+func TestBlockedKernelsBitIdenticalToNaive(t *testing.T) {
+	defer SetMatMulWorkers(1)
+	rng := rand.New(rand.NewSource(11))
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 2}, {7, 64, 9}, {65, 63, 67}, {130, 200, 130},
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		SetMatMulWorkers(workers)
+		for _, s := range shapes {
+			m, k, n := s[0], s[1], s[2]
+			a := benchDense(rng, m, k)
+			b := benchDense(rng, k, n)
+			// Sprinkle zeros so the zero-skip branch is covered.
+			for i := 0; i < len(a.Data); i += 7 {
+				a.Data[i] = 0
+			}
+
+			got, want := New(m, n), New(m, n)
+			MatMul(got, a, b)
+			naiveMatMulAcc(want, a, b)
+			bitIdentical(t, "MatMul", got, want)
+
+			got.Fill(0.5)
+			want.Fill(0.5)
+			MatMulAcc(got, a, b)
+			naiveMatMulAcc(want, a, b)
+			bitIdentical(t, "MatMulAcc", got, want)
+
+			b2 := benchDense(rng, m, n)
+			gotT, wantT := New(k, n), New(k, n)
+			gotT.Fill(0.25)
+			wantT.Fill(0.25)
+			MatMulATBAcc(gotT, a, b2)
+			naiveATBAcc(wantT, a, b2)
+			bitIdentical(t, "MatMulATBAcc", gotT, wantT)
+
+			b3 := benchDense(rng, n, k)
+			gotB, wantB := New(m, n), New(m, n)
+			gotB.Fill(-0.25)
+			wantB.Fill(-0.25)
+			MatMulABTAcc(gotB, a, b3)
+			naiveABTAcc(wantB, a, b3)
+			bitIdentical(t, "MatMulABTAcc", gotB, wantB)
+		}
+	}
+}
+
+// TestMatMulZeroAllocs pins the kernels' allocation-free contract.
+func TestMatMulZeroAllocs(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc bounds only hold without -race")
+	}
+	rng := rand.New(rand.NewSource(12))
+	a := benchDense(rng, 32, 24)
+	b := benchDense(rng, 24, 16)
+	bt := benchDense(rng, 16, 24)
+	dst := New(32, 16)
+	dstT := New(24, 16)
+	for name, fn := range map[string]func(){
+		"MatMul":       func() { MatMul(dst, a, b) },
+		"MatMulAcc":    func() { MatMulAcc(dst, a, b) },
+		"MatMulATBAcc": func() { MatMulATBAcc(dstT, a, dst) },
+		"MatMulABTAcc": func() { MatMulABTAcc(dst, a, bt) },
+	} {
+		if n := testing.AllocsPerRun(10, fn); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, n)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package tensor
+
+// RaceEnabled reports whether the race detector is compiled in.
+// Allocation-bound tests skip under -race: the instrumentation itself
+// allocates, so AllocsPerRun counts are meaningless there.
+const RaceEnabled = true

@@ -68,28 +68,16 @@ func (m *Dense) Fill(v float64) {
 func SameShape(a, b *Dense) bool { return a.Rows == b.Rows && a.Cols == b.Cols }
 
 // MatMul computes dst = a × b. dst must be a.Rows×b.Cols and must not alias
-// a or b. The inner loop is ordered (i,k,j) so that both b and dst stream
-// sequentially, which is the cache-friendly order for row-major data.
+// a or b. The kernel is k-blocked (and optionally goroutine-parallel, see
+// SetMatMulWorkers) but accumulates each element's terms in ascending-k
+// order, so results are bit-identical across block and worker settings.
 func MatMul(dst, a, b *Dense) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)x(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range drow {
-				drow[j] += aik * brow[j]
-			}
-		}
-	}
+	matMulAccImpl(dst, a, b)
 }
 
 // MatMulATB computes dst = aᵀ × b (dst is a.Cols×b.Cols).
@@ -98,19 +86,7 @@ func MatMulATB(dst, a, b *Dense) {
 		panic("tensor: MatMulATB shape mismatch")
 	}
 	dst.Zero()
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, aki := range arow {
-			if aki == 0 {
-				continue
-			}
-			drow := dst.Row(i)
-			for j := range drow {
-				drow[j] += aki * brow[j]
-			}
-		}
-	}
+	atbAccImpl(dst, a, b)
 }
 
 // MatMulABT computes dst = a × bᵀ (dst is a.Rows×b.Rows).
@@ -118,18 +94,8 @@ func MatMulABT(dst, a, b *Dense) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("tensor: MatMulABT shape mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			drow[j] = s
-		}
-	}
+	dst.Zero()
+	abtAccImpl(dst, a, b)
 }
 
 // AddInto computes dst = a + b elementwise. dst may alias a or b.
@@ -260,20 +226,7 @@ func MatMulAcc(dst, a, b *Dense) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MatMulAcc shape mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range drow {
-				drow[j] += aik * brow[j]
-			}
-		}
-	}
+	matMulAccImpl(dst, a, b)
 }
 
 // MatMulATBAcc computes dst += aᵀ × b without zeroing dst first.
@@ -281,19 +234,7 @@ func MatMulATBAcc(dst, a, b *Dense) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("tensor: MatMulATBAcc shape mismatch")
 	}
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, aki := range arow {
-			if aki == 0 {
-				continue
-			}
-			drow := dst.Row(i)
-			for j := range drow {
-				drow[j] += aki * brow[j]
-			}
-		}
-	}
+	atbAccImpl(dst, a, b)
 }
 
 // MatMulABTAcc computes dst += a × bᵀ without zeroing dst first.
@@ -301,16 +242,5 @@ func MatMulABTAcc(dst, a, b *Dense) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("tensor: MatMulABTAcc shape mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			drow[j] += s
-		}
-	}
+	abtAccImpl(dst, a, b)
 }
