@@ -1,14 +1,15 @@
 # Tier-1 verification gate plus extras. `make check` is what CI should run.
 GO ?= go
 
-.PHONY: check vet build test race benchsmoke bench
+.PHONY: check vet build test race benchsmoke bench obssmoke
 
 # check runs static analysis, the full build, the full test suite, the
 # race detector on internal/core (exercises ParallelTrainStep's shared-
-# weight/private-gradient scheme under -race), and a one-iteration bench
-# smoke that compiles and executes every benchmark once so the perf
-# harness can never silently rot.
-check: vet build test race benchsmoke
+# weight/private-gradient scheme under -race) and internal/obs (scrape-
+# while-write on the metrics registry), an admin-endpoint smoke test, and
+# a one-iteration bench smoke that compiles and executes every benchmark
+# once so the perf harness can never silently rot.
+check: vet build test race obssmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +21,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core
+	$(GO) test -race ./internal/core ./internal/obs ./internal/resilience
+
+# obssmoke boots the observability admin endpoint on a loopback port and
+# scrapes /metrics, /debug/vars and /debug/pprof once.
+obssmoke:
+	$(GO) test -count=1 -run 'TestAdminEndpointSmoke' ./internal/obs
 
 # benchsmoke runs every benchmark exactly once in -short mode (experiment-
 # scale benchmarks in the root package skip themselves under -short).

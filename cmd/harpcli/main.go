@@ -15,7 +15,22 @@
 //	    Load a model and evaluate NormMLU, optionally under a link failure.
 //
 // train and eval also accept -cpuprofile/-memprofile to write pprof
-// profiles of the run (see the Performance section of the README).
+// profiles of the run (see the Performance section of the README), plus
+// telemetry flags:
+//
+//	-metrics-addr host:port
+//	    Serve the observability admin endpoint while the command runs:
+//	    Prometheus text on /metrics, expvar on /debug/vars, and pprof on
+//	    /debug/pprof/. Training publishes loss/val-MLU gauges and guard
+//	    counters; eval publishes per-stage forward-pass histograms.
+//	-log-json (train only)
+//	    Replace the human-readable per-epoch progress lines with one
+//	    structured JSON record per epoch on stderr.
+//
+// -cpuprofile and /debug/pprof/profile both drive the single process-wide
+// CPU profiler, so a live profile request will fail while -cpuprofile is
+// active; use one or the other. Heap, goroutine and trace endpoints are
+// unaffected.
 //
 //	info -model model.gob
 //	    Print the model configuration and parameter count.
@@ -39,6 +54,7 @@ import (
 	"harpte/internal/core"
 	"harpte/internal/experiments"
 	"harpte/internal/lp"
+	"harpte/internal/obs"
 	"harpte/internal/te"
 	"harpte/internal/topology"
 	"harpte/internal/traffic"
@@ -121,11 +137,15 @@ func cmdTrain(args []string) {
 	resume := fs.Bool("resume", false, "resume from -checkpoint if it exists (continues bit-identically)")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port while training")
+	logJSON := fs.Bool("log-json", false, "emit one structured JSON record per epoch on stderr instead of progress lines")
 	mustParse(fs, args)
 	if *resume && *ckpt == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
 	defer startProfiles(*cpuProf, *memProf)()
+	reg, stopAdmin := startAdmin(*metricsAddr)
+	defer stopAdmin()
 
 	g := buildTopologyOrFile(*topoName, *topoFile, *seed)
 	set := tunnels.Compute(g, *k)
@@ -160,6 +180,14 @@ func cmdTrain(args []string) {
 	tc.CheckpointPath = *ckpt
 	tc.CheckpointEvery = 1
 	tc.Resume = *resume
+	if reg != nil {
+		m.EnableTelemetry(reg)
+		tc.Metrics = reg
+	}
+	if *logJSON {
+		tc.Log = nil
+		tc.Logger = obs.NewLogger(os.Stderr, true)
+	}
 	res, err := m.FitCheckpointed(experiments.HarpSamples(m, trainI), experiments.HarpSamples(m, valI), tc)
 	if err != nil {
 		fatal(err)
@@ -202,11 +230,14 @@ func cmdEval(args []string) {
 	report := fs.Bool("report", false, "print the operator what-if report for the first matrix")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port during the run")
 	mustParse(fs, args)
 	if *modelPath == "" {
 		fatal(fmt.Errorf("eval requires -model"))
 	}
 	defer startProfiles(*cpuProf, *memProf)()
+	reg, stopAdmin := startAdmin(*metricsAddr)
+	defer stopAdmin()
 	f, err := os.Open(*modelPath)
 	if err != nil {
 		fatal(err)
@@ -215,6 +246,9 @@ func cmdEval(args []string) {
 	f.Close()
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		m.EnableTelemetry(reg)
 	}
 
 	g := buildTopology(*topoName, *seed)
@@ -311,6 +345,24 @@ func startProfiles(cpu, mem string) func() {
 			}
 		}
 	}
+}
+
+// startAdmin starts the observability admin endpoint on addr and returns
+// the registry behind it (runtime gauges pre-registered) plus a shutdown
+// function. An empty addr disables telemetry: the registry is nil and all
+// instrumentation stays on its zero-overhead path.
+func startAdmin(addr string) (*obs.Registry, func()) {
+	if addr == "" {
+		return nil, func() {}
+	}
+	reg := obs.NewRegistry()
+	core.RegisterRuntimeGauges(reg)
+	admin, err := obs.ServeAdmin(addr, reg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar and pprof under /debug/)\n", admin.Addr())
+	return reg, func() { admin.Close() }
 }
 
 func mustParse(fs *flag.FlagSet, args []string) {

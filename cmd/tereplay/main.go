@@ -15,7 +15,12 @@
 // Usage:
 //
 //	tereplay [-nodes N] [-snapshots N] [-seed N] [-epochs N] [-every N]
-//	         [-deadline D]
+//	         [-deadline D] [-metrics-addr host:port]
+//
+// With -metrics-addr the replay serves the observability admin endpoint
+// while it runs: per-tier request counters and latency histograms, forward
+// -pass stage timings, and pool gauges on /metrics, plus expvar and pprof
+// under /debug/.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"harpte/internal/dataset"
 	"harpte/internal/experiments"
 	"harpte/internal/lp"
+	"harpte/internal/obs"
 	"harpte/internal/resilience"
 	"harpte/internal/te"
 	"harpte/internal/traffic"
@@ -42,8 +48,22 @@ func main() {
 		epochs    = flag.Int("epochs", 30, "training epochs")
 		every     = flag.Int("every", 4, "replay every N-th snapshot")
 		deadline  = flag.Duration("deadline", 5*time.Second, "per-request wall-clock budget before degrading to ECMP (0 disables)")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port during the replay")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		core.RegisterRuntimeGauges(reg)
+		admin, err := obs.ServeAdmin(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tereplay:", err)
+			os.Exit(1)
+		}
+		defer admin.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", admin.Addr())
+	}
 
 	cfg := experiments.AnonNetConfig(experiments.Small)
 	cfg.Nodes = *nodes
@@ -75,12 +95,19 @@ func main() {
 	model := core.New(core.DefaultConfig())
 	tc := core.DefaultTrainConfig()
 	tc.Epochs = *epochs
+	if reg != nil {
+		model.EnableTelemetry(reg)
+		tc.Metrics = reg
+	}
 	fmt.Printf("training on %d snapshots (%d validation)...\n", len(trainInst), len(valInst))
 	res := model.Fit(experiments.HarpSamples(model, trainInst),
 		experiments.HarpSamples(model, valInst), tc)
 	fmt.Printf("trained: best val MLU %.4f\n\n", res.BestValMLU)
 
 	srv := resilience.NewServer(model, resilience.Options{Deadline: *deadline})
+	if reg != nil {
+		srv.EnableTelemetry(reg)
+	}
 
 	fmt.Println("  t  cluster  event            tier         HARP-MLU  optimal   NormMLU")
 	var norms []float64

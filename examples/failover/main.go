@@ -11,15 +11,21 @@
 //
 // Run with:
 //
-//	go run ./examples/failover
+//	go run ./examples/failover [-metrics-addr host:port]
+//
+// With -metrics-addr the run serves the observability admin endpoint:
+// training gauges and per-stage forward-pass histograms appear on /metrics
+// while the failure sweep executes.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"harpte/internal/core"
 	"harpte/internal/lp"
+	"harpte/internal/obs"
 	"harpte/internal/te"
 	"harpte/internal/topology"
 	"harpte/internal/traffic"
@@ -28,6 +34,19 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	metrics := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port")
+	flag.Parse()
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		core.RegisterRuntimeGauges(reg)
+		admin, err := obs.ServeAdmin(*metrics, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer admin.Close()
+		log.Printf("metrics: http://%s/metrics", admin.Addr())
+	}
 	g := topology.Geant()
 	set := tunnels.Compute(g, 4)
 	healthy := te.NewProblem(g, set)
@@ -43,6 +62,9 @@ func main() {
 		traffic.CapToAccess(tm, g, 0.35)
 	}
 	model := core.New(core.DefaultConfig())
+	if reg != nil {
+		model.EnableTelemetry(reg)
+	}
 	hctx := model.Context(healthy)
 	var train, val []core.Sample
 	for i, tm := range tms[:32] {
@@ -55,6 +77,7 @@ func main() {
 	}
 	tc := core.DefaultTrainConfig()
 	tc.Epochs = 40
+	tc.Metrics = reg
 	model.Fit(train, val, tc)
 
 	// The test matrix and the splits HARP chose before any failure.

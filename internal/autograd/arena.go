@@ -44,10 +44,16 @@ func (ar *arena) getDense(rows, cols int) *tensor.Dense {
 		d := free[len(free)-1]
 		ar.dense[k] = free[:len(free)-1]
 		ar.denseUse = append(ar.denseUse, d)
+		if poolStatsOn.Load() {
+			poolDenseHits.Add(1)
+		}
 		return d
 	}
 	d := tensor.New(rows, cols)
 	ar.denseUse = append(ar.denseUse, d)
+	if poolStatsOn.Load() {
+		poolDenseMisses.Add(1)
+	}
 	return d
 }
 
@@ -57,10 +63,16 @@ func (ar *arena) getInts(n int) []int {
 		s := free[len(free)-1]
 		ar.ints[n] = free[:len(free)-1]
 		ar.intsUse = append(ar.intsUse, s)
+		if poolStatsOn.Load() {
+			poolIntHits.Add(1)
+		}
 		return s
 	}
 	s := make([]int, n)
 	ar.intsUse = append(ar.intsUse, s)
+	if poolStatsOn.Load() {
+		poolIntMisses.Add(1)
+	}
 	return s
 }
 
@@ -69,6 +81,10 @@ func (ar *arena) getNode() *Tensor {
 	ci, off := ar.used/nodeChunk, ar.used%nodeChunk
 	if ci == len(ar.chunks) {
 		ar.chunks = append(ar.chunks, new([nodeChunk]Tensor))
+		// Slab growth is rare (warm-up plus genuinely deeper graphs), so
+		// it is counted unconditionally — the gauge is accurate even when
+		// hit/miss stats are enabled late.
+		poolSlabChunks.Add(1)
 	}
 	ar.used++
 	t := &ar.chunks[ci][off]
@@ -90,4 +106,7 @@ func (ar *arena) reset() {
 	}
 	ar.intsUse = ar.intsUse[:0]
 	ar.used = 0
+	if poolStatsOn.Load() {
+		poolResets.Add(1)
+	}
 }

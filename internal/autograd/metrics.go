@@ -1,0 +1,39 @@
+package autograd
+
+import "harpte/internal/obs"
+
+// RegisterPoolMetrics enables arena pool-statistics collection
+// (SetPoolStats) and exposes the counters as gauges on reg, evaluated at
+// scrape time:
+//
+//	autograd_pool_dense_hits / autograd_pool_dense_misses
+//	autograd_pool_ints_hits  / autograd_pool_ints_misses
+//	autograd_pool_slab_chunks
+//	autograd_pool_tape_resets
+//
+// A healthy steady-state run shows hits climbing while misses and slab
+// chunks plateau after warm-up. No-op on a nil registry.
+func RegisterPoolMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	SetPoolStats(true)
+	reg.GaugeFunc("autograd_pool_dense_hits",
+		"Tape-arena dense-buffer checkouts served from the free list.",
+		func() float64 { return float64(poolDenseHits.Load()) })
+	reg.GaugeFunc("autograd_pool_dense_misses",
+		"Tape-arena dense-buffer checkouts that had to allocate.",
+		func() float64 { return float64(poolDenseMisses.Load()) })
+	reg.GaugeFunc("autograd_pool_ints_hits",
+		"Tape-arena index-slice checkouts served from the free list.",
+		func() float64 { return float64(poolIntHits.Load()) })
+	reg.GaugeFunc("autograd_pool_ints_misses",
+		"Tape-arena index-slice checkouts that had to allocate.",
+		func() float64 { return float64(poolIntMisses.Load()) })
+	reg.GaugeFunc("autograd_pool_slab_chunks",
+		"Node-slab chunks allocated across all tape arenas.",
+		func() float64 { return float64(poolSlabChunks.Load()) })
+	reg.GaugeFunc("autograd_pool_tape_resets",
+		"Reusable-tape Reset calls (hot-loop recycle heartbeat).",
+		func() float64 { return float64(poolResets.Load()) })
+}

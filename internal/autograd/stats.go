@@ -1,0 +1,58 @@
+package autograd
+
+import "sync/atomic"
+
+// Pool statistics for the tape arenas behind NewReusableTape, aggregated
+// across every arena in the process. They make regressions in the
+// zero-alloc hot path visible at runtime (a climbing miss or slab-growth
+// count means steady state is allocating again) instead of only in the
+// offline BENCH_*.json ledger.
+//
+// Hit/miss counting is gated on SetPoolStats so the disabled cost is one
+// atomic bool load per checkout; slab growth and resets are rare events
+// and are always counted. All counters are atomics, so readers
+// (obs.GaugeFunc at scrape time) never race writers.
+var (
+	poolStatsOn     atomic.Bool
+	poolDenseHits   atomic.Int64
+	poolDenseMisses atomic.Int64
+	poolIntHits     atomic.Int64
+	poolIntMisses   atomic.Int64
+	poolSlabChunks  atomic.Int64
+	poolResets      atomic.Int64
+)
+
+// SetPoolStats enables or disables arena hit/miss counting process-wide.
+// Disabled (the default), checkouts pay one atomic load; enabled, one
+// atomic add. Neither allocates, so the hot path's allocation pins hold
+// either way.
+func SetPoolStats(on bool) { poolStatsOn.Store(on) }
+
+// PoolStats is a snapshot of the process-wide arena counters.
+type PoolStats struct {
+	// DenseHits / DenseMisses count dense-buffer checkouts served from a
+	// free list vs. freshly allocated.
+	DenseHits, DenseMisses int64
+	// IntHits / IntMisses are the same for index-slice checkouts.
+	IntHits, IntMisses int64
+	// SlabChunks is the total number of node-slab chunks ever allocated
+	// across all arenas (each chunk holds nodeChunk tape nodes). Growth
+	// after warm-up means some tape records deeper graphs than before.
+	SlabChunks int64
+	// Resets counts Tape.Reset calls on reusable tapes (the recycle
+	// heartbeat of the train/serve loops).
+	Resets int64
+}
+
+// ReadPoolStats returns the current counter values. Hit/miss fields stay
+// zero until SetPoolStats(true) (RegisterPoolMetrics does this).
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		DenseHits:   poolDenseHits.Load(),
+		DenseMisses: poolDenseMisses.Load(),
+		IntHits:     poolIntHits.Load(),
+		IntMisses:   poolIntMisses.Load(),
+		SlabChunks:  poolSlabChunks.Load(),
+		Resets:      poolResets.Load(),
+	}
+}

@@ -1,0 +1,97 @@
+package autograd
+
+import (
+	"strings"
+	"testing"
+
+	"harpte/internal/obs"
+	"harpte/internal/tensor"
+)
+
+// TestPoolStatsCountHitsAndMisses: the first pass over a reusable tape
+// misses (cold arena), subsequent same-shape passes hit.
+func TestPoolStatsCountHitsAndMisses(t *testing.T) {
+	SetPoolStats(true)
+	defer SetPoolStats(false)
+	before := ReadPoolStats()
+
+	tp := NewReusableTape()
+	a := NewParam(tensor.FromSlice(2, 2, []float64{1, 2, 3, 4}))
+	b := NewParam(tensor.FromSlice(2, 2, []float64{5, 6, 7, 8}))
+	run := func() {
+		out := tp.Max(tp.MatMul(a, b))
+		tp.Backward(out)
+		_ = tp.Ints(4)
+		tp.Reset()
+	}
+	run()
+	afterCold := ReadPoolStats()
+	if d := afterCold.DenseMisses - before.DenseMisses; d == 0 {
+		t.Fatal("cold pass should record dense misses")
+	}
+	if d := afterCold.IntMisses - before.IntMisses; d == 0 {
+		t.Fatal("cold pass should record an int-slice miss")
+	}
+	if d := afterCold.Resets - before.Resets; d != 1 {
+		t.Fatalf("resets delta = %d, want 1", d)
+	}
+
+	run()
+	afterWarm := ReadPoolStats()
+	if d := afterWarm.DenseHits - afterCold.DenseHits; d == 0 {
+		t.Fatal("warm pass should record dense hits")
+	}
+	if d := afterWarm.DenseMisses - afterCold.DenseMisses; d != 0 {
+		t.Fatalf("warm pass recorded %d dense misses, want 0", d)
+	}
+	if d := afterWarm.IntHits - afterCold.IntHits; d != 1 {
+		t.Fatalf("warm pass int hits delta = %d, want 1", d)
+	}
+	if afterWarm.SlabChunks < 1 {
+		t.Fatal("slab chunk counter never moved")
+	}
+}
+
+func TestPoolStatsDisabledByDefault(t *testing.T) {
+	SetPoolStats(false)
+	before := ReadPoolStats()
+	tp := NewReusableTape()
+	a := NewParam(tensor.FromSlice(1, 2, []float64{1, 2}))
+	tp.Backward(tp.Max(tp.Tanh(a)))
+	tp.Reset()
+	after := ReadPoolStats()
+	if after.DenseHits != before.DenseHits || after.DenseMisses != before.DenseMisses ||
+		after.Resets != before.Resets {
+		t.Fatal("disabled stats must not count hits/misses/resets")
+	}
+}
+
+func TestRegisterPoolMetricsExposesGauges(t *testing.T) {
+	defer SetPoolStats(false)
+	reg := obs.NewRegistry()
+	RegisterPoolMetrics(reg)
+	RegisterPoolMetrics(nil) // nil registry is a no-op
+
+	tp := NewReusableTape()
+	a := NewParam(tensor.FromSlice(2, 2, []float64{1, 2, 3, 4}))
+	tp.Backward(tp.Max(tp.Tanh(a)))
+	tp.Reset()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"autograd_pool_dense_hits", "autograd_pool_dense_misses",
+		"autograd_pool_ints_hits", "autograd_pool_ints_misses",
+		"autograd_pool_slab_chunks", "autograd_pool_tape_resets",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" gauge") {
+			t.Fatalf("exposition missing gauge %s:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "autograd_pool_tape_resets 0\n") {
+		t.Fatal("tape_resets gauge still 0 after a Reset with stats enabled")
+	}
+}

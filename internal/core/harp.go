@@ -23,6 +23,7 @@ import (
 
 	"harpte/internal/autograd"
 	"harpte/internal/nn"
+	"harpte/internal/obs"
 	"harpte/internal/te"
 	"harpte/internal/tensor"
 )
@@ -102,6 +103,11 @@ type Model struct {
 	// lossHook, when set (TrainConfig.LossHook / fault-injection tests),
 	// observes and may replace each batch loss before the health guard.
 	lossHook func(float64) float64
+
+	// tele, when set (EnableTelemetry), traces each forward pass per
+	// architecture stage. Nil means disabled: Forward then takes one
+	// nil-check per stage and reads no clocks.
+	tele *modelTelemetry
 }
 
 // New constructs a HARP model with freshly initialized parameters.
@@ -147,6 +153,7 @@ func (m *Model) WithRAUIterations(n int) *Model {
 	s.settrans = m.settrans.CloneShared()
 	s.mlp1 = m.mlp1.CloneShared()
 	s.rau = m.rau.CloneShared()
+	s.tele = m.tele
 	// Same collection order as New, so snapshot/restore and gradient
 	// reduction can pair params positionally across replicas.
 	s.params = append(s.params, s.cls)
@@ -286,10 +293,19 @@ func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) For
 	k := set.K
 	numTunnels := numFlows * k
 
+	// Stage tracing (EnableTelemetry): tel is nil when disabled, and each
+	// site below is gated on that one check — no clock reads, no
+	// allocations, so the zero-alloc pins hold either way.
+	tel := m.tele
+	var span obs.Span
+
 	// ---- 1. topology embedding (GNN) ----
 	// Gathers over Context-owned index slices use the Stable variant:
 	// contexts are immutable, so the defensive copy GatherRows makes is
 	// wasted work on the hot path.
+	if tel != nil {
+		span = tel.gnn.Start()
+	}
 	nodeEmb := m.gnn.Forward(tp, ctx.aHat, ctx.feats) // V×gnnOut
 	srcEmb := tp.GatherRowsStable(nodeEmb, ctx.srcIdx)
 	dstEmb := tp.GatherRowsStable(nodeEmb, ctx.dstIdx)
@@ -298,6 +314,10 @@ func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) For
 	edgeEmb := tp.Tanh(m.edgeProj.Forward(tp, edgeRaw))          // E×r
 
 	// ---- 2. tunnel embeddings (SETTRANS over hyperedge tokens) ----
+	if tel != nil {
+		span.End()
+		span = tel.settrans.Start()
+	}
 	withCLS := tp.ConcatRows(edgeEmb, m.cls) // (E+1)×r
 	tokens := tp.GatherRowsStable(withCLS, ctx.tokenIdx)
 	var h, tunnelEmb *autograd.Tensor
@@ -312,6 +332,10 @@ func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) For
 	}
 
 	// ---- demand features and constants ----
+	if tel != nil {
+		span.End()
+		span = tel.mlp1.Start()
+	}
 	demandFeat, demandTunnel := m.demandInputs(tp, ctx, demand)
 
 	// ---- 3. initial split predictor (MLP1) ----
@@ -333,7 +357,13 @@ func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) For
 	}
 	var w *autograd.Tensor
 	w, util, mlu = computeUtil(u)
+	if tel != nil {
+		span.End()
+	}
 	for it := 0; it < m.Cfg.RAUIterations; it++ {
+		if tel != nil {
+			span = tel.rauIter.Start()
+		}
 		// Bottleneck edge of every tunnel under the current utilizations
 		// (numeric inspection of the eagerly computed forward values). The
 		// index scratch comes from the tape arena — valid until Reset, which
@@ -397,6 +427,12 @@ func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) For
 			m.debugRAU(it, u.Val, base.Val, penalty.Val)
 		}
 		w, util, mlu = computeUtil(u)
+		if tel != nil {
+			span.End()
+		}
+	}
+	if tel != nil {
+		tel.passes.Inc()
 	}
 	return ForwardResult{Splits: w, Util: util, MLU: mlu}
 }

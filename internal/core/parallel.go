@@ -29,6 +29,11 @@ func (m *Model) replicas(n int) []*Model {
 	for len(m.reps) < n-1 {
 		m.reps = append(m.reps, m.shadow())
 	}
+	// Replicas may predate EnableTelemetry; re-sync so traced training
+	// covers every worker's forwards.
+	for _, rep := range m.reps[:n-1] {
+		rep.tele = m.tele
+	}
 	return m.reps[:n-1]
 }
 

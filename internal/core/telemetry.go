@@ -1,0 +1,140 @@
+package core
+
+// Telemetry integration for the model and the training loop. Everything
+// here follows the obs package's nil-safety contract: a model or training
+// run without telemetry carries nil handles, every instrumentation site is
+// gated on a single nil check, and the disabled path reads no clocks and
+// allocates nothing — the PR-2 allocation pins on the hot path hold with
+// telemetry off, and (because obs instruments don't allocate either) with
+// it on.
+
+import (
+	"time"
+
+	"harpte/internal/autograd"
+	"harpte/internal/obs"
+)
+
+// Metric names emitted by this package. Exported as constants so tests,
+// dashboards and docs reference one spelling.
+const (
+	// MetricForwardStageSeconds is a histogram family labeled
+	// stage="gnn"|"settrans"|"mlp1"|"rau_iter" timing the architecture
+	// stages of every traced forward pass (Figure 2's four modules; each
+	// RAU iteration is one observation).
+	MetricForwardStageSeconds = "harp_forward_stage_seconds"
+	// MetricForwardPasses counts completed traced forward passes.
+	MetricForwardPasses = "harp_forward_passes_total"
+	// MetricTrainLoss is a gauge holding the latest epoch's mean loss.
+	MetricTrainLoss = "harp_train_loss"
+	// MetricTrainValMLU is a gauge holding the latest epoch's validation MLU.
+	MetricTrainValMLU = "harp_train_val_mlu"
+	// MetricTrainBestValMLU is a gauge holding the best validation MLU so far.
+	MetricTrainBestValMLU = "harp_train_best_val_mlu"
+	// MetricTrainEpochs counts completed training epochs.
+	MetricTrainEpochs = "harp_train_epochs_total"
+	// MetricTrainEpochSeconds is a histogram of wall-clock time per epoch.
+	MetricTrainEpochSeconds = "harp_train_epoch_seconds"
+	// MetricTrainSkippedBatches counts batches the numerical health guard
+	// discarded.
+	MetricTrainSkippedBatches = "harp_train_skipped_batches_total"
+	// MetricTrainGuardRestores counts last-good snapshot rollbacks.
+	MetricTrainGuardRestores = "harp_train_guard_restores_total"
+	// MetricCheckpointWriteSeconds is a histogram of checkpoint write latency.
+	MetricCheckpointWriteSeconds = "harp_checkpoint_write_seconds"
+)
+
+// modelTelemetry holds the pre-resolved instrument handles Forward uses.
+// A nil *modelTelemetry disables tracing.
+type modelTelemetry struct {
+	gnn      *obs.Stage
+	settrans *obs.Stage
+	mlp1     *obs.Stage
+	rauIter  *obs.Stage
+	passes   *obs.Counter
+}
+
+// EnableTelemetry attaches forward-pass tracing to the model: each Splits
+// / Forward call records per-stage latency histograms
+// (MetricForwardStageSeconds) and a completed-pass counter on reg.
+// Passing nil detaches. The setting propagates to clones made afterwards
+// by WithRAUIterations and to data-parallel training replicas; it is not
+// safe to flip concurrently with in-flight forwards, so enable before
+// training or serving starts.
+func (m *Model) EnableTelemetry(reg *obs.Registry) {
+	if reg == nil {
+		m.tele = nil
+		return
+	}
+	tr := obs.NewTracer(reg, MetricForwardStageSeconds,
+		"Wall-clock seconds per HARP forward-pass architecture stage.", nil)
+	m.tele = &modelTelemetry{
+		gnn:      tr.Stage("gnn"),
+		settrans: tr.Stage("settrans"),
+		mlp1:     tr.Stage("mlp1"),
+		rauIter:  tr.Stage("rau_iter"),
+		passes:   reg.Counter(MetricForwardPasses, "Completed traced HARP forward passes."),
+	}
+}
+
+// trainTelemetry holds the training-loop instruments. A nil
+// *trainTelemetry disables them; all methods are nil-safe.
+type trainTelemetry struct {
+	loss      *obs.Gauge
+	valMLU    *obs.Gauge
+	bestVal   *obs.Gauge
+	epochs    *obs.Counter
+	epochTime *obs.Histogram
+	skipped   *obs.Counter
+	restores  *obs.Counter
+	ckptWrite *obs.Histogram
+}
+
+func newTrainTelemetry(reg *obs.Registry) *trainTelemetry {
+	if reg == nil {
+		return nil
+	}
+	return &trainTelemetry{
+		loss:    reg.Gauge(MetricTrainLoss, "Mean training loss of the latest epoch."),
+		valMLU:  reg.Gauge(MetricTrainValMLU, "Mean validation MLU of the latest epoch."),
+		bestVal: reg.Gauge(MetricTrainBestValMLU, "Best mean validation MLU seen this run."),
+		epochs:  reg.Counter(MetricTrainEpochs, "Completed training epochs."),
+		epochTime: reg.Histogram(MetricTrainEpochSeconds,
+			"Wall-clock seconds per training epoch.", obs.ExpBuckets(1e-3, 2, 22)),
+		skipped: reg.Counter(MetricTrainSkippedBatches,
+			"Batches discarded by the numerical health guard."),
+		restores: reg.Counter(MetricTrainGuardRestores,
+			"Parameter rollbacks to the last-good snapshot."),
+		ckptWrite: reg.Histogram(MetricCheckpointWriteSeconds,
+			"Checkpoint write (serialize+fsync+rename) latency.", nil),
+	}
+}
+
+// epoch publishes one epoch's outcome.
+func (t *trainTelemetry) epoch(loss, valMLU, bestVal float64, elapsed time.Duration, skips, restores int) {
+	if t == nil {
+		return
+	}
+	t.loss.Set(loss)
+	t.valMLU.Set(valMLU)
+	t.bestVal.Set(bestVal)
+	t.epochs.Inc()
+	t.epochTime.Observe(elapsed.Seconds())
+	t.skipped.Add(int64(skips))
+	t.restores.Add(int64(restores))
+}
+
+// checkpointWritten records one checkpoint write's latency.
+func (t *trainTelemetry) checkpointWritten(elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	t.ckptWrite.Observe(elapsed.Seconds())
+}
+
+// RegisterRuntimeGauges exposes process-level health useful alongside the
+// HARP metrics: the autograd tape-arena pool statistics (hit/miss and
+// slab growth of the zero-alloc path). No-op on a nil registry.
+func RegisterRuntimeGauges(reg *obs.Registry) {
+	autograd.RegisterPoolMetrics(reg)
+}

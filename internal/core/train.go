@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
 	"math"
 	"math/rand"
+	"time"
 
 	"harpte/internal/autograd"
+	"harpte/internal/obs"
 	"harpte/internal/tensor"
 )
 
@@ -68,6 +71,16 @@ type TrainConfig struct {
 	// tests use it (chaos.NaNAfter) to poison batches; production runs
 	// leave it nil.
 	LossHook func(float64) float64
+
+	// Metrics, when non-nil, receives per-epoch training telemetry: loss
+	// and validation-MLU gauges, epoch/skip/restore counters, epoch and
+	// checkpoint-write latency histograms (metric names are the Metric*
+	// constants in telemetry.go). Nil disables with zero overhead.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives one structured record per epoch via
+	// log/slog (see obs.NewLogger). Independent of Log, which carries the
+	// human-readable lines.
+	Logger *slog.Logger
 }
 
 // DefaultTrainConfig returns settings that converge on the bundled
@@ -255,6 +268,8 @@ func (m *Model) FitCheckpointed(train, val []Sample, tc TrainConfig) (FitResult,
 		rng.Perm(len(train))
 	}
 
+	tt := newTrainTelemetry(tc.Metrics)
+
 	checkpoint := func(epoch int) error {
 		if tc.CheckpointPath == "" {
 			return nil
@@ -275,7 +290,15 @@ func (m *Model) FitCheckpointed(train, val []Sample, tc TrainConfig) (FitResult,
 			SkippedBatches: res.SkippedBatches,
 			GuardRestores:  res.GuardRestores,
 		}
-		return SaveCheckpoint(tc.CheckpointPath, ck)
+		var t0 time.Time
+		if tt != nil {
+			t0 = time.Now()
+		}
+		err := SaveCheckpoint(tc.CheckpointPath, ck)
+		if err == nil && tt != nil {
+			tt.checkpointWritten(time.Since(t0))
+		}
+		return err
 	}
 	every := tc.CheckpointEvery
 	if every <= 0 {
@@ -288,6 +311,11 @@ func (m *Model) FitCheckpointed(train, val []Sample, tc TrainConfig) (FitResult,
 	consecutiveSkips := 0
 
 	for epoch := startEpoch; epoch < tc.Epochs; epoch++ {
+		var epochStart time.Time
+		if tt != nil || tc.Logger != nil {
+			epochStart = time.Now()
+		}
+		restoresBefore := res.GuardRestores
 		order := rng.Perm(len(train))
 		var epochLoss float64
 		batches, epochSkips := 0, 0
@@ -343,12 +371,24 @@ func (m *Model) FitCheckpointed(train, val []Sample, tc TrainConfig) (FitResult,
 		if epochSkips == 0 {
 			lastGood = m.snapshot()
 		}
+		tt.epoch(epochLoss, valMLU, res.BestValMLU, time.Since(epochStart),
+			epochSkips, res.GuardRestores-restoresBefore)
 		if tc.Log != nil {
 			fmt.Fprintf(tc.Log, "epoch %3d  loss %.4f  val-MLU %.4f", epoch, epochLoss, valMLU)
 			if epochSkips > 0 {
 				fmt.Fprintf(tc.Log, "  (skipped %d poisoned batches)", epochSkips)
 			}
 			fmt.Fprintln(tc.Log)
+		}
+		if tc.Logger != nil {
+			tc.Logger.Info("epoch",
+				slog.Int("epoch", epoch),
+				slog.Float64("loss", epochLoss),
+				slog.Float64("val_mlu", valMLU),
+				slog.Float64("best_val_mlu", res.BestValMLU),
+				slog.Int("skipped_batches", epochSkips),
+				slog.Int("guard_restores", res.GuardRestores-restoresBefore),
+				slog.Duration("elapsed", time.Since(epochStart)))
 		}
 		res.Epochs = epoch + 1
 		done := epoch == tc.Epochs-1 || (tc.Patience > 0 && badEpochs >= tc.Patience)

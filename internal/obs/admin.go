@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Admin is a running admin HTTP endpoint. Close shuts it down.
+type Admin struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// ServeAdmin starts an admin HTTP server on addr (host:port; use ":0" to
+// pick a free port) exposing:
+//
+//	/metrics      Prometheus text-format exposition of reg
+//	/debug/vars   expvar JSON (Go runtime memstats, cmdline)
+//	/debug/pprof  live profiling (heap, goroutine, 30s CPU profile, trace)
+//	/             a plain-text index of the above
+//
+// The server runs until Close. A nil reg is allowed: /metrics then serves
+// an empty (but valid) exposition. Note the CPU profiler is process-global:
+// /debug/pprof/profile fails while a file CPU profile (harpcli
+// -cpuprofile) is running, and vice versa.
+func ServeAdmin(addr string, reg *Registry) (*Admin, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "harpte admin endpoint")
+		fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
+		fmt.Fprintln(w, "  /debug/vars   expvar JSON")
+		fmt.Fprintln(w, "  /debug/pprof  pprof profiles")
+	})
+	a := &Admin{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		lis: lis,
+	}
+	go func() {
+		// ErrServerClosed is the normal Close path; any other error means
+		// the listener died, which the owner notices by failed scrapes.
+		_ = a.srv.Serve(lis)
+	}()
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *Admin) Addr() string { return a.lis.Addr().String() }
+
+// Close shuts the admin server down immediately.
+func (a *Admin) Close() error { return a.srv.Close() }

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a slog.Logger writing structured records to w — one
+// JSON object per line when jsonFormat is true (machine-ingestable, the
+// harpcli -log-json mode), logfmt-style key=value text otherwise.
+//
+// The training loop (core.TrainConfig.Logger) and the serving layer emit
+// their structured records through a logger built here; both treat a nil
+// logger as disabled.
+func NewLogger(w io.Writer, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}

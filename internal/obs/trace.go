@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer names the stages of a repeated operation (e.g. the architecture
+// stages of a HARP forward pass) and records each stage's wall-clock
+// duration into one labeled histogram family. It is deliberately
+// lightweight: a span is a 24-byte value, starting one costs a clock read
+// and ending one costs a histogram observation — there is no context
+// propagation, sampling or export machinery.
+//
+// A nil *Tracer is the disabled state: Stage returns nil, Start returns
+// an inert Span, and neither reads the clock.
+type Tracer struct {
+	reg     *Registry
+	name    string
+	help    string
+	buckets []float64
+
+	mu     sync.Mutex
+	stages map[string]*Stage
+}
+
+// NewTracer returns a tracer recording stage durations (seconds) into the
+// histogram family name{stage="…"} on reg. A nil reg yields a nil
+// (disabled) tracer. Nil buckets means DefaultLatencyBuckets.
+func NewTracer(reg *Registry, name, help string, buckets []float64) *Tracer {
+	if reg == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets()
+	}
+	return &Tracer{
+		reg:     reg,
+		name:    name,
+		help:    help,
+		buckets: buckets,
+		stages:  make(map[string]*Stage),
+	}
+}
+
+// Stage resolves (and caches) the named stage's histogram. Hot paths
+// should call Stage once up front and reuse the handle; Start on the
+// handle is then a single nil check plus a clock read. Nil-safe.
+func (tr *Tracer) Stage(name string) *Stage {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	st := tr.stages[name]
+	if st == nil {
+		st = &Stage{h: tr.reg.Histogram(tr.name, tr.help, tr.buckets, L("stage", name))}
+		tr.stages[name] = st
+	}
+	tr.mu.Unlock()
+	return st
+}
+
+// Start begins a span on the named stage (map lookup per call; prefer
+// Stage().Start() in hot loops). Nil-safe.
+func (tr *Tracer) Start(name string) Span {
+	return tr.Stage(name).Start()
+}
+
+// Stage is a pre-resolved tracer stage.
+type Stage struct{ h *Histogram }
+
+// Start returns a running span. On a nil receiver the span is inert and
+// the clock is not read.
+func (st *Stage) Start() Span {
+	if st == nil {
+		return Span{}
+	}
+	return Span{h: st.h, t0: time.Now()}
+}
+
+// Span is one in-flight timed stage. The zero value is inert.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// End records the span's duration. Inert spans no-op. End may be called
+// at most once; a second call would record a second observation.
+func (sp Span) End() {
+	if sp.h == nil {
+		return
+	}
+	sp.h.Observe(time.Since(sp.t0).Seconds())
+}

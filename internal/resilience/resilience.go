@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"harpte/internal/core"
+	"harpte/internal/obs"
 	"harpte/internal/te"
 	"harpte/internal/tensor"
 )
@@ -96,12 +97,104 @@ type Server struct {
 	reduced *core.Model
 	opts    Options
 
-	mu     sync.Mutex
+	// tel carries the optional telemetry instruments (EnableTelemetry);
+	// nil disables them. All serverTelemetry methods are nil-safe.
+	tel *serverTelemetry
+
+	// statMu guards only the tier tally, so TierCounts can take a
+	// consistent snapshot in one acquisition without contending with the
+	// context cache.
+	statMu sync.Mutex
 	counts [numTiers]int64
-	// Single-entry context cache: serving loops typically replay many
-	// traffic matrices against one problem, and contexts are immutable.
+
+	// cacheMu guards the single-entry context cache: serving loops
+	// typically replay many traffic matrices against one problem, and
+	// contexts are immutable.
+	cacheMu  sync.Mutex
 	lastProb *te.Problem
 	lastCtx  *core.Context
+}
+
+// Metric names emitted by this package.
+const (
+	// MetricServeRequests counts Serve calls by the tier that answered
+	// (labels: tier="full"|"reduced-rau"|"ecmp"|"rejected").
+	MetricServeRequests = "harp_serve_requests_total"
+	// MetricServeSeconds is a per-tier histogram of Serve latency.
+	MetricServeSeconds = "harp_serve_seconds"
+	// MetricServeRejections counts requests rejected by input validation.
+	MetricServeRejections = "harp_serve_rejections_total"
+	// MetricServeDeadlineExpirations counts neural tiers abandoned
+	// because the per-request wall-clock budget ran out.
+	MetricServeDeadlineExpirations = "harp_serve_deadline_expirations_total"
+	// MetricServePanicRecoveries counts panics converted to degradations.
+	MetricServePanicRecoveries = "harp_serve_panic_recoveries_total"
+)
+
+// serverTelemetry is the registry-backed half of the tier bookkeeping.
+// Nil disables it; every method no-ops on a nil receiver.
+type serverTelemetry struct {
+	requests  [numTiers]*obs.Counter
+	latency   [numTiers]*obs.Histogram
+	rejects   *obs.Counter
+	deadlines *obs.Counter
+	panics    *obs.Counter
+}
+
+func newServerTelemetry(reg *obs.Registry) *serverTelemetry {
+	if reg == nil {
+		return nil
+	}
+	t := &serverTelemetry{
+		rejects: reg.Counter(MetricServeRejections,
+			"Requests rejected by input validation (no splits produced)."),
+		deadlines: reg.Counter(MetricServeDeadlineExpirations,
+			"Neural serving tiers abandoned on the per-request deadline."),
+		panics: reg.Counter(MetricServePanicRecoveries,
+			"Panics recovered and converted into tier degradations."),
+	}
+	for tier := Tier(0); tier < numTiers; tier++ {
+		l := obs.L("tier", tier.String())
+		t.requests[tier] = reg.Counter(MetricServeRequests,
+			"Serve calls by the fallback-chain tier that answered.", l)
+		t.latency[tier] = reg.Histogram(MetricServeSeconds,
+			"Serve wall-clock latency by answering tier.", nil, l)
+	}
+	return t
+}
+
+func (t *serverTelemetry) record(tier Tier, elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	t.requests[tier].Inc()
+	t.latency[tier].Observe(elapsed.Seconds())
+	if tier == TierRejected {
+		t.rejects.Inc()
+	}
+}
+
+func (t *serverTelemetry) deadlineExpired() {
+	if t != nil {
+		t.deadlines.Inc()
+	}
+}
+
+func (t *serverTelemetry) panicRecovered() {
+	if t != nil {
+		t.panics.Inc()
+	}
+}
+
+// EnableTelemetry attaches serving telemetry to the server: per-tier
+// request counters and latency histograms, and rejection / deadline /
+// panic-recovery counters (the Metric* constants). It also enables
+// forward-pass stage tracing on both the full and reduced models. Call it
+// before serving starts; passing nil detaches.
+func (s *Server) EnableTelemetry(reg *obs.Registry) {
+	s.tel = newServerTelemetry(reg)
+	s.full.EnableTelemetry(reg)
+	s.reduced.EnableTelemetry(reg)
 }
 
 // NewServer builds a Server over m. The model is used read-only; training
@@ -183,12 +276,12 @@ func ValidateInput(p *te.Problem, demand *tensor.Dense) error {
 // fallback chain as needed. On any non-rejected return, Decision.Splits is
 // a finite F×K matrix whose rows each sum to 1.
 func (s *Server) Serve(p *te.Problem, demand *tensor.Dense) Decision {
+	start := time.Now()
 	if err := ValidateInput(p, demand); err != nil {
-		s.record(TierRejected)
+		s.record(TierRejected, start)
 		return Decision{Tier: TierRejected, Err: err}
 	}
 	var dec Decision
-	start := time.Now()
 	budget := func() (time.Duration, bool) {
 		if s.opts.Deadline <= 0 {
 			return 0, true
@@ -207,16 +300,17 @@ func (s *Server) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 		}{{TierFull, s.full}, {TierReducedRAU, s.reduced}} {
 			left, ok := budget()
 			if !ok {
+				s.tel.deadlineExpired()
 				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: deadline exceeded", tier.t))
 				continue
 			}
-			splits, err := safeInfer(tier.m, ctx, p, demand, left)
+			splits, err := s.safeInfer(tier.m, ctx, p, demand, left)
 			if err != nil {
 				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: %v", tier.t, err))
 				continue
 			}
 			dec.Splits, dec.Tier = splits, tier.t
-			s.record(tier.t)
+			s.record(tier.t, start)
 			return dec
 		}
 	}
@@ -225,36 +319,37 @@ func (s *Server) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 	// arithmetic on validated inputs — cannot fail.
 	dec.Splits = te.NormalizeRows(te.Rescale(p, p.UniformSplits()))
 	dec.Tier = TierECMP
-	s.record(TierECMP)
+	s.record(TierECMP, start)
 	return dec
 }
 
 // contextFor builds (or returns the cached) model context for p,
 // converting construction panics on malformed problems into errors.
 func (s *Server) contextFor(p *te.Problem) (ctx *core.Context, err error) {
-	s.mu.Lock()
+	s.cacheMu.Lock()
 	if s.lastProb == p && s.lastCtx != nil {
 		ctx = s.lastCtx
-		s.mu.Unlock()
+		s.cacheMu.Unlock()
 		return ctx, nil
 	}
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
 	defer func() {
 		if r := recover(); r != nil {
+			s.tel.panicRecovered()
 			ctx, err = nil, fmt.Errorf("panic building context: %v", r)
 		}
 	}()
 	ctx = s.full.Context(p)
-	s.mu.Lock()
+	s.cacheMu.Lock()
 	s.lastProb, s.lastCtx = p, ctx
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
 	return ctx, nil
 }
 
 // safeInfer runs one model tier under a recover guard and a wall-clock
 // budget, then vets the output. On timeout the inference goroutine is
 // abandoned (it finishes in the background; its result is discarded).
-func safeInfer(m *core.Model, ctx *core.Context, p *te.Problem, demand *tensor.Dense, budget time.Duration) (*tensor.Dense, error) {
+func (s *Server) safeInfer(m *core.Model, ctx *core.Context, p *te.Problem, demand *tensor.Dense, budget time.Duration) (*tensor.Dense, error) {
 	type result struct {
 		splits *tensor.Dense
 		err    error
@@ -263,6 +358,7 @@ func safeInfer(m *core.Model, ctx *core.Context, p *te.Problem, demand *tensor.D
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
+				s.tel.panicRecovered()
 				ch <- result{err: fmt.Errorf("inference panic: %v", r)}
 			}
 		}()
@@ -275,6 +371,7 @@ func safeInfer(m *core.Model, ctx *core.Context, p *te.Problem, demand *tensor.D
 		select {
 		case r = <-ch:
 		case <-timer.C:
+			s.tel.deadlineExpired()
 			return nil, fmt.Errorf("deadline exceeded after %v", budget)
 		}
 	} else {
@@ -325,20 +422,28 @@ func vetSplits(p *te.Problem, splits *tensor.Dense) (*tensor.Dense, error) {
 	return splits, nil
 }
 
-func (s *Server) record(t Tier) {
-	s.mu.Lock()
+// record tallies one answered request: the authoritative per-tier counts
+// under statMu, mirrored into the registry instruments when telemetry is
+// enabled.
+func (s *Server) record(t Tier, start time.Time) {
+	s.statMu.Lock()
 	s.counts[t]++
-	s.mu.Unlock()
+	s.statMu.Unlock()
+	s.tel.record(t, time.Since(start))
 }
 
 // TierCounts returns how many requests each tier has served since the
-// server was created.
+// server was created. The tally is copied under a single lock
+// acquisition, so the returned map is a consistent snapshot: its values
+// sum to the exact number of Serve calls recorded at that instant, even
+// while other goroutines keep serving.
 func (s *Server) TierCounts() map[Tier]int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statMu.Lock()
+	snap := s.counts
+	s.statMu.Unlock()
 	out := make(map[Tier]int64, numTiers)
 	for t := Tier(0); t < numTiers; t++ {
-		out[t] = s.counts[t]
+		out[t] = snap[t]
 	}
 	return out
 }

@@ -1,0 +1,159 @@
+package resilience
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harpte/internal/core"
+	"harpte/internal/obs"
+	"harpte/internal/te"
+)
+
+// TestServeTelemetryCountsTiersAndRejections: an instrumented server
+// mirrors every answered request into the registry — per-tier counters,
+// latency histograms, and the rejection counter — while TierCounts stays
+// the authoritative tally.
+func TestServeTelemetryCountsTiersAndRejections(t *testing.T) {
+	p := twoPathProblem()
+	reg := obs.NewRegistry()
+	srv := NewServer(core.New(tinyConfig()), Options{})
+	srv.EnableTelemetry(reg)
+
+	const good = 3
+	for i := 0; i < good; i++ {
+		if dec := srv.Serve(p, demand(p, 4, 2)); dec.Tier != TierFull {
+			t.Fatalf("request %d: tier %v (degraded %v)", i, dec.Tier, dec.Degraded)
+		}
+	}
+	if dec := srv.Serve(p, nil); dec.Tier != TierRejected {
+		t.Fatalf("nil demand served as %v", dec.Tier)
+	}
+
+	fullLabel := obs.L("tier", TierFull.String())
+	if got := reg.Counter(MetricServeRequests, "", fullLabel).Value(); got != good {
+		t.Fatalf("full-tier request counter = %d, want %d", got, good)
+	}
+	if got := reg.Histogram(MetricServeSeconds, "", nil, fullLabel).Count(); got != good {
+		t.Fatalf("full-tier latency histogram count = %d, want %d", got, good)
+	}
+	if got := reg.Counter(MetricServeRejections, "").Value(); got != 1 {
+		t.Fatalf("rejection counter = %d, want 1", got)
+	}
+	counts := srv.TierCounts()
+	if counts[TierFull] != good || counts[TierRejected] != 1 {
+		t.Fatalf("TierCounts = %v, want full=%d rejected=1", counts, good)
+	}
+	// Model-level tracing rides along: EnableTelemetry instruments the
+	// underlying models too.
+	if got := reg.Counter(core.MetricForwardPasses, "").Value(); got == 0 {
+		t.Fatal("serving produced no traced forward passes")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `harp_serve_requests_total{tier="full"} 3`) {
+		t.Fatalf("exposition missing per-tier serve counter:\n%s", b.String())
+	}
+}
+
+func TestServeTelemetryDeadlineExpirations(t *testing.T) {
+	p := twoPathProblem()
+	reg := obs.NewRegistry()
+	srv := NewServer(core.New(tinyConfig()), Options{Deadline: time.Nanosecond})
+	srv.EnableTelemetry(reg)
+	if dec := srv.Serve(p, demand(p, 4, 2)); dec.Tier != TierECMP {
+		t.Fatalf("tier %v, want ecmp under an impossible deadline", dec.Tier)
+	}
+	// Both neural tiers expire (either before starting or mid-inference).
+	if got := reg.Counter(MetricServeDeadlineExpirations, "").Value(); got != 2 {
+		t.Fatalf("deadline counter = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricServeRequests, "", obs.L("tier", TierECMP.String())).Value(); got != 1 {
+		t.Fatalf("ecmp request counter = %d, want 1", got)
+	}
+}
+
+func TestServeTelemetryPanicRecoveries(t *testing.T) {
+	healthy := twoPathProblem()
+	broken := &te.Problem{Graph: healthy.Graph, Tunnels: healthy.Tunnels}
+	reg := obs.NewRegistry()
+	srv := NewServer(core.New(tinyConfig()), Options{})
+	srv.EnableTelemetry(reg)
+	if dec := srv.Serve(broken, demand(broken, 4, 2)); dec.Tier != TierECMP {
+		t.Fatalf("tier %v, want ecmp after inference panic", dec.Tier)
+	}
+	if got := reg.Counter(MetricServePanicRecoveries, "").Value(); got == 0 {
+		t.Fatal("panic recoveries never counted")
+	}
+}
+
+// TestTierCountsConsistentSnapshot: under concurrent serving, every
+// snapshot's total must equal an exact number of recorded requests — a
+// torn read across per-tier atomics would eventually show a total that
+// was never true at any instant. Run with -race to also prove the
+// bookkeeping itself is clean.
+func TestTierCountsConsistentSnapshot(t *testing.T) {
+	p := twoPathProblem()
+	m := core.New(tinyConfig())
+	m.Params()[0].Val.Data[0] = math.NaN() // degrade: ECMP answers fast
+	reg := obs.NewRegistry()
+	srv := NewServer(m, Options{})
+	srv.EnableTelemetry(reg)
+
+	const workers, perWorker = 4, 20
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapBad atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			counts := srv.TierCounts()
+			var total int64
+			for _, c := range counts {
+				total += c
+			}
+			if total < 0 || total > workers*perWorker {
+				snapBad.Store(total)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := demand(p, 4, 2)
+			for i := 0; i < perWorker; i++ {
+				srv.Serve(p, d)
+			}
+		}()
+	}
+	// The snapshotter only exits on its own when it sees a bad total; give
+	// it a moment to overlap the servers, then stop it and drain everyone.
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if bad := snapBad.Load(); bad != 0 {
+		t.Fatalf("TierCounts snapshot showed never-true total %d", bad)
+	}
+	counts := srv.TierCounts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != workers*perWorker {
+		t.Fatalf("final TierCounts total = %d, want %d (%v)", total, workers*perWorker, counts)
+	}
+}
