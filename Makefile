@@ -1,15 +1,16 @@
 # Tier-1 verification gate plus extras. `make check` is what CI should run.
 GO ?= go
 
-.PHONY: check vet build test race benchsmoke bench obssmoke
+.PHONY: check vet build test race benchsmoke bench obssmoke verify fuzzsmoke
 
 # check runs static analysis, the full build, the full test suite, the
 # race detector on internal/core (exercises ParallelTrainStep's shared-
 # weight/private-gradient scheme under -race) and internal/obs (scrape-
-# while-write on the metrics registry), an admin-endpoint smoke test, and
-# a one-iteration bench smoke that compiles and executes every benchmark
-# once so the perf harness can never silently rot.
-check: vet build test race obssmoke benchsmoke
+# while-write on the metrics registry), an admin-endpoint smoke test, a
+# one-iteration bench smoke that compiles and executes every benchmark
+# once so the perf harness can never silently rot, the differential-oracle
+# suite (internal/verify), and a short fuzzing pass over every fuzz target.
+check: vet build test race obssmoke benchsmoke verify fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +22,27 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/obs ./internal/resilience
+	$(GO) test -race ./internal/core ./internal/obs ./internal/resilience ./internal/verify
+
+# verify runs the differential-oracle suite: autograd gradients vs central
+# finite differences, simplex optima vs duality/complementary-slackness
+# certificates, MWU vs simplex, and HARP's permutation/edge-order
+# invariance oracles (see internal/verify and DESIGN.md §Correctness).
+verify:
+	$(GO) test -count=1 ./internal/verify
+
+# fuzzsmoke gives each native fuzz target a short budget (go test allows
+# one -fuzz pattern per invocation, hence one line per target; ~15-30s
+# total). Committed regression seeds under testdata/fuzz/ also run as
+# ordinary test cases in `make test`.
+fuzzsmoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=2s ./internal/topology
+	$(GO) test -run='^$$' -fuzz='^FuzzParseTMs$$' -fuzztime=2s ./internal/traffic
+	$(GO) test -run='^$$' -fuzz='^FuzzReadCheckpoint$$' -fuzztime=2s ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzModelLoad$$' -fuzztime=2s ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzMatMul$$' -fuzztime=2s ./internal/tensor
+	$(GO) test -run='^$$' -fuzz='^FuzzNewCSR$$' -fuzztime=2s ./internal/tensor
+	$(GO) test -run='^$$' -fuzz='^FuzzSoftmaxRow$$' -fuzztime=2s ./internal/tensor
 
 # obssmoke boots the observability admin endpoint on a loopback port and
 # scrapes /metrics, /debug/vars and /debug/pprof once.

@@ -188,6 +188,11 @@ func cmdTrain(args []string) {
 		tc.Log = nil
 		tc.Logger = obs.NewLogger(os.Stderr, true)
 	}
+	// Surface flag mistakes (negative epochs, workers > batch, resume
+	// without a checkpoint path) before any expensive sample building.
+	if err := tc.Validate(); err != nil {
+		fatal(err)
+	}
 	res, err := m.FitCheckpointed(experiments.HarpSamples(m, trainI), experiments.HarpSamples(m, valI), tc)
 	if err != nil {
 		fatal(err)
@@ -440,6 +445,9 @@ func cmdSearch(args []string) {
 	tc := core.DefaultTrainConfig()
 	tc.Epochs = *epochs
 	tc.Seed = *seed
+	if err := tc.Validate(); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("searching %s on %s (%d flows)...\n",
 		gridLabel(*full), g.Name, p.NumFlows())
 	best, results, err := core.GridSearch(grid, base, tc, trainS, valS)

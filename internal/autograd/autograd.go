@@ -726,23 +726,10 @@ func (tp *Tape) SoftmaxRows(a *Tensor) *Tensor {
 	return tp.node1(opSoftmaxRows, out, a)
 }
 
-func softmaxRow(dst, src []float64) {
-	m := src[0]
-	for _, v := range src[1:] {
-		if v > m {
-			m = v
-		}
-	}
-	var s float64
-	for j, v := range src {
-		e := math.Exp(v - m)
-		dst[j] = e
-		s += e
-	}
-	for j := range dst {
-		dst[j] /= s
-	}
-}
+// softmaxRow delegates to the shared guarded kernel: all-masked (-Inf) rows
+// become zero rows rather than NaN, and the opSoftmaxRows backward is exact
+// for them (y = 0 ⇒ dx = 0).
+func softmaxRow(dst, src []float64) { tensor.SoftmaxRow(dst, src) }
 
 // ---- sparse structural operators ----
 

@@ -1,0 +1,48 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"harpte/internal/tensor"
+)
+
+// TestSoftmaxRowsMaskedRowForwardAndBackward: a fully masked row (all -Inf
+// logits) must produce a zero output row instead of NaN, and the backward
+// pass through that row must contribute exactly zero gradient — previously
+// the NaN forward poisoned the entire gradient and the training health
+// guard only noticed a full batch later.
+func TestSoftmaxRowsMaskedRowForwardAndBackward(t *testing.T) {
+	tp := NewTape()
+	v := tensor.New(2, 3)
+	copy(v.Row(0), []float64{1, 2, 3})
+	inf := math.Inf(-1)
+	copy(v.Row(1), []float64{inf, inf, inf})
+	x := NewParam(v)
+
+	y := tp.SoftmaxRows(x)
+	for j, val := range y.Val.Row(1) {
+		if val != 0 {
+			t.Fatalf("masked row output[%d] = %v, want 0", j, val)
+		}
+	}
+	var s float64
+	for _, val := range y.Val.Row(0) {
+		s += val
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("unmasked row sum %v, want 1", s)
+	}
+
+	tp.Backward(tp.SumAll(y))
+	for j, g := range x.Grad.Row(1) {
+		if g != 0 {
+			t.Fatalf("masked row grad[%d] = %v, want 0", j, g)
+		}
+	}
+	for j, g := range x.Grad.Row(0) {
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("unmasked row grad[%d] = %v, want finite", j, g)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"harpte/internal/autograd"
 )
@@ -55,6 +56,11 @@ type Checkpoint struct {
 }
 
 const checkpointVersion = 1
+
+// maxCheckpointPayload bounds the gob payload a header may declare (1 GiB —
+// orders of magnitude above any real model, small enough that a corrupt
+// length field cannot OOM the loader).
+const maxCheckpointPayload = 1 << 30
 
 // checkpointMagic identifies a harpte checkpoint stream; exactly 8 bytes.
 var checkpointMagic = [8]byte{'H', 'A', 'R', 'P', 'C', 'K', 'P', 'T'}
@@ -109,6 +115,14 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		return nil, fmt.Errorf("core: checkpoint format version %d is newer than supported version %d",
 			h.Version, checkpointVersion)
 	}
+	// The declared length is attacker/bit-rot-controlled; allocating it
+	// blindly turns an 8-byte flip into a multi-GiB allocation (found by
+	// FuzzReadCheckpoint). Anything over the cap cannot be a real
+	// checkpoint, so treat it as corruption.
+	if h.Length > maxCheckpointPayload {
+		return nil, fmt.Errorf("core: %w: declared payload length %d exceeds %d-byte cap",
+			ErrCorruptCheckpoint, h.Length, int64(maxCheckpointPayload))
+	}
 	payload := make([]byte, h.Length)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("core: %w: truncated payload (%v)", ErrCorruptCheckpoint, err)
@@ -125,9 +139,10 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 }
 
 // SaveCheckpoint atomically writes ck to path: the bytes go to a temp file
-// in the same directory, are fsynced, and only then renamed over path. A
-// crash at any point leaves either the old checkpoint or the new one —
-// never a torn file.
+// in the same directory, are fsynced, and only then renamed over path,
+// followed by an fsync of the parent directory so the rename itself is
+// durable. A crash at any point leaves either the old checkpoint or the new
+// one — never a torn file.
 func SaveCheckpoint(path string, ck *Checkpoint) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
@@ -153,6 +168,28 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("core: installing checkpoint: %w", err)
+	}
+	// Fsyncing only the file leaves the rename in the directory's dirty
+	// metadata; on a crash the directory entry can still point at the old
+	// inode (or nothing). Fsync the directory to make the rename durable.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("core: syncing checkpoint directory: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it survives
+// a crash. Filesystems that do not support fsync on directories report
+// EINVAL/ENOTSUP; those are ignored — the rename is still atomic, we simply
+// cannot strengthen its durability there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
 	}
 	return nil
 }

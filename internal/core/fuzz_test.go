@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedCheckpoint returns the bytes of a small valid checkpoint so the
+// fuzzer starts from a structurally interesting input.
+func fuzzSeedCheckpoint(f *testing.F) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	ck := &Checkpoint{Cfg: tinyConfig(), Epoch: 2, Seed: 9, BestValMLU: 1.25}
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadCheckpoint: ReadCheckpoint must never panic or allocate
+// unboundedly on arbitrary bytes — it either returns a checkpoint or an
+// error. Historical find (seeded under testdata/fuzz/FuzzReadCheckpoint): a
+// flipped header length field drove a multi-GiB allocation before any
+// integrity check ran.
+func FuzzReadCheckpoint(f *testing.F) {
+	valid := fuzzSeedCheckpoint(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("HARPCKPT"))
+	// The allocation-bomb regression: valid magic+version, absurd length.
+	bomb := append([]byte(nil), valid...)
+	for i := 12; i < 20; i++ {
+		bomb[i] = 0xff
+	}
+	f.Add(bomb)
+	// Truncated payload.
+	f.Add(valid[:len(valid)-7])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := ReadCheckpoint(bytes.NewReader(data))
+		if err == nil && ck == nil {
+			t.Fatal("nil checkpoint with nil error")
+		}
+	})
+}
+
+// FuzzModelLoad: Load must never panic on arbitrary bytes. The legacy v0
+// path (raw gob, no CRC) is the dangerous one — a crafted Config used to
+// reach New() and panic or allocate unboundedly before Validate was added
+// (seeded under testdata/fuzz/FuzzModelLoad).
+func FuzzModelLoad(f *testing.F) {
+	var buf bytes.Buffer
+	if err := New(tinyConfig()).Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("HARPMODL"))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err == nil {
+			if m == nil {
+				t.Fatal("nil model with nil error")
+			}
+			// Anything Load accepts must have survived Config validation.
+			if verr := m.Cfg.Validate(); verr != nil {
+				t.Fatalf("Load accepted invalid config: %v", verr)
+			}
+		}
+	})
+}

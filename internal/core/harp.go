@@ -17,6 +17,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"harpte/internal/obs"
 	"harpte/internal/te"
 	"harpte/internal/tensor"
+	"harpte/internal/verify"
 )
 
 // Config collects HARP's hyperparameters (Appendix A.2 lists the grid the
@@ -55,6 +57,49 @@ type Config struct {
 	MeanPoolTunnels bool
 	// Seed initializes parameters deterministically.
 	Seed int64
+}
+
+// maxConfigDim caps every Config width/depth field. New() allocates O(dim²)
+// parameter storage, so an unvalidated Config deserialized from a model
+// file could request multi-GiB allocations (or panic on a negative or
+// non-divisible dimension) before any weight is read.
+const maxConfigDim = 1 << 14
+
+// Validate rejects configurations New cannot construct a sane model from:
+// non-positive or absurd widths, negative depths, a head count that does
+// not divide the embedding width, or a non-finite loss temperature. Load
+// calls it before instantiating a model from a deserialized Config — the
+// legacy version-0 format has no checksum, so a crafted or corrupted file
+// would otherwise drive New into a panic or an allocation bomb (found by
+// FuzzModelLoad).
+func (c Config) Validate() error {
+	dims := []struct {
+		name string
+		v    int
+		min  int
+	}{
+		{"EmbedDim", c.EmbedDim, 1},
+		{"GNNLayers", c.GNNLayers, 0},
+		{"GNNHidden", c.GNNHidden, 1},
+		{"SetTransLayers", c.SetTransLayers, 0},
+		{"Heads", c.Heads, 1},
+		{"FFDim", c.FFDim, 1},
+		{"MLP1Hidden", c.MLP1Hidden, 1},
+		{"RAUHidden", c.RAUHidden, 1},
+		{"RAUIterations", c.RAUIterations, 0},
+	}
+	for _, d := range dims {
+		if d.v < d.min || d.v > maxConfigDim {
+			return fmt.Errorf("core: Config.%s = %d out of range [%d, %d]", d.name, d.v, d.min, maxConfigDim)
+		}
+	}
+	if c.EmbedDim%c.Heads != 0 {
+		return fmt.Errorf("core: Config.EmbedDim (%d) must be divisible by Heads (%d)", c.EmbedDim, c.Heads)
+	}
+	if math.IsNaN(c.LossTemp) || math.IsInf(c.LossTemp, 0) || c.LossTemp < 0 {
+		return fmt.Errorf("core: Config.LossTemp must be finite and >= 0, got %v", c.LossTemp)
+	}
+	return nil
 }
 
 // DefaultConfig returns a compact configuration suitable for CPU training.
@@ -491,12 +536,21 @@ func (m *Model) LossMLU(tp *autograd.Tape, c *Context, splits *autograd.Tensor, 
 // — the pool regenerates.
 var inferTapes = sync.Pool{New: func() any { return autograd.NewReusableTape() }}
 
-// Splits runs inference and returns the F×K split-ratio matrix.
+// Splits runs inference and returns the F×K split-ratio matrix. When the
+// verify gate is on (verify.SetEnabled), the routing invariants — rows sum
+// to 1, nonnegative link loads, per-flow conservation — are re-checked on
+// every inference; when off the gate is a single atomic load, preserving
+// the inference allocation pin.
 func (m *Model) Splits(c *Context, demand *tensor.Dense) *tensor.Dense {
 	tp := inferTapes.Get().(*autograd.Tape)
 	out := m.Forward(tp, c, demand).Splits.Val.Clone()
 	tp.Reset()
 	inferTapes.Put(tp)
+	if verify.Enabled() {
+		if err := verify.CheckRouting(c.inner.p, out, demand); err != nil {
+			verify.Fail(err)
+		}
+	}
 	return out
 }
 

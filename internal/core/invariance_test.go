@@ -1,0 +1,82 @@
+package core
+
+// Table-driven equivariance tests over the real WAN topologies, promoted
+// from the verify-package oracles: HARP's Table-1 claims — node-permutation
+// equivariance of the GNN and edge-order invariance of SETTRANS — checked
+// on Abilene and GEANT with gravity-model demands.
+
+import (
+	"math/rand"
+	"testing"
+
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+// shuffleTunnelEdges deep-copies set with the edge order inside every
+// tunnel permuted: same edge multiset, different SETTRANS token order.
+func shuffleTunnelEdges(set *tunnels.Set, rng *rand.Rand) *tunnels.Set {
+	out := &tunnels.Set{Flows: append([]tunnels.Flow(nil), set.Flows...), K: set.K}
+	out.PerFlow = make([][]tunnels.Tunnel, len(set.PerFlow))
+	for f, ts := range set.PerFlow {
+		out.PerFlow[f] = make([]tunnels.Tunnel, len(ts))
+		for k, tun := range ts {
+			edges := append([]int(nil), tun.Edges...)
+			rng.Shuffle(len(edges), func(a, b int) { edges[a], edges[b] = edges[b], edges[a] })
+			out.PerFlow[f][k] = tunnels.Tunnel{Edges: edges}
+		}
+	}
+	return out
+}
+
+func TestEquivarianceTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		build     func() *topology.Graph
+		edgeNodes []int
+		k         int
+		seed      int64
+	}{
+		{"abilene", topology.Abilene, []int{0, 3, 4, 9}, 3, 41},
+		{"geant", topology.Geant, []int{0, 5, 11, 16, 21}, 3, 42},
+	}
+	m := New(tinyConfig())
+
+	for _, tc := range cases {
+		g := tc.build()
+		g.EdgeNodes = append([]int(nil), tc.edgeNodes...)
+		set := tunnels.Compute(g, tc.k)
+		p := te.NewProblem(g, set)
+		rng := rand.New(rand.NewSource(tc.seed))
+		tm := traffic.Gravity(g.NumNodes, traffic.GravityWeights(g, rng), 40)
+		d := traffic.DemandVector(tm, set.Flows)
+		base := m.Splits(m.Context(p), d)
+
+		t.Run(tc.name+"/node-permutation", func(t *testing.T) {
+			// Permute preserves edge ids, so the tunnel edge lists stay
+			// valid; only flow endpoints are renamed, in the same flow
+			// order, so the demand vector carries over unchanged.
+			perm := rng.Perm(g.NumNodes)
+			g2 := g.Permute(perm)
+			set2 := &tunnels.Set{K: set.K, PerFlow: set.PerFlow}
+			for _, f := range set.Flows {
+				set2.Flows = append(set2.Flows, tunnels.Flow{Src: perm[f.Src], Dst: perm[f.Dst]})
+			}
+			got := m.Splits(m.Context(te.NewProblem(g2, set2)), d)
+			if !tensor.Equal(base, got, 1e-7) {
+				t.Fatal("splits changed under node permutation")
+			}
+		})
+
+		t.Run(tc.name+"/tunnel-edge-order", func(t *testing.T) {
+			shuf := shuffleTunnelEdges(set, rng)
+			got := m.Splits(m.Context(te.NewProblem(g, shuf)), d)
+			if !tensor.Equal(base, got, 1e-7) {
+				t.Fatal("splits changed under tunnel-edge-order shuffle")
+			}
+		})
+	}
+}

@@ -91,6 +91,12 @@ func Load(r io.Reader) (*Model, error) {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&mf); err != nil {
 		return nil, fmt.Errorf("core: loading model: %w", err)
 	}
+	// Validate the deserialized Config before handing it to New: the legacy
+	// version-0 format has no CRC, so crafted bytes can reach this point
+	// and an absurd dimension would panic or allocate unboundedly.
+	if err := mf.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w: %v", ErrCorruptCheckpoint, err)
+	}
 	m := New(mf.Cfg)
 	if len(mf.Params) != len(m.params) {
 		return nil, fmt.Errorf("core: model file has %d parameter tensors, expected %d",

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"math"
+	"os"
 	"strings"
 	"testing"
 
@@ -82,6 +83,85 @@ func TestLoadRejectsNonFiniteParams(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), "non-finite") {
 			t.Fatalf("poison %v: want non-finite rejection, got %v", poison, err)
 		}
+	}
+}
+
+// TestReadCheckpointRejectsHugeDeclaredLength: a bit flip in the header's
+// length field used to drive a multi-GiB make([]byte, h.Length) before any
+// integrity check ran (found by FuzzReadCheckpoint). The cap must reject it
+// as corruption without attempting the allocation.
+func TestReadCheckpointRejectsHugeDeclaredLength(t *testing.T) {
+	var buf bytes.Buffer
+	ck := &Checkpoint{Cfg: tinyConfig(), Seed: 1}
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Header layout: magic[8] version[4] length[8] crc[4], big-endian.
+	for i := 12; i < 20; i++ {
+		data[i] = 0xff
+	}
+	_, err := ReadCheckpoint(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("huge declared length: want ErrCorruptCheckpoint, got %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("error should mention the cap, got %v", err)
+	}
+}
+
+// TestLoadRejectsAbsurdLegacyConfig: the legacy v0 path is raw gob with no
+// CRC, so a crafted file controls Config completely. Absurd dimensions used
+// to reach New() and panic or allocate unboundedly; Validate must reject
+// them as corruption.
+func TestLoadRejectsAbsurdLegacyConfig(t *testing.T) {
+	bad := []Config{
+		{EmbedDim: 0},
+		{EmbedDim: 1 << 30, GNNLayers: 1, GNNHidden: 4, Heads: 1, FFDim: 4, MLP1Hidden: 4, RAUHidden: 4},
+		{EmbedDim: -8, GNNHidden: 4, Heads: 1, FFDim: 4, MLP1Hidden: 4, RAUHidden: 4},
+		func() Config { c := tinyConfig(); c.Heads = 3; return c }(), // EmbedDim % Heads != 0
+		func() Config { c := tinyConfig(); c.LossTemp = math.NaN(); return c }(),
+	}
+	for i, cfg := range bad {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&modelFile{Cfg: cfg}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&buf)
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("case %d: crafted config %+v: want ErrCorruptCheckpoint, got %v", i, cfg, err)
+		}
+	}
+}
+
+// TestSaveCheckpointDurableRoundTrip: SaveCheckpoint (now with a parent-dir
+// fsync after the rename) must still round-trip, overwrite atomically, and
+// leave no temp files behind.
+func TestSaveCheckpointDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/ck.bin"
+	ck := &Checkpoint{Cfg: tinyConfig(), Epoch: 3, Seed: 7, BestValMLU: 1.5}
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a newer epoch; the rename must replace, not append.
+	ck.Epoch = 4
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 4 || got.Seed != 7 || got.BestValMLU != 1.5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
 	}
 }
 

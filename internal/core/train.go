@@ -89,6 +89,52 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 30, LR: 2e-3, BatchSize: 8, GradClip: 5, Seed: 1}
 }
 
+// Validate checks tc and normalizes it in place. Zero values keep their
+// documented "use the default" meaning (Epochs→1, BatchSize→8, LR→2e-3);
+// values that cannot mean anything sensible — negative counts, non-finite
+// rates, more workers than the batch can shard across, Resume without a
+// checkpoint path — are rejected with a descriptive error instead of being
+// silently coerced. Fit and FitCheckpointed call it on entry; callers that
+// build configs from user input (harpcli) should call it early to fail
+// before any expensive setup.
+func (tc *TrainConfig) Validate() error {
+	if tc.Epochs < 0 {
+		return fmt.Errorf("core: TrainConfig.Epochs must be >= 0 (0 means 1), got %d", tc.Epochs)
+	}
+	if tc.BatchSize < 0 {
+		return fmt.Errorf("core: TrainConfig.BatchSize must be >= 0 (0 means 8), got %d", tc.BatchSize)
+	}
+	if !isFinite(tc.LR) || tc.LR < 0 {
+		return fmt.Errorf("core: TrainConfig.LR must be finite and >= 0 (0 means 2e-3), got %v", tc.LR)
+	}
+	if !isFinite(tc.GradClip) || tc.GradClip < 0 {
+		return fmt.Errorf("core: TrainConfig.GradClip must be finite and >= 0 (0 disables clipping), got %v", tc.GradClip)
+	}
+	if tc.Workers < 0 {
+		return fmt.Errorf("core: TrainConfig.Workers must be >= 0 (0 or 1 trains sequentially), got %d", tc.Workers)
+	}
+	if tc.Patience < 0 {
+		return fmt.Errorf("core: TrainConfig.Patience must be >= 0 (0 disables early stopping), got %d", tc.Patience)
+	}
+	if tc.Resume && tc.CheckpointPath == "" {
+		return errors.New("core: TrainConfig.Resume requires CheckpointPath")
+	}
+	if tc.Epochs == 0 {
+		tc.Epochs = 1
+	}
+	if tc.BatchSize == 0 {
+		tc.BatchSize = 8
+	}
+	if tc.LR == 0 {
+		tc.LR = 2e-3
+	}
+	if tc.Workers > tc.BatchSize {
+		return fmt.Errorf("core: TrainConfig.Workers (%d) exceeds BatchSize (%d); shards beyond the batch would always be idle — lower Workers or raise BatchSize",
+			tc.Workers, tc.BatchSize)
+	}
+	return nil
+}
+
 // TrainStep accumulates gradients over the batch (mean loss) and applies
 // one optimizer step. It returns the mean loss. The step is numerically
 // guarded: see TrainStepChecked.
@@ -179,31 +225,25 @@ type FitResult struct {
 // mean validation MLU and restoring it before returning — the paper's
 // "train for sufficient epochs, save the model after every epoch, pick the
 // best on the validation set" protocol (§4), collapsed into one call.
-// Checkpoint errors (TrainConfig.CheckpointPath/Resume) are logged to
-// tc.Log and otherwise swallowed; use FitCheckpointed when they must be
-// handled.
+// Configuration and checkpoint errors (TrainConfig.Validate,
+// CheckpointPath/Resume) are logged to tc.Log and otherwise swallowed; use
+// FitCheckpointed when they must be handled.
 func (m *Model) Fit(train, val []Sample, tc TrainConfig) FitResult {
 	res, err := m.FitCheckpointed(train, val, tc)
 	if err != nil && tc.Log != nil {
-		fmt.Fprintf(tc.Log, "fit: checkpoint error: %v\n", err)
+		fmt.Fprintf(tc.Log, "fit: %v\n", err)
 	}
 	return res
 }
 
-// FitCheckpointed is Fit returning checkpoint/resume errors explicitly. A
-// non-nil error is only possible when tc.CheckpointPath or tc.Resume is
-// set: a corrupt or mismatched checkpoint aborts before training starts,
-// and a failed checkpoint write aborts the run at that epoch (the partial
-// FitResult is still returned).
+// FitCheckpointed is Fit returning configuration and checkpoint/resume
+// errors explicitly: an invalid TrainConfig (see TrainConfig.Validate), a
+// corrupt or mismatched checkpoint, or a failed checkpoint write all abort
+// with a non-nil error (for write failures the partial FitResult is still
+// returned).
 func (m *Model) FitCheckpointed(train, val []Sample, tc TrainConfig) (FitResult, error) {
-	if tc.Epochs <= 0 {
-		tc.Epochs = 1
-	}
-	if tc.BatchSize <= 0 {
-		tc.BatchSize = 8
-	}
-	if tc.LR <= 0 {
-		tc.LR = 2e-3
+	if err := tc.Validate(); err != nil {
+		return FitResult{BestValMLU: math.Inf(1)}, err
 	}
 	maxSkips := tc.MaxConsecutiveSkips
 	if maxSkips <= 0 {

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTrainConfigValidateDefaults(t *testing.T) {
+	tc := TrainConfig{}
+	if err := tc.Validate(); err != nil {
+		t.Fatalf("zero config must validate (zero = default): %v", err)
+	}
+	if tc.Epochs != 1 || tc.BatchSize != 8 || tc.LR != 2e-3 {
+		t.Fatalf("defaults not applied: %+v", tc)
+	}
+	// An explicit config must pass through untouched.
+	tc = DefaultTrainConfig()
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if def := DefaultTrainConfig(); tc.Epochs != def.Epochs || tc.BatchSize != def.BatchSize ||
+		tc.LR != def.LR || tc.GradClip != def.GradClip {
+		t.Fatalf("Validate mutated an already-valid config: %+v", tc)
+	}
+}
+
+func TestTrainConfigValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		tc   TrainConfig
+		want string // substring of the error
+	}{
+		{"negative-epochs", TrainConfig{Epochs: -1}, "Epochs"},
+		{"negative-batch", TrainConfig{BatchSize: -2}, "BatchSize"},
+		{"negative-lr", TrainConfig{LR: -0.1}, "LR"},
+		{"nan-lr", TrainConfig{LR: math.NaN()}, "LR"},
+		{"inf-lr", TrainConfig{LR: math.Inf(1)}, "LR"},
+		{"nan-clip", TrainConfig{GradClip: math.NaN()}, "GradClip"},
+		{"negative-workers", TrainConfig{Workers: -1}, "Workers"},
+		{"negative-patience", TrainConfig{Patience: -3}, "Patience"},
+		{"resume-no-path", TrainConfig{Resume: true}, "CheckpointPath"},
+		{"workers-exceed-batch", TrainConfig{Workers: 9}, "Workers"}, // BatchSize defaults to 8
+		{"workers-exceed-explicit-batch", TrainConfig{Workers: 4, BatchSize: 2}, "Workers"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.tc.Validate()
+			if err == nil {
+				t.Fatalf("config %+v validated, want error mentioning %q", c.tc, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestFitCheckpointedRejectsInvalidConfig: Fit must surface the config error
+// instead of training with silently coerced values.
+func TestFitCheckpointedRejectsInvalidConfig(t *testing.T) {
+	m := New(tinyConfig())
+	_, err := m.FitCheckpointed(nil, nil, TrainConfig{LR: math.NaN()})
+	if err == nil || !strings.Contains(err.Error(), "LR") {
+		t.Fatalf("want LR validation error, got %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+// Tests for the runtime invariant gate (internal/verify) wired into the
+// inference path: disabled it must cost nothing — a single atomic load, zero
+// allocations, so the PR-2 alloc pins hold — and enabled it must actually
+// run the routing checks on every Splits call.
+
+import (
+	"testing"
+
+	"harpte/internal/tensor"
+	"harpte/internal/verify"
+)
+
+// TestVerifyGateZeroAllocsWhenOff pins the disabled gate at literally zero
+// allocations, and the full gated inference path at the same ≤64 bound the
+// pre-gate pin used.
+func TestVerifyGateZeroAllocsWhenOff(t *testing.T) {
+	if tensor.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc bounds only hold without -race")
+	}
+	if verify.Enabled() {
+		t.Fatal("verify gate unexpectedly enabled")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if verify.Enabled() {
+			panic("gate flipped mid-test")
+		}
+	}); n != 0 {
+		t.Errorf("disabled gate allocates %v times per check, want 0", n)
+	}
+
+	m, ctx, samples := abileneBench(1)
+	d := samples[0].Demand
+	m.Splits(ctx, d)
+	if n := testing.AllocsPerRun(5, func() { m.Splits(ctx, d) }); n > 64 {
+		t.Errorf("gated Splits allocates %v times per run with gate off, want <= 64", n)
+	}
+}
+
+// TestVerifyGateRunsChecksWhenOn: enabling the gate must execute the routing
+// invariants inside Splits — observable as extra allocations from the check
+// itself — and a healthy model must pass them (no Fail).
+func TestVerifyGateRunsChecksWhenOn(t *testing.T) {
+	if tensor.RaceEnabled {
+		t.Skip("alloc comparison needs non-race builds")
+	}
+	m, ctx, samples := abileneBench(1)
+	d := samples[0].Demand
+	m.Splits(ctx, d)
+	off := testing.AllocsPerRun(5, func() { m.Splits(ctx, d) })
+
+	var violations []error
+	verify.SetFailHandler(func(err error) { violations = append(violations, err) })
+	verify.SetEnabled(true)
+	defer func() {
+		verify.SetEnabled(false)
+		verify.SetFailHandler(nil)
+	}()
+	on := testing.AllocsPerRun(5, func() { m.Splits(ctx, d) })
+	if on <= off {
+		t.Errorf("gate on should run invariant checks inside Splits (allocs on=%v off=%v)", on, off)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("healthy model tripped invariant checks: %v", violations[0])
+	}
+}

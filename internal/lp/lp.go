@@ -110,12 +110,18 @@ func SolveWithOptions(p *te.Problem, demand *tensor.Dense, opts Options) (Result
 
 // splitsFromTunnelTraffic converts per-tunnel absolute traffic into
 // per-flow split ratios (uniform where a flow has no demand or no traffic).
+// Degenerate simplex bases can carry values like -1e-18; those are clamped
+// to zero so the returned rows are genuine probability distributions (the
+// verify.CheckSplits invariant caught the negative leak).
 func splitsFromTunnelTraffic(p *te.Problem, x []float64) *tensor.Dense {
 	k := p.Tunnels.K
 	splits := tensor.New(p.NumFlows(), k)
 	for f := 0; f < p.NumFlows(); f++ {
 		var s float64
 		for j := 0; j < k; j++ {
+			if x[f*k+j] < 0 {
+				x[f*k+j] = 0
+			}
 			s += x[f*k+j]
 		}
 		row := splits.Row(f)

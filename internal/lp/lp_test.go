@@ -1,8 +1,10 @@
 package lp
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -347,6 +349,34 @@ func TestSimplexPivotLimit(t *testing.T) {
 	// public path would then fall back to MWU).
 	if _, err := SolveWithOptions(p, dm, Options{Method: "simplex", MaxPivots: 3}); err == nil {
 		t.Fatal("expected pivot-limit error")
+	}
+}
+
+// TestSimplexPivotLimitErrorContext: the pivot-limit error used to say only
+// "pivot limit exceeded" — useless for diagnosing which instance stalled.
+// It must now carry the instance dimensions, the pivot count and whether
+// Bland's anti-cycling rule had engaged.
+func TestSimplexPivotLimitErrorContext(t *testing.T) {
+	g := topology.Geant()
+	set := tunnels.Compute(g, 4)
+	p := te.NewProblem(g, set)
+	dm := tensor.New(p.NumFlows(), 1)
+	dm.Fill(1)
+	_, err := SolveWithOptions(p, dm, Options{Method: "simplex", MaxPivots: 3})
+	if err == nil {
+		t.Fatal("expected pivot-limit error")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"pivot limit 3",
+		fmt.Sprintf("flows=%d", p.NumFlows()),
+		fmt.Sprintf("edges=%d", p.Graph.NumEdges()),
+		fmt.Sprintf("tunnels=%d", p.Tunnels.NumTunnels()),
+		"bland=",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("pivot-limit error %q missing %q", msg, want)
+		}
 	}
 }
 

@@ -153,7 +153,8 @@ func solveSimplex(p *te.Problem, demand *tensor.Dense, maxPivots int) (Result, e
 			basis[leave] = enter
 			pivots++
 			if pivots > maxPivots {
-				return fmt.Errorf("lp: pivot limit %d exceeded", maxPivots)
+				return fmt.Errorf("lp: pivot limit %d exceeded after %d pivots on instance flows=%d edges=%d tunnels=%d (%d rows × %d cols, bland=%v since pivot %d)",
+					maxPivots, pivots, numFlows, numEdges, numTunnels, m, nv, pivots >= blandAfter, blandAfter)
 			}
 		}
 	}

@@ -251,20 +251,6 @@ func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs 
 	}, x, sa.Wq, sa.Wk, sa.Wv, sa.Wo)
 }
 
-func softmaxRowInPlace(row []float64) {
-	m := row[0]
-	for _, v := range row[1:] {
-		if v > m {
-			m = v
-		}
-	}
-	var s float64
-	for j, v := range row {
-		e := math.Exp(v - m)
-		row[j] = e
-		s += e
-	}
-	for j := range row {
-		row[j] /= s
-	}
-}
+// softmaxRowInPlace shares the guarded kernel with autograd.SoftmaxRows so
+// masked attention rows (all scores -Inf) zero out instead of going NaN.
+func softmaxRowInPlace(row []float64) { tensor.SoftmaxRow(row, row) }

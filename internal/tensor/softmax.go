@@ -1,0 +1,64 @@
+package tensor
+
+import "math"
+
+// SoftmaxRow writes the numerically stable softmax of src into dst (the two
+// may alias, enabling in-place use). It is the single row-softmax kernel
+// shared by the autograd op and the fused attention forward, so masked-row
+// semantics stay consistent everywhere:
+//
+//   - an empty row is a no-op;
+//   - a fully masked row (every logit -Inf, as produced by additive masks)
+//     yields an all-zero row instead of NaN — callers treat "no admissible
+//     entries" as "no mass", and the softmax backward is exact for it
+//     (y = 0 ⇒ dx = 0);
+//   - +Inf logits receive uniform mass split over the +Inf entries (the
+//     limit of the finite case), finite entries next to them get 0;
+//   - NaN logits propagate NaN, which the training health guard catches.
+//
+// The naive exp/sum loop previously used by both call sites returned a NaN
+// row for the all-masked case (exp(-Inf − -Inf) = NaN) which poisoned the
+// whole backward pass a full batch before the guard tripped.
+func SoftmaxRow(dst, src []float64) {
+	if len(src) == 0 {
+		return
+	}
+	m := src[0]
+	for _, v := range src[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	if math.IsInf(m, 1) {
+		n := 0
+		for _, v := range src {
+			if math.IsInf(v, 1) {
+				n++
+			}
+		}
+		w := 1 / float64(n)
+		for j, v := range src {
+			if math.IsInf(v, 1) {
+				dst[j] = w
+			} else {
+				dst[j] = 0
+			}
+		}
+		return
+	}
+	var s float64
+	for j, v := range src {
+		e := math.Exp(v - m)
+		dst[j] = e
+		s += e
+	}
+	for j := range dst {
+		dst[j] /= s
+	}
+}

@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSoftmaxRowOrdinary(t *testing.T) {
+	src := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	SoftmaxRow(dst, src)
+	var s float64
+	for _, v := range dst {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("entry %v out of (0,1)", v)
+		}
+		s += v
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("sum %v", s)
+	}
+	if !(dst[2] > dst[1] && dst[1] > dst[0]) {
+		t.Fatalf("monotonicity broken: %v", dst)
+	}
+}
+
+// TestSoftmaxRowAllMasked is the regression test for the NaN bug: a fully
+// masked row (all -Inf, the additive-mask convention) used to compute
+// exp(-Inf − -Inf) = NaN and poison the whole tensor. It must now produce
+// an all-zero row.
+func TestSoftmaxRowAllMasked(t *testing.T) {
+	inf := math.Inf(-1)
+	src := []float64{inf, inf, inf}
+	dst := []float64{9, 9, 9}
+	SoftmaxRow(dst, src)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("masked row entry %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestSoftmaxRowPartiallyMasked(t *testing.T) {
+	inf := math.Inf(-1)
+	src := []float64{inf, 0.5, inf, 0.5}
+	dst := make([]float64, 4)
+	SoftmaxRow(dst, src)
+	want := []float64{0, 0.5, 0, 0.5}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestSoftmaxRowPlusInf(t *testing.T) {
+	inf := math.Inf(1)
+	src := []float64{0, inf, 3, inf}
+	dst := make([]float64, 4)
+	SoftmaxRow(dst, src)
+	want := []float64{0, 0.5, 0, 0.5}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestSoftmaxRowEmptyAndInPlace(t *testing.T) {
+	SoftmaxRow(nil, nil) // must not panic (the old kernel indexed src[0])
+
+	row := []float64{2, 2, 2}
+	SoftmaxRow(row, row) // aliasing is part of the contract
+	for _, v := range row {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("in-place softmax %v", row)
+		}
+	}
+}
+
+func TestSoftmaxRowNaNPropagates(t *testing.T) {
+	src := []float64{1, math.NaN(), 2}
+	dst := make([]float64, 3)
+	SoftmaxRow(dst, src)
+	anyNaN := false
+	for _, v := range dst {
+		if math.IsNaN(v) {
+			anyNaN = true
+		}
+	}
+	if !anyNaN {
+		t.Fatalf("NaN input must propagate (health guard's job to catch), got %v", dst)
+	}
+}

@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the topology text parser. Properties on accepted
+// inputs: the graph is structurally valid (endpoints in range, no self
+// loops, capacities strictly positive and finite) and the Write→Parse round
+// trip preserves the structure. Historical finds, kept as seeds under
+// testdata/fuzz/FuzzParse: Sscanf trailing garbage ("5x" → 5), NaN/Inf
+// capacities passing the sign check, a "link u v" after "edge v u"
+// panicking inside AddBidirectional, duplicate headers resetting the graph,
+// and unbounded node counts.
+func FuzzParse(f *testing.F) {
+	f.Add("topology abilene 4\nedgenodes 0 3\nlink 0 1 9920\nlink 1 2 2480\nedge 2 3 5\nedge 3 2 7\n")
+	f.Add("topology t 2\nlink 0 1 5x")
+	f.Add("topology t 2\nedge 1 0 5\nlink 0 1 5")
+	f.Add("topology t 2\nlink 0 1 NaN")
+	f.Add("topology t 99999999999")
+	f.Add("topology a 2\ntopology b 2")
+	f.Add("topology t 3\nedgenodes 0 1 0")
+	f.Add("# comment\n\ntopology d 3\nlink 0 1 10 # trailing\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if g.NumNodes <= 0 || g.NumNodes > maxParseNodes {
+			t.Fatalf("accepted node count %d", g.NumNodes)
+		}
+		for id, e := range g.Edges {
+			if e.Src < 0 || e.Src >= g.NumNodes || e.Dst < 0 || e.Dst >= g.NumNodes || e.Src == e.Dst {
+				t.Fatalf("edge %d endpoints invalid: %+v", id, e)
+			}
+			if !(e.Capacity > 0) || math.IsInf(e.Capacity, 0) {
+				t.Fatalf("edge %d capacity %v accepted", id, e.Capacity)
+			}
+		}
+		for _, n := range g.EdgeNodes {
+			if n < 0 || n >= g.NumNodes {
+				t.Fatalf("edge node %d out of range", n)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("valid graph failed to serialize: %v", err)
+		}
+		g2, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("written file does not re-parse: %v\ninput: %q\nwritten:\n%s", err, in, buf.String())
+		}
+		if g2.NumNodes != g.NumNodes || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed structure: %d/%d nodes, %d/%d edges",
+				g.NumNodes, g2.NumNodes, g.NumEdges(), g2.NumEdges())
+		}
+		for id, e := range g.Edges {
+			id2, ok := g2.EdgeID(e.Src, e.Dst)
+			if !ok {
+				t.Fatalf("edge %d→%d lost in round trip", e.Src, e.Dst)
+			}
+			if g2.Edges[id2].Capacity != e.Capacity {
+				t.Fatalf("edge %d capacity changed: %v → %v", id, e.Capacity, g2.Edges[id2].Capacity)
+			}
+		}
+	})
+}

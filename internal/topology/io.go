@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -20,6 +22,12 @@ import (
 //	edge <src> <dst> <capacity>      # directed, one per line
 //
 // Lines may appear in any order after the topology header.
+
+// maxParseNodes bounds the node count a topology file may declare. Real WANs
+// top out in the low thousands of nodes (KDL, the largest public instance,
+// has 754); the cap exists so a corrupt or hostile header cannot drive the
+// downstream O(n)–O(n²) structures to absurd sizes. Found by FuzzParse.
+const maxParseNodes = 1 << 20
 
 // Write serializes g in the text format. Links that exist symmetrically
 // with equal capacity are emitted as single "link" lines.
@@ -54,6 +62,27 @@ func Write(w io.Writer, g *Graph) error {
 	return nil
 }
 
+// parseInt is a strict strconv.Atoi: unlike Sscanf's "%d" it rejects tokens
+// with trailing garbage ("5x" used to parse as 5 — found by FuzzParse).
+func parseInt(s string) (int, error) {
+	return strconv.Atoi(s)
+}
+
+// parseCapacity parses a strictly positive, finite capacity/demand value.
+// Sscanf's "%g" silently accepted trailing garbage, and "NaN" passed the
+// old `c <= 0` rejection (NaN compares false with everything), poisoning
+// every downstream normalization. Found by FuzzParse.
+func parseCapacity(s string) (float64, error) {
+	c, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(c) || math.IsInf(c, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return c, nil
+}
+
 // Parse reads a topology in the text format.
 func Parse(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
@@ -71,11 +100,14 @@ func Parse(r io.Reader) (*Graph, error) {
 		fields := strings.Fields(text)
 		switch fields[0] {
 		case "topology":
+			if g != nil {
+				return nil, fmt.Errorf("topology: line %d: duplicate topology header", line)
+			}
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("topology: line %d: want 'topology <name> <nodes>'", line)
 			}
-			var n int
-			if _, err := fmt.Sscanf(fields[2], "%d", &n); err != nil || n <= 0 {
+			n, err := parseInt(fields[2])
+			if err != nil || n <= 0 || n > maxParseNodes {
 				return nil, fmt.Errorf("topology: line %d: bad node count %q", line, fields[2])
 			}
 			g = New(fields[1], n)
@@ -84,9 +116,14 @@ func Parse(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("topology: line %d: edgenodes before topology header", line)
 			}
 			for _, f := range fields[1:] {
-				var id int
-				if _, err := fmt.Sscanf(f, "%d", &id); err != nil || id < 0 || id >= g.NumNodes {
+				id, err := parseInt(f)
+				if err != nil || id < 0 || id >= g.NumNodes {
 					return nil, fmt.Errorf("topology: line %d: bad edge node %q", line, f)
+				}
+				for _, seen := range g.EdgeNodes {
+					if seen == id {
+						return nil, fmt.Errorf("topology: line %d: duplicate edge node %d", line, id)
+					}
 				}
 				g.EdgeNodes = append(g.EdgeNodes, id)
 			}
@@ -97,10 +134,11 @@ func Parse(r io.Reader) (*Graph, error) {
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("topology: line %d: want '%s <u> <v> <capacity>'", line, fields[0])
 			}
-			var u, v int
-			var c float64
-			if _, err := fmt.Sscanf(fields[1]+" "+fields[2]+" "+fields[3], "%d %d %g", &u, &v, &c); err != nil {
-				return nil, fmt.Errorf("topology: line %d: %v", line, err)
+			u, errU := parseInt(fields[1])
+			v, errV := parseInt(fields[2])
+			c, errC := parseCapacity(fields[3])
+			if errU != nil || errV != nil || errC != nil {
+				return nil, fmt.Errorf("topology: line %d: bad %s %q %q %q", line, fields[0], fields[1], fields[2], fields[3])
 			}
 			if u < 0 || u >= g.NumNodes || v < 0 || v >= g.NumNodes || u == v || c <= 0 {
 				return nil, fmt.Errorf("topology: line %d: invalid %s %d-%d cap %g", line, fields[0], u, v, c)
@@ -108,6 +146,9 @@ func Parse(r io.Reader) (*Graph, error) {
 			if fields[0] == "link" {
 				if _, dup := g.EdgeID(u, v); dup {
 					return nil, fmt.Errorf("topology: line %d: duplicate link %d-%d", line, u, v)
+				}
+				if _, dup := g.EdgeID(v, u); dup {
+					return nil, fmt.Errorf("topology: line %d: link %d-%d collides with edge %d->%d", line, u, v, v, u)
 				}
 				g.AddBidirectional(u, v, c)
 			} else {
@@ -129,9 +170,22 @@ func Parse(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
+// sanitizeName makes a graph name safe for the one-token slot in the
+// header line: whitespace would split the token and '#' would start a
+// comment, either of which writes a file Parse rejects (found by the
+// Write→Parse round-trip property in FuzzParse).
 func sanitizeName(s string) string {
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r == '#':
+			return '_'
+		case r == ' ', r == '\t', r == '\n', r == '\r', r == '\v', r == '\f':
+			return '_'
+		}
+		return r
+	}, s)
 	if s == "" {
 		return "unnamed"
 	}
-	return strings.ReplaceAll(s, " ", "_")
+	return s
 }

@@ -79,6 +79,59 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseStrictness: regressions found by FuzzParse. Sscanf-based parsing
+// accepted trailing garbage ("5x" → 5), NaN/Inf capacities slipped past the
+// sign check, a second topology header silently reset the graph, duplicate
+// edgenodes were accepted, and a "link u v" following "edge v u" panicked
+// inside AddBidirectional instead of returning an error.
+func TestParseStrictness(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"trailing-garbage-node-count", "topology t 5x\nlink 0 1 1"},
+		{"trailing-garbage-endpoint", "topology t 2\nlink 0x 1 1"},
+		{"trailing-garbage-capacity", "topology t 2\nlink 0 1 1q"},
+		{"nan-capacity", "topology t 2\nlink 0 1 NaN"},
+		{"inf-capacity", "topology t 2\nlink 0 1 +Inf"},
+		{"hex-node-count", "topology t 0x10\nlink 0 1 1"},
+		{"huge-node-count", "topology t 99999999999"},
+		{"duplicate-header", "topology a 2\ntopology b 2"},
+		{"duplicate-edgenode", "topology t 3\nedgenodes 0 1 0"},
+		{"link-collides-with-reverse-edge", "topology t 2\nedge 1 0 5\nlink 0 1 5"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Must return an error — and in the reverse-edge case in
+			// particular must not panic.
+			if _, err := Parse(strings.NewReader(c.in)); err == nil {
+				t.Fatalf("expected error for %q", c.in)
+			}
+		})
+	}
+}
+
+// TestWriteParseRoundTripHostileName: names containing comment or separator
+// characters must be sanitized so the written file re-parses.
+func TestWriteParseRoundTripHostileName(t *testing.T) {
+	g := New("evil#name\twith spaces", 2)
+	g.AddBidirectional(0, 1, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("written file does not re-parse: %v\n%s", err, buf.String())
+	}
+	if got.NumNodes != 2 || got.NumEdges() != 2 {
+		t.Fatalf("round trip lost structure: %d nodes %d edges", got.NumNodes, got.NumEdges())
+	}
+	if strings.ContainsAny(got.Name, "# \t") {
+		t.Fatalf("name %q not sanitized", got.Name)
+	}
+}
+
 func TestParseCommentsAndBlanks(t *testing.T) {
 	in := `
 # full-line comment

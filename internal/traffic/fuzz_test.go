@@ -1,0 +1,63 @@
+package traffic
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"harpte/internal/tensor"
+)
+
+// FuzzParseTMs exercises the traffic-matrix text parser. Properties on
+// accepted inputs: every matrix is square with finite non-negative entries
+// and zero diagonal writes round-trip exactly. Historical finds, kept as
+// seeds under testdata/fuzz/FuzzParseTMs: "tm <huge n>" allocating an n×n
+// matrix from a 16-byte input, NaN demands passing the sign check, and
+// Sscanf trailing-garbage acceptance.
+func FuzzParseTMs(f *testing.F) {
+	f.Add("tm 2\nd 0 1 5\nd 1 0 2.5\nend\ntm 2\nd 0 1 1e3\nend\n")
+	f.Add("tm 999999999\nend")
+	f.Add("tm 2\nd 0 1 NaN\nend")
+	f.Add("tm 2\nd 0 1 1z\nend")
+	f.Add("tm 2x\nend")
+	f.Add("# empty series\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tms, err := ParseTMs(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i, tm := range tms {
+			if tm.Rows != tm.Cols || tm.Rows <= 0 {
+				t.Fatalf("matrix %d not square: %dx%d", i, tm.Rows, tm.Cols)
+			}
+			for r := 0; r < tm.Rows; r++ {
+				for c := 0; c < tm.Cols; c++ {
+					v := tm.At(r, c)
+					if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("matrix %d entry (%d,%d) = %v accepted", i, r, c, v)
+					}
+				}
+			}
+		}
+		if len(tms) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTMs(&buf, tms); err != nil {
+			t.Fatalf("valid series failed to serialize: %v", err)
+		}
+		got, err := ParseTMs(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("written series does not re-parse: %v", err)
+		}
+		if len(got) != len(tms) {
+			t.Fatalf("round trip changed count: %d → %d", len(tms), len(got))
+		}
+		for i := range tms {
+			if !tensor.Equal(got[i], tms[i], 0) {
+				t.Fatalf("matrix %d changed in round trip", i)
+			}
+		}
+	})
+}

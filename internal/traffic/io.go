@@ -4,10 +4,19 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"strings"
 
 	"harpte/internal/tensor"
 )
+
+// maxTMNodes bounds the node count a "tm" header may declare. A snapshot
+// allocates an n×n dense matrix before a single demand line is read, so an
+// unchecked header turns a ten-byte input into an O(n²) allocation bomb
+// (found by FuzzParseTMs). 4096 nodes — a 128 MiB matrix — is over 5× the
+// largest public WAN instance (KDL, 754 nodes).
+const maxTMNodes = 4096
 
 // This file provides a plain-text traffic-matrix interchange format
 // compatible in spirit with the public TM archives (Abilene/TOTEM,
@@ -66,11 +75,14 @@ func ParseTMs(r io.Reader) ([]*tensor.Dense, error) {
 			if cur != nil {
 				return nil, fmt.Errorf("traffic: line %d: nested tm block", line)
 			}
-			var n int
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("traffic: line %d: want 'tm <nodes>'", line)
 			}
-			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n <= 0 {
+			// strconv.Atoi, not Sscanf "%d": the latter accepted trailing
+			// garbage ("12x" parsed as 12). The cap stops header-declared
+			// allocation bombs before tensor.New commits n² floats.
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 || n > maxTMNodes {
 				return nil, fmt.Errorf("traffic: line %d: bad node count %q", line, fields[1])
 			}
 			cur = tensor.New(n, n)
@@ -81,12 +93,16 @@ func ParseTMs(r io.Reader) ([]*tensor.Dense, error) {
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("traffic: line %d: want 'd <src> <dst> <demand>'", line)
 			}
-			var i, j int
-			var v float64
-			if _, err := fmt.Sscanf(fields[1]+" "+fields[2]+" "+fields[3], "%d %d %g", &i, &j, &v); err != nil {
-				return nil, fmt.Errorf("traffic: line %d: %v", line, err)
+			i, errI := strconv.Atoi(fields[1])
+			j, errJ := strconv.Atoi(fields[2])
+			v, errV := strconv.ParseFloat(fields[3], 64)
+			if errI != nil || errJ != nil || errV != nil {
+				return nil, fmt.Errorf("traffic: line %d: bad demand %q %q %q", line, fields[1], fields[2], fields[3])
 			}
-			if i < 0 || i >= cur.Rows || j < 0 || j >= cur.Cols || v < 0 {
+			// NaN slips past `v < 0` (NaN compares false with everything)
+			// and would poison every downstream loss; reject non-finite
+			// demands explicitly. Found by FuzzParseTMs.
+			if i < 0 || i >= cur.Rows || j < 0 || j >= cur.Cols || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("traffic: line %d: invalid demand %d->%d = %g", line, i, j, v)
 			}
 			cur.Set(i, j, v)

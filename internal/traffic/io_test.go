@@ -57,6 +57,31 @@ func TestParseTMsErrors(t *testing.T) {
 	}
 }
 
+// TestParseTMsStrictness: regressions found by FuzzParseTMs. "tm <huge n>"
+// allocated an n×n matrix before any demand line was read (a 16-byte input
+// driving a multi-GiB allocation), NaN demands passed the `v < 0` rejection,
+// and Sscanf accepted trailing garbage on every numeric token.
+func TestParseTMsStrictness(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"alloc-bomb", "tm 999999999\nend"},
+		{"nan-demand", "tm 2\nd 0 1 NaN\nend"},
+		{"inf-demand", "tm 2\nd 0 1 Inf\nend"},
+		{"trailing-garbage-n", "tm 2x\nend"},
+		{"trailing-garbage-index", "tm 2\nd 0y 1 1\nend"},
+		{"trailing-garbage-value", "tm 2\nd 0 1 1z\nend"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseTMs(strings.NewReader(c.in)); err == nil {
+				t.Fatalf("expected error for %q", c.in)
+			}
+		})
+	}
+}
+
 func TestParseTMsEmptyInput(t *testing.T) {
 	got, err := ParseTMs(strings.NewReader("# nothing here\n"))
 	if err != nil || len(got) != 0 {

@@ -54,7 +54,10 @@ func (s *Set) FlowIndex(src, dst int) int {
 func (s *Set) Tunnel(f, k int) Tunnel { return s.PerFlow[f][k] }
 
 // Shuffled returns a copy of the set with the tunnels of every flow
-// reordered by rng — the §5.4 "shuffled tunnels" perturbation.
+// reordered by rng — the §5.4 "shuffled tunnels" perturbation. The copy is
+// deep: every tunnel's edge slice is cloned, so mutating the shuffled set
+// can never alias the parent (padding by cycling means a parent set can even
+// share one backing array between two of its own tunnels).
 func (s *Set) Shuffled(rng *rand.Rand) *Set {
 	out := &Set{Flows: append([]Flow(nil), s.Flows...), K: s.K}
 	out.PerFlow = make([][]Tunnel, len(s.PerFlow))
@@ -62,7 +65,7 @@ func (s *Set) Shuffled(rng *rand.Rand) *Set {
 		perm := rng.Perm(len(ts))
 		shuffled := make([]Tunnel, len(ts))
 		for j, p := range perm {
-			shuffled[j] = ts[p]
+			shuffled[j] = Tunnel{Edges: append([]int(nil), ts[p].Edges...)}
 		}
 		out.PerFlow[i] = shuffled
 	}

@@ -110,6 +110,36 @@ func TestKShortestDeterministic(t *testing.T) {
 	}
 }
 
+// TestShuffledDoesNotAliasParent: Shuffled must deep-copy every tunnel's
+// edge slice — the original copied only the Tunnel struct, so its Edges
+// backing array was shared and mutating a shuffled tunnel silently
+// corrupted the parent set (and, via padding-by-cycling, possibly a second
+// tunnel of the parent too).
+func TestShuffledDoesNotAliasParent(t *testing.T) {
+	g := diamond()
+	g.EdgeNodes = []int{0, 3}
+	set := Compute(g, 3)
+
+	rng := rand.New(rand.NewSource(4))
+	sh := set.Shuffled(rng)
+	for f := range sh.PerFlow {
+		for k := range sh.PerFlow[f] {
+			for i := range sh.PerFlow[f][k].Edges {
+				sh.PerFlow[f][k].Edges[i] = -999 // scribble over the copy
+			}
+		}
+	}
+	for f, ts := range set.PerFlow {
+		for k, tun := range ts {
+			for i, e := range tun.Edges {
+				if e == -999 {
+					t.Fatalf("parent tunnel [%d][%d] edge %d mutated through shuffled copy", f, k, i)
+				}
+			}
+		}
+	}
+}
+
 func TestComputeAllPairs(t *testing.T) {
 	g := topology.Abilene()
 	set := Compute(g, 4)

@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"harpte/internal/autograd"
+	"harpte/internal/lp"
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+)
+
+// This file holds the differential oracles: independent recomputations of a
+// result by a different method, compared within tolerance. They are slow by
+// design and run from tests and fuzz drivers, never from production paths.
+
+// GradientMaxRelError compares autograd gradients against central finite
+// differences. loss must rebuild the same scalar computation from the given
+// parameters on every call (fresh tape each time); the returned value is
+// the worst relative error max(|g−fd|/max(1,|g|,|fd|)) over every entry of
+// every parameter. Gradients of params are zeroed before and after, so the
+// oracle composes with training code that accumulates.
+//
+// For smooth pipelines h=1e-5 balances the O(h²) truncation and O(ε/h)
+// roundoff terms at ~1e-10 absolute error, so a healthy backward pass
+// scores well below 1e-6; a wrong sign, a dropped term or a stale buffer
+// scores orders of magnitude above it.
+func GradientMaxRelError(params []*autograd.Tensor, loss func(tp *autograd.Tape) *autograd.Tensor, h float64) float64 {
+	if h <= 0 {
+		h = 1e-5
+	}
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+	tp := autograd.NewTape()
+	tp.Backward(loss(tp))
+
+	eval := func() float64 {
+		t := autograd.NewTape()
+		return loss(t).Val.Data[0]
+	}
+	var worst float64
+	for _, p := range params {
+		for i := range p.Val.Data {
+			orig := p.Val.Data[i]
+			p.Val.Data[i] = orig + h
+			fp := eval()
+			p.Val.Data[i] = orig - h
+			fm := eval()
+			p.Val.Data[i] = orig
+			fd := (fp - fm) / (2 * h)
+			g := p.Grad.Data[i]
+			rel := math.Abs(g-fd) / math.Max(1, math.Max(math.Abs(g), math.Abs(fd)))
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+	return worst
+}
+
+// DualityCertificate validates a simplex result against the LP dual. For
+//
+//	min θ  s.t.  Σ_k x_{f,k} = d_f,  Σ_{t∋e} x_t ≤ θ·c_e,  x ≥ 0
+//
+// any λ ≥ 0 with Σ_e λ_e·c_e ≤ 1 certifies the lower bound
+//
+//	θ* ≥ Σ_f d_f · min_k Σ_{e ∈ tunnel(f,k)} λ_e
+//
+// (weak duality; λ here are the capacity-constraint duals the simplex
+// returns as Result.LinkDuals). The certificate checks, all within tol:
+// dual feasibility, the lower bound matching the achieved MLU from both
+// sides (so the primal is provably optimal, not just feasible), and
+// complementary slackness — every edge carrying positive dual must be
+// binding at the optimum.
+func DualityCertificate(p *te.Problem, demand *tensor.Dense, res lp.Result, tol float64) error {
+	if res.LinkDuals == nil {
+		return errors.New("verify: result carries no link duals (not a simplex result?)")
+	}
+	if err := CheckRouting(p, res.Splits, demand); err != nil {
+		return err
+	}
+	mlu := p.MLU(res.Splits, demand)
+	if math.Abs(mlu-res.MLU) > tol*math.Max(1, mlu) {
+		return fmt.Errorf("verify: reported MLU %.12g differs from recomputed %.12g", res.MLU, mlu)
+	}
+
+	// Dual feasibility: λ ≥ 0 (clamp roundoff negatives) and Σ λ_e c_e ≤ 1
+	// (rescale when the simplex leaves it slightly above — scaling down by
+	// S ≥ 1 keeps λ feasible and only weakens the bound).
+	lam := make([]float64, len(res.LinkDuals))
+	var s, lamMax float64
+	for e, v := range res.LinkDuals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("verify: dual of edge %d is %v", e, v)
+		}
+		if v < -tol {
+			return fmt.Errorf("verify: dual of edge %d is negative (%g)", e, v)
+		}
+		if v < 0 {
+			v = 0
+		}
+		lam[e] = v
+		s += v * p.Graph.Edges[e].Capacity
+		if v > lamMax {
+			lamMax = v
+		}
+	}
+	if s > 1+tol {
+		for e := range lam {
+			lam[e] /= s
+		}
+	}
+
+	// Lower bound: route each flow along its λ-shortest tunnel.
+	var bound float64
+	for f := range p.Tunnels.Flows {
+		best := math.Inf(1)
+		for k := 0; k < p.Tunnels.K; k++ {
+			var length float64
+			for _, e := range p.Tunnels.Tunnel(f, k).Edges {
+				length += lam[e]
+			}
+			if length < best {
+				best = length
+			}
+		}
+		bound += demand.Data[f] * best
+	}
+
+	scale := math.Max(1, mlu)
+	if bound > mlu+tol*scale {
+		return fmt.Errorf("verify: dual bound %.12g exceeds achieved MLU %.12g — weak duality violated, duals are wrong",
+			bound, mlu)
+	}
+	if bound < mlu-tol*scale {
+		return fmt.Errorf("verify: dual bound %.12g does not certify MLU %.12g (gap %.3g) — primal may be suboptimal",
+			bound, mlu, mlu-bound)
+	}
+
+	// Complementary slackness: positive dual ⇒ the edge is binding.
+	util := p.Utilizations(res.Splits, demand)
+	for e, v := range lam {
+		if v > tol*math.Max(1, lamMax) && util.Data[e] < mlu-tol*scale {
+			return fmt.Errorf("verify: edge %d has dual %.3g but utilization %.12g < MLU %.12g — complementary slackness violated",
+				e, v, util.Data[e], mlu)
+		}
+	}
+	return nil
+}
+
+// MWUWithinSimplex cross-checks the two LP engines on one instance: the
+// MWU approximation must neither beat the exact simplex optimum (that
+// would mean the "exact" engine is not optimal) nor trail it by more than
+// the slack fraction (that would mean the approximation or its polish
+// regressed).
+func MWUWithinSimplex(p *te.Problem, demand *tensor.Dense, slack float64) error {
+	sx, err := lp.SolveWithOptions(p, demand, lp.Options{Method: "simplex"})
+	if err != nil {
+		return fmt.Errorf("verify: simplex failed: %w", err)
+	}
+	mwu, err := lp.SolveWithOptions(p, demand, lp.Options{Method: "mwu"})
+	if err != nil {
+		return fmt.Errorf("verify: mwu failed: %w", err)
+	}
+	tol := 1e-9 * math.Max(1, sx.MLU)
+	if mwu.MLU < sx.MLU-tol {
+		return fmt.Errorf("verify: MWU MLU %.12g beats simplex optimum %.12g — simplex is not optimal",
+			mwu.MLU, sx.MLU)
+	}
+	if mwu.MLU > sx.MLU*(1+slack)+tol {
+		return fmt.Errorf("verify: MWU MLU %.12g exceeds simplex optimum %.12g by more than %.0f%%",
+			mwu.MLU, sx.MLU, slack*100)
+	}
+	return nil
+}
