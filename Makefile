@@ -1,7 +1,11 @@
 # Tier-1 verification gate plus extras. `make check` is what CI should run.
 GO ?= go
 
-.PHONY: check vet build test race benchsmoke bench obssmoke verify fuzzsmoke
+.PHONY: ci check vet build test race benchsmoke bench obssmoke verify fuzzsmoke
+
+# ci is the hosted-CI entry point (.github/workflows/ci.yml): the full
+# check gate, ordered fastest-fail-first.
+ci: build vet test race fuzzsmoke obssmoke benchsmoke verify
 
 # check runs static analysis, the full build, the full test suite, the
 # race detector on internal/core (exercises ParallelTrainStep's shared-
@@ -21,8 +25,12 @@ build:
 test:
 	$(GO) test ./...
 
+# race covers the packages with real concurrency: core's parallel train
+# step, obs's scrape-while-write registry, resilience's Serve/Reload/Drain
+# churn hammer, chaos's fault-injecting filesystem under torture, and the
+# differential-oracle suite.
 race:
-	$(GO) test -race ./internal/core ./internal/obs ./internal/resilience ./internal/verify
+	$(GO) test -race ./internal/core ./internal/obs ./internal/resilience ./internal/chaos ./internal/verify
 
 # verify runs the differential-oracle suite: autograd gradients vs central
 # finite differences, simplex optima vs duality/complementary-slackness

@@ -48,6 +48,10 @@ func main() {
 		epochs    = flag.Int("epochs", 30, "training epochs")
 		every     = flag.Int("every", 4, "replay every N-th snapshot")
 		deadline  = flag.Duration("deadline", 5*time.Second, "per-request wall-clock budget before degrading to ECMP (0 disables)")
+		maxConc   = flag.Int("max-concurrent", 0, "admission gate: concurrent serving slots (0 disables admission control)")
+		queueLen  = flag.Int("max-queue", 0, "admission gate: queued requests beyond the gate before shedding")
+		brkN      = flag.Int("breaker-threshold", 0, "consecutive tier failures before its circuit opens (0 disables breakers)")
+		brkCool   = flag.Duration("breaker-cooloff", 5*time.Second, "how long a tripped tier stays open before a half-open probe")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port during the replay")
 	)
 	flag.Parse()
@@ -104,7 +108,13 @@ func main() {
 		experiments.HarpSamples(model, valInst), tc)
 	fmt.Printf("trained: best val MLU %.4f\n\n", res.BestValMLU)
 
-	srv := resilience.NewServer(model, resilience.Options{Deadline: *deadline})
+	srv := resilience.NewServer(model, resilience.Options{
+		Deadline:         *deadline,
+		MaxConcurrent:    *maxConc,
+		MaxQueueDepth:    *queueLen,
+		BreakerThreshold: *brkN,
+		BreakerCooloff:   *brkCool,
+	})
 	if reg != nil {
 		srv.EnableTelemetry(reg)
 	}
@@ -155,7 +165,13 @@ func main() {
 	d := experiments.NewDistribution(norms)
 	fmt.Printf("\nreplayed %d snapshots: %s\n", len(norms), d.CDFRow())
 	counts := srv.TierCounts()
-	fmt.Printf("serving tiers: full=%d reduced-rau=%d ecmp=%d rejected=%d\n",
+	fmt.Printf("serving tiers: full=%d reduced-rau=%d ecmp=%d rejected=%d shed=%d\n",
 		counts[resilience.TierFull], counts[resilience.TierReducedRAU],
-		counts[resilience.TierECMP], counts[resilience.TierRejected])
+		counts[resilience.TierECMP], counts[resilience.TierRejected],
+		counts[resilience.TierShed])
+	st := srv.Stats()
+	fmt.Printf("overload/churn: shed=%d (queue-full=%d deadline=%d draining=%d) breaker-trips=%d breaker-open=%d short-circuits=%d reloads=%d (failed=%d) generation=%d\n",
+		st.Shed, st.ShedQueueFull, st.ShedQueueDeadline, st.ShedDraining,
+		st.BreakerTrips, st.BreakerOpenTiers, st.BreakerShortCircuits,
+		st.Reloads, st.ReloadFailures, st.Generation)
 }

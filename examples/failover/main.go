@@ -22,10 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"harpte/internal/core"
 	"harpte/internal/lp"
 	"harpte/internal/obs"
+	"harpte/internal/resilience"
 	"harpte/internal/te"
 	"harpte/internal/topology"
 	"harpte/internal/traffic"
@@ -80,11 +82,26 @@ func main() {
 	tc.Metrics = reg
 	model.Fit(train, val, tc)
 
+	// Serve the sweep through the guarded path: validated inputs, vetted
+	// outputs, a per-request deadline, and circuit breakers so a sick
+	// model stops burning budget before every fallback.
+	srv := resilience.NewServer(model, resilience.Options{
+		Deadline:         10 * time.Second,
+		BreakerThreshold: 3,
+	})
+	if reg != nil {
+		srv.EnableTelemetry(reg)
+	}
+
 	// The test matrix and the splits HARP chose before any failure.
 	demand := traffic.DemandVector(tms[34], set.Flows)
-	preSplits := model.Splits(hctx, demand)
-	fmt.Printf("healthy MLU: HARP %.4f, optimal %.4f\n\n",
-		healthy.MLU(preSplits, demand), lp.Solve(healthy, demand).MLU)
+	pre := srv.Serve(healthy, demand)
+	if pre.Err != nil {
+		log.Fatalf("healthy serve failed: %v", pre.Err)
+	}
+	preSplits := pre.Splits
+	fmt.Printf("healthy MLU: HARP %.4f (tier %v), optimal %.4f\n\n",
+		healthy.MLU(preSplits, demand), pre.Tier, lp.Solve(healthy, demand).MLU)
 
 	fmt.Println("link failure -> MLU (HARP recompute | rescale old splits | optimal)")
 	worstHARP, worstRescale := 0.0, 0.0
@@ -103,7 +120,12 @@ func main() {
 			continue
 		}
 
-		harpMLU := failed.MLU(model.Splits(model.Context(failed), demand), demand)
+		dec := srv.Serve(failed, demand)
+		if dec.Err != nil {
+			fmt.Printf("  %2d<->%-2d   (serve failed: %v)\n", link[0], link[1], dec.Err)
+			continue
+		}
+		harpMLU := failed.MLU(dec.Splits, demand)
 		rescaled := te.Rescale(failed, preSplits)
 		rescaleMLU := failed.MLU(rescaled, demand)
 
@@ -119,4 +141,9 @@ func main() {
 	}
 	fmt.Printf("\nworst-case NormMLU: HARP recompute %.2f, rescaling %.2f\n",
 		worstHARP, worstRescale)
+	counts := srv.TierCounts()
+	st := srv.Stats()
+	fmt.Printf("serving tiers: full=%d reduced-rau=%d ecmp=%d | breaker trips=%d short-circuits=%d\n",
+		counts[resilience.TierFull], counts[resilience.TierReducedRAU],
+		counts[resilience.TierECMP], st.BreakerTrips, st.BreakerShortCircuits)
 }

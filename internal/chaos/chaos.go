@@ -1,8 +1,12 @@
 // Package chaos is a fault-injection harness for the resilience tests: it
 // simulates the failure modes the checkpoint/serving stack must survive —
-// crashes that tear a file mid-write, storage bit rot, and numerically
-// poisoned training batches. Production code never imports this package;
-// tests use it to prove every guard actually fires.
+// crashes that tear a file mid-write (CrashFS, a fsio.FS with a
+// seed-replayable kill/short-write/dropped-fsync schedule), transient IO
+// error windows (FlakyFS), storage bit rot, and numerically poisoned
+// training batches. Every injector is deterministic: the same seed and
+// plan replay the identical fault sequence, so any torture failure is
+// reproducible from its seed alone. Production code never imports this
+// package; tests use it to prove every guard actually fires.
 package chaos
 
 import (

@@ -1,0 +1,409 @@
+package chaos
+
+// This file is the crash-consistency torture layer: a fsio.FS that
+// executes the atomic checkpoint-write protocol against the real
+// filesystem while simulating a machine that dies at an arbitrary,
+// seed-replayable point — including the parts of a crash POSIX makes
+// subtle. Specifically:
+//
+//   - Kill at any byte offset: a write that crosses the kill point lands
+//     only its prefix (a short write torn by the crash).
+//   - Lost page cache: at kill time, every file's bytes beyond its last
+//     fsync survive only partially (a seeded random amount of the
+//     unsynced suffix is kept), exactly like unflushed page cache.
+//   - Dropped fsyncs: optionally, File.Sync reports success without
+//     making anything durable — the lying-disk scenario journaling
+//     filesystems are famous for.
+//   - Undurable renames: a rename followed by a crash before the parent
+//     directory fsync may or may not survive (seeded coin flip); when it
+//     does not, the directory entry reverts to the pre-rename state.
+//
+// All randomness comes from one seeded RNG and every primitive appends to
+// an op log, so a fault schedule is fully replayable: same plan, same
+// inputs → bit-identical sequence of faults (TestCrashFSDeterministic).
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"harpte/internal/fsio"
+)
+
+// ErrCrashed is the error every CrashFS primitive returns once the
+// simulated machine has died (and the error a write in progress at the
+// kill point returns after landing its surviving prefix).
+var ErrCrashed = errors.New("chaos: simulated crash")
+
+// CrashPlan is a deterministic fault schedule for a CrashFS.
+type CrashPlan struct {
+	// Seed drives every random choice the layer makes (temp-file names,
+	// how much unsynced data survives the kill, whether an un-fsynced
+	// rename survives). Two CrashFS with the same plan replay identical
+	// fault sequences on identical op streams.
+	Seed int64
+	// KillAtProgress is the progress point at which the machine dies.
+	// Progress advances by one unit per byte written and one unit per
+	// metadata operation (create, sync, close, rename, remove, dir-sync);
+	// the op that crosses the kill point is the one torn by the crash.
+	// Negative disables the kill (useful for measuring a protocol's total
+	// progress with Progress).
+	KillAtProgress int64
+	// DropSyncs makes File.Sync report success without marking the data
+	// durable, so the kill can tear even "fsynced" files.
+	DropSyncs bool
+	// ShortWriteEvery, when > 0, turns every n-th Write call into a short
+	// write: only a seeded random prefix lands and io.ErrShortWrite-style
+	// failure (ErrShortWrite) is returned. Models transient IO errors
+	// (disk briefly full, NFS hiccup) rather than a crash.
+	ShortWriteEvery int
+}
+
+// ErrShortWrite tags the transient short-write fault injected by
+// CrashPlan.ShortWriteEvery, so tests can assert retry paths saw it.
+var ErrShortWrite = errors.New("chaos: injected short write")
+
+// CrashFS implements fsio.FS over the real filesystem with the fault
+// schedule of a CrashPlan. It is safe for concurrent use; the fault
+// sequence is deterministic for a deterministic op stream.
+type CrashFS struct {
+	plan CrashPlan
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	progress int64
+	killed   bool
+	writes   int // Write calls seen, for ShortWriteEvery
+	log      []string
+
+	files   []*crashFile
+	pending []pendingRename
+}
+
+// crashFile tracks one file's durability state: bytes written versus bytes
+// the simulated disk has actually persisted.
+type crashFile struct {
+	path    string // current path (updated by Rename)
+	f       *os.File
+	written int64
+	synced  int64
+	removed bool
+}
+
+// pendingRename is a completed rename whose parent directory has not been
+// fsynced yet: on a kill it survives only by coin flip.
+type pendingRename struct {
+	tmp     string // source path the entry reverts to
+	target  string
+	oldData []byte // target's pre-rename content
+	hadOld  bool
+}
+
+// NewCrashFS returns a CrashFS executing plan. The returned layer operates
+// on real paths (use a fresh temp directory per run).
+func NewCrashFS(plan CrashPlan) *CrashFS {
+	return &CrashFS{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Progress returns how many progress units have been consumed so far.
+func (c *CrashFS) Progress() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.progress
+}
+
+// Killed reports whether the simulated machine has died.
+func (c *CrashFS) Killed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+// Log returns the op/fault sequence recorded so far. Paths are logged by
+// base name only, so logs from runs in different temp directories compare
+// equal — the determinism test diffs two of these.
+func (c *CrashFS) Log() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.log...)
+}
+
+func (c *CrashFS) logf(format string, args ...any) {
+	c.log = append(c.log, fmt.Sprintf(format, args...))
+}
+
+// opLocked charges one progress unit for a metadata op, killing the
+// machine if the op lands on the kill point. It reports whether the op
+// crashed (the caller must then return ErrCrashed without acting).
+func (c *CrashFS) opLocked(name string) bool {
+	if c.killed {
+		return true
+	}
+	if c.plan.KillAtProgress >= 0 && c.progress >= c.plan.KillAtProgress {
+		c.logf("%s CRASH", name)
+		c.killLocked()
+		return true
+	}
+	c.progress++
+	return false
+}
+
+// killLocked flips the machine to dead and applies the post-crash disk
+// state: un-fsynced renames survive by coin flip (reverting the directory
+// entry when they do not), then every file loses a seeded random amount of
+// its un-fsynced suffix.
+func (c *CrashFS) killLocked() {
+	if c.killed {
+		return
+	}
+	c.killed = true
+	// Directory entries first: a reverted rename moves the new file back
+	// to its temp name, so the content truncation below finds it there.
+	for _, p := range c.pending {
+		if c.rng.Intn(2) == 0 {
+			c.logf("crash: rename %s survived", filepath.Base(p.target))
+			continue
+		}
+		c.logf("crash: rename %s reverted", filepath.Base(p.target))
+		_ = os.Rename(p.target, p.tmp)
+		for _, f := range c.files {
+			if f.path == p.target {
+				f.path = p.tmp
+			}
+		}
+		if p.hadOld {
+			_ = os.WriteFile(p.target, p.oldData, 0o644)
+		}
+	}
+	c.pending = nil
+	for _, f := range c.files {
+		if f.removed {
+			continue
+		}
+		_ = f.f.Close()
+		unsynced := f.written - f.synced
+		if unsynced <= 0 {
+			continue
+		}
+		durable := f.synced + c.rng.Int63n(unsynced+1)
+		c.logf("crash: %s truncated %d -> %d", filepath.Base(f.path), f.written, durable)
+		_ = os.Truncate(f.path, durable)
+	}
+}
+
+// CreateTemp creates a new file in dir with a deterministic (seeded)
+// unique name, charging one progress unit.
+func (c *CrashFS) CreateTemp(dir, pattern string) (fsio.File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opLocked("createtemp") {
+		return nil, ErrCrashed
+	}
+	for tries := 0; ; tries++ {
+		name := filepath.Join(dir, pattern+strconv.FormatInt(c.rng.Int63(), 36))
+		f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if os.IsExist(err) && tries < 100 {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		cf := &crashFile{path: name, f: f}
+		c.files = append(c.files, cf)
+		c.logf("createtemp %s", filepath.Base(name))
+		return &crashHandle{fs: c, file: cf}, nil
+	}
+}
+
+// Rename performs the rename, recording it as un-durable until the parent
+// directory is fsynced; a kill before that may revert it.
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opLocked("rename") {
+		return ErrCrashed
+	}
+	old, err := os.ReadFile(newpath)
+	hadOld := err == nil
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	for _, f := range c.files {
+		if f.path == oldpath {
+			f.path = newpath
+		}
+	}
+	c.pending = append(c.pending, pendingRename{
+		tmp: oldpath, target: newpath, oldData: old, hadOld: hadOld,
+	})
+	c.logf("rename %s -> %s", filepath.Base(oldpath), filepath.Base(newpath))
+	return nil
+}
+
+// Remove deletes the file and stops tracking it.
+func (c *CrashFS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opLocked("remove") {
+		return ErrCrashed
+	}
+	for _, f := range c.files {
+		if f.path == name {
+			f.removed = true
+		}
+	}
+	c.logf("remove %s", filepath.Base(name))
+	return os.Remove(name)
+}
+
+// SyncDir makes every completed rename under dir durable.
+func (c *CrashFS) SyncDir(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opLocked("syncdir") {
+		return ErrCrashed
+	}
+	kept := c.pending[:0]
+	for _, p := range c.pending {
+		if filepath.Dir(p.target) != dir {
+			kept = append(kept, p)
+		}
+	}
+	c.pending = kept
+	// The directory path varies across runs (temp dirs); keep the log
+	// entry path-free so same-seed logs compare equal.
+	c.logf("syncdir")
+	return nil
+}
+
+// crashHandle is the fsio.File a CrashFS hands out.
+type crashHandle struct {
+	fs   *CrashFS
+	file *crashFile
+}
+
+func (h *crashHandle) Name() string { return h.file.path }
+
+// Write lands p on the real file, torn at the kill point: the bytes up to
+// the kill survive (subject to the page-cache loss applied at kill time),
+// the rest never happened.
+func (h *crashHandle) Write(p []byte) (int, error) {
+	c := h.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return 0, ErrCrashed
+	}
+	c.writes++
+	if se := c.plan.ShortWriteEvery; se > 0 && c.writes%se == 0 && len(p) > 0 {
+		n := int(c.rng.Int63n(int64(len(p))))
+		wn, werr := h.file.f.Write(p[:n])
+		h.file.written += int64(wn)
+		c.progress += int64(wn)
+		c.logf("write %d/%d SHORT", wn, len(p))
+		if werr != nil {
+			return wn, werr
+		}
+		return wn, ErrShortWrite
+	}
+	if c.plan.KillAtProgress >= 0 {
+		remaining := c.plan.KillAtProgress - c.progress
+		if remaining < int64(len(p)) {
+			n := int(remaining)
+			if n < 0 {
+				n = 0
+			}
+			wn, _ := h.file.f.Write(p[:n])
+			h.file.written += int64(wn)
+			c.progress += int64(wn)
+			c.logf("write %d/%d CRASH", wn, len(p))
+			c.killLocked()
+			return wn, ErrCrashed
+		}
+	}
+	wn, err := h.file.f.Write(p)
+	h.file.written += int64(wn)
+	c.progress += int64(wn)
+	c.logf("write %d", wn)
+	return wn, err
+}
+
+// Sync marks the file's bytes durable — unless the plan drops fsyncs, in
+// which case it lies (reports success, persists nothing).
+func (h *crashHandle) Sync() error {
+	c := h.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opLocked("sync") {
+		return ErrCrashed
+	}
+	if c.plan.DropSyncs {
+		c.logf("sync DROPPED")
+		return nil
+	}
+	if err := h.file.f.Sync(); err != nil {
+		return err
+	}
+	h.file.synced = h.file.written
+	c.logf("sync")
+	return nil
+}
+
+// Close closes the real file. Durability is unaffected (only Sync makes
+// bytes crash-proof).
+func (h *crashHandle) Close() error {
+	c := h.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opLocked("close") {
+		return ErrCrashed
+	}
+	c.logf("close %s", filepath.Base(h.file.path))
+	return h.file.f.Close()
+}
+
+// FlakyFS wraps the real filesystem, failing the first Failures CreateTemp
+// calls with Err — a transient disk-full or unreachable-mount window —
+// then behaving normally. Deterministic by construction; the checkpoint
+// retry-with-backoff regression test is built on it.
+type FlakyFS struct {
+	fsio.OS
+	// Err is returned by the failing calls (nil means a generic error).
+	Err error
+
+	mu       sync.Mutex
+	failures int
+	calls    int
+}
+
+// NewFlakyFS returns a FlakyFS whose first failures CreateTemp calls fail
+// with err.
+func NewFlakyFS(failures int, err error) *FlakyFS {
+	if err == nil {
+		err = errors.New("chaos: injected transient IO error")
+	}
+	return &FlakyFS{Err: err, failures: failures}
+}
+
+// Calls returns how many CreateTemp calls the layer has seen.
+func (f *FlakyFS) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// CreateTemp fails for the first Failures calls, then delegates to the OS.
+func (f *FlakyFS) CreateTemp(dir, pattern string) (fsio.File, error) {
+	f.mu.Lock()
+	f.calls++
+	fail := f.calls <= f.failures
+	f.mu.Unlock()
+	if fail {
+		return nil, f.Err
+	}
+	return f.OS.CreateTemp(dir, pattern)
+}

@@ -1,0 +1,203 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"harpte/internal/fsio"
+)
+
+// driveProtocol runs a miniature atomic-write protocol (the same op
+// sequence SaveCheckpoint uses) through fs, ignoring errors — crash
+// schedules are expected to fail it partway.
+func driveProtocol(dir string, fs fsio.FS, payload []byte) {
+	target := filepath.Join(dir, "blob")
+	f, err := fs.CreateTemp(dir, "blob.tmp-")
+	if err != nil {
+		return
+	}
+	half := len(payload) / 2
+	if _, err := f.Write(payload[:half]); err != nil {
+		f.Close()
+		fs.Remove(f.Name())
+		return
+	}
+	if _, err := f.Write(payload[half:]); err != nil {
+		f.Close()
+		fs.Remove(f.Name())
+		return
+	}
+	if f.Sync() != nil || f.Close() != nil {
+		return
+	}
+	if fs.Rename(f.Name(), target) != nil {
+		return
+	}
+	fs.SyncDir(dir)
+}
+
+// TestCrashFSDeterministic: two runs from the same seed and plan replay
+// identical fault sequences, op for op — the replayability contract every
+// torture failure report depends on.
+func TestCrashFSDeterministic(t *testing.T) {
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	plans := []CrashPlan{
+		{Seed: 7, KillAtProgress: -1},
+		{Seed: 7, KillAtProgress: 150},
+		{Seed: 7, KillAtProgress: 150, DropSyncs: true},
+		{Seed: 7, KillAtProgress: 302, ShortWriteEvery: 2},
+	}
+	for _, plan := range plans {
+		a, b := NewCrashFS(plan), NewCrashFS(plan)
+		driveProtocol(t.TempDir(), a, payload)
+		driveProtocol(t.TempDir(), b, payload)
+		la, lb := a.Log(), b.Log()
+		if len(la) != len(lb) {
+			t.Fatalf("plan %+v: log lengths differ: %d vs %d\nA: %v\nB: %v", plan, len(la), len(lb), la, lb)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("plan %+v: op %d differs: %q vs %q", plan, i, la[i], lb[i])
+			}
+		}
+		if a.Progress() != b.Progress() || a.Killed() != b.Killed() {
+			t.Fatalf("plan %+v: progress/killed state diverged", plan)
+		}
+	}
+}
+
+// TestCrashFSSeedChangesSchedule: different seeds produce different fault
+// outcomes (otherwise the "seeded" knob would be decorative).
+func TestCrashFSSeedChangesSchedule(t *testing.T) {
+	payload := make([]byte, 300)
+	differs := false
+	base := NewCrashFS(CrashPlan{Seed: 1, KillAtProgress: 200, DropSyncs: true})
+	driveProtocol(t.TempDir(), base, payload)
+	for seed := int64(2); seed < 12; seed++ {
+		fs := NewCrashFS(CrashPlan{Seed: seed, KillAtProgress: 200, DropSyncs: true})
+		driveProtocol(t.TempDir(), fs, payload)
+		la, lb := base.Log(), fs.Log()
+		if len(la) != len(lb) {
+			differs = true
+			break
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("ten different seeds produced byte-identical fault schedules")
+	}
+}
+
+// TestCrashFSKillTearsWrite: a write crossing the kill point lands exactly
+// the prefix up to it (before page-cache loss), and every later op fails
+// with ErrCrashed.
+func TestCrashFSKillTearsWrite(t *testing.T) {
+	dir := t.TempDir()
+	// Progress 0 is the createtemp op, so the kill at 10 lands 10 bytes in.
+	fs := NewCrashFS(CrashPlan{Seed: 3, KillAtProgress: 11})
+	f, err := fs.CreateTemp(dir, "x-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write(make([]byte, 64))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write crossing kill point: got n=%d err=%v, want ErrCrashed", n, err)
+	}
+	if n != 10 {
+		t.Fatalf("surviving prefix %d bytes, want 10", n)
+	}
+	if _, err := f.Write([]byte{1}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v, want ErrCrashed", err)
+	}
+	if err := fs.Rename(f.Name(), filepath.Join(dir, "y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v, want ErrCrashed", err)
+	}
+	if !fs.Killed() {
+		t.Fatal("Killed() false after crash")
+	}
+}
+
+// TestCrashFSShortWrite: the transient short-write fault returns
+// ErrShortWrite without killing the machine.
+func TestCrashFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewCrashFS(CrashPlan{Seed: 5, KillAtProgress: -1, ShortWriteEvery: 1})
+	f, err := fs.CreateTemp(dir, "x-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write(make([]byte, 64))
+	if !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("want ErrShortWrite, got n=%d err=%v", n, err)
+	}
+	if n >= 64 {
+		t.Fatalf("short write landed %d of 64 bytes", n)
+	}
+	if fs.Killed() {
+		t.Fatal("short write killed the machine")
+	}
+}
+
+// TestCrashFSDroppedSyncLosesData: with DropSyncs, data "fsynced" before
+// the kill can still be lost — the layer truncates to a seeded durable
+// prefix.
+func TestCrashFSDroppedSyncLosesData(t *testing.T) {
+	lost := false
+	for seed := int64(0); seed < 20 && !lost; seed++ {
+		dir := t.TempDir()
+		// Kill on the op after sync: createtemp(1) + 64 bytes + sync(1) = 66.
+		fs := NewCrashFS(CrashPlan{Seed: seed, KillAtProgress: 66, DropSyncs: true})
+		f, err := fs.CreateTemp(dir, "x-")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		name := f.Name()
+		f.Close() // lands on the kill point
+		fi, err := os.Stat(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() < 64 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Fatal("dropped fsync never lost data across 20 seeds")
+	}
+}
+
+// TestFlakyFSRecovers: the first N attempts fail with the injected error,
+// later ones succeed.
+func TestFlakyFSRecovers(t *testing.T) {
+	dir := t.TempDir()
+	sentinel := errors.New("disk full")
+	fs := NewFlakyFS(2, sentinel)
+	for i := 0; i < 2; i++ {
+		if _, err := fs.CreateTemp(dir, "x-"); !errors.Is(err, sentinel) {
+			t.Fatalf("attempt %d: want injected error, got %v", i, err)
+		}
+	}
+	f, err := fs.CreateTemp(dir, "x-")
+	if err != nil {
+		t.Fatalf("attempt 3 should succeed: %v", err)
+	}
+	f.Close()
+	if fs.Calls() != 3 {
+		t.Fatalf("calls = %d, want 3", fs.Calls())
+	}
+}

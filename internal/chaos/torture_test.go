@@ -1,0 +1,154 @@
+package chaos
+
+// Crash-consistency torture: thread CrashFS under core.SaveCheckpoint and
+// prove that for a kill at EVERY progress point of the write protocol —
+// every byte offset of the header and payload, and every metadata op
+// (create, sync, close, rename, dir-sync) — the checkpoint at the target
+// path afterwards is either the previous good checkpoint, the complete new
+// one, or a cleanly detected error. Never silently corrupt state.
+//
+// This test lives in chaos (not core) because core's in-package tests
+// already import chaos; the dependency must stay one-directional.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"harpte/internal/core"
+)
+
+// tortureCheckpoint builds a checkpoint whose payload is large enough that
+// the protocol spans well over 1000 progress points, with values derived
+// from epoch so the two generations are distinguishable byte-for-byte.
+func tortureCheckpoint(epoch int) *core.Checkpoint {
+	row := make([]float64, 220)
+	for i := range row {
+		row[i] = float64(epoch*100000 + i)
+	}
+	return &core.Checkpoint{
+		Epoch:      epoch,
+		Seed:       42,
+		NumTrain:   10,
+		BestValMLU: float64(epoch),
+		Params:     [][]float64{row},
+		TrainLoss:  []float64{float64(epoch), float64(epoch) / 2},
+	}
+}
+
+// matchesCheckpoint reports whether got is exactly ck (the fields the
+// torture generations differ in).
+func matchesCheckpoint(got, ck *core.Checkpoint) bool {
+	if got.Epoch != ck.Epoch || got.BestValMLU != ck.BestValMLU {
+		return false
+	}
+	if len(got.Params) != len(ck.Params) {
+		return false
+	}
+	for i := range ck.Params {
+		if len(got.Params[i]) != len(ck.Params[i]) {
+			return false
+		}
+		for j := range ck.Params[i] {
+			if got.Params[i][j] != ck.Params[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCheckpointCrashTortureEveryWritePoint(t *testing.T) {
+	ck1, ck2 := tortureCheckpoint(1), tortureCheckpoint(2)
+
+	// Measure the protocol's total progress with a kill that never fires.
+	probe := t.TempDir()
+	probePath := filepath.Join(probe, "ck.harp")
+	if err := core.SaveCheckpoint(probePath, ck1); err != nil {
+		t.Fatal(err)
+	}
+	meter := NewCrashFS(CrashPlan{Seed: 1, KillAtProgress: -1})
+	if err := core.SaveCheckpointFS(meter, probePath, ck2); err != nil {
+		t.Fatalf("fault-free CrashFS save failed: %v", err)
+	}
+	if got, err := core.LoadCheckpoint(probePath); err != nil || !matchesCheckpoint(got, ck2) {
+		t.Fatalf("fault-free CrashFS save did not install the new checkpoint (err=%v)", err)
+	}
+	total := meter.Progress()
+	if total < 1000 {
+		t.Fatalf("protocol spans only %d progress points; torture needs >= 1000 (grow the payload)", total)
+	}
+	t.Logf("torturing %d crash points (+1 fault-free)", total)
+
+	base := t.TempDir()
+	for kill := int64(0); kill <= total; kill++ {
+		dir := filepath.Join(base, fmt.Sprintf("k%d", kill))
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "ck.harp")
+		if err := core.SaveCheckpoint(path, ck1); err != nil {
+			t.Fatal(err)
+		}
+		// Every third schedule also drops fsyncs, so the kill can tear
+		// data the writer believed durable.
+		plan := CrashPlan{Seed: kill*7 + 13, KillAtProgress: kill, DropSyncs: kill%3 == 0}
+		cfs := NewCrashFS(plan)
+		saveErr := core.SaveCheckpointFS(cfs, path, ck2)
+
+		got, loadErr := core.LoadCheckpoint(path)
+		switch {
+		case saveErr == nil:
+			// The save claims success, so the new checkpoint must be the
+			// one a reader sees (with honest fsyncs it is also durable).
+			if loadErr != nil || !matchesCheckpoint(got, ck2) {
+				t.Fatalf("kill@%d plan %+v: save succeeded but load got err=%v\nlog:\n%v",
+					kill, plan, loadErr, cfs.Log())
+			}
+		case loadErr == nil:
+			if !matchesCheckpoint(got, ck1) && !matchesCheckpoint(got, ck2) {
+				t.Fatalf("kill@%d plan %+v: loaded checkpoint matches neither generation (epoch %d)\nlog:\n%v",
+					kill, plan, got.Epoch, cfs.Log())
+			}
+		default:
+			// A load failure must be a cleanly detected condition — never
+			// a decode of garbage, never a panic.
+			if !errors.Is(loadErr, core.ErrCorruptCheckpoint) && !errors.Is(loadErr, fs.ErrNotExist) {
+				t.Fatalf("kill@%d plan %+v: unclean load error %v\nlog:\n%v", kill, plan, loadErr, cfs.Log())
+			}
+			// With honest fsyncs the protocol is strictly stronger: the
+			// previous good checkpoint can never be lost, so a load error
+			// is itself a bug.
+			if !plan.DropSyncs {
+				t.Fatalf("kill@%d plan %+v: previous-good checkpoint lost without dropped fsyncs: %v\nlog:\n%v",
+					kill, plan, loadErr, cfs.Log())
+			}
+		}
+	}
+}
+
+// TestCheckpointTortureRetryAfterCrashDebris: a crash leaves temp-file
+// debris behind; the next (healthy) SaveCheckpoint over the same path must
+// succeed and install the new checkpoint regardless.
+func TestCheckpointTortureRetryAfterCrashDebris(t *testing.T) {
+	ck1, ck2 := tortureCheckpoint(1), tortureCheckpoint(2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.harp")
+	if err := core.SaveCheckpoint(path, ck1); err != nil {
+		t.Fatal(err)
+	}
+	cfs := NewCrashFS(CrashPlan{Seed: 9, KillAtProgress: 400})
+	if err := core.SaveCheckpointFS(cfs, path, ck2); err == nil {
+		t.Fatal("kill@400 save unexpectedly succeeded")
+	}
+	if err := core.SaveCheckpoint(path, ck2); err != nil {
+		t.Fatalf("post-crash save over debris: %v", err)
+	}
+	got, err := core.LoadCheckpoint(path)
+	if err != nil || !matchesCheckpoint(got, ck2) {
+		t.Fatalf("post-crash save did not install new checkpoint (err=%v)", err)
+	}
+}

@@ -10,9 +10,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"syscall"
 
 	"harpte/internal/autograd"
+	"harpte/internal/fsio"
 )
 
 // This file implements crash-safe training checkpoints. A checkpoint holds
@@ -144,14 +144,23 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 // durable. A crash at any point leaves either the old checkpoint or the new
 // one — never a torn file.
 func SaveCheckpoint(path string, ck *Checkpoint) error {
+	return SaveCheckpointFS(fsio.OS{}, path, ck)
+}
+
+// SaveCheckpointFS is SaveCheckpoint with the filesystem abstracted: every
+// primitive of the atomic-write protocol (temp file, write, fsync, close,
+// rename, parent-directory fsync) goes through fs. Production callers use
+// SaveCheckpoint (the real OS); the crash-consistency torture tests inject
+// chaos.CrashFS here to prove the protocol survives a kill at any point.
+func SaveCheckpointFS(fs fsio.FS, path string, ck *Checkpoint) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	tmp, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp-")
 	if err != nil {
 		return fmt.Errorf("core: creating checkpoint temp file: %w", err)
 	}
 	cleanup := func() {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fs.Remove(tmp.Name())
 	}
 	if err := WriteCheckpoint(tmp, ck); err != nil {
 		cleanup()
@@ -162,34 +171,18 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 		return fmt.Errorf("core: syncing checkpoint: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		fs.Remove(tmp.Name())
 		return fmt.Errorf("core: closing checkpoint temp file: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := fs.Rename(tmp.Name(), path); err != nil {
+		fs.Remove(tmp.Name())
 		return fmt.Errorf("core: installing checkpoint: %w", err)
 	}
 	// Fsyncing only the file leaves the rename in the directory's dirty
 	// metadata; on a crash the directory entry can still point at the old
 	// inode (or nothing). Fsync the directory to make the rename durable.
-	if err := syncDir(dir); err != nil {
+	if err := fs.SyncDir(dir); err != nil {
 		return fmt.Errorf("core: syncing checkpoint directory: %w", err)
-	}
-	return nil
-}
-
-// syncDir fsyncs a directory so a just-completed rename inside it survives
-// a crash. Filesystems that do not support fsync on directories report
-// EINVAL/ENOTSUP; those are ignored — the rename is still atomic, we simply
-// cannot strengthen its durability there.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
-		return err
 	}
 	return nil
 }

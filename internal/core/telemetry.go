@@ -42,6 +42,10 @@ const (
 	MetricTrainGuardRestores = "harp_train_guard_restores_total"
 	// MetricCheckpointWriteSeconds is a histogram of checkpoint write latency.
 	MetricCheckpointWriteSeconds = "harp_checkpoint_write_seconds"
+	// MetricCheckpointRetries counts checkpoint write attempts that failed
+	// and were retried with backoff (persistent failures abort the run and
+	// surface as errors instead).
+	MetricCheckpointRetries = "harp_checkpoint_retries_total"
 )
 
 // modelTelemetry holds the pre-resolved instrument handles Forward uses.
@@ -88,6 +92,7 @@ type trainTelemetry struct {
 	skipped   *obs.Counter
 	restores  *obs.Counter
 	ckptWrite *obs.Histogram
+	ckptRetry *obs.Counter
 }
 
 func newTrainTelemetry(reg *obs.Registry) *trainTelemetry {
@@ -107,6 +112,8 @@ func newTrainTelemetry(reg *obs.Registry) *trainTelemetry {
 			"Parameter rollbacks to the last-good snapshot."),
 		ckptWrite: reg.Histogram(MetricCheckpointWriteSeconds,
 			"Checkpoint write (serialize+fsync+rename) latency.", nil),
+		ckptRetry: reg.Counter(MetricCheckpointRetries,
+			"Checkpoint write attempts retried after a transient IO error."),
 	}
 }
 
@@ -130,6 +137,15 @@ func (t *trainTelemetry) checkpointWritten(elapsed time.Duration) {
 		return
 	}
 	t.ckptWrite.Observe(elapsed.Seconds())
+}
+
+// checkpointRetried records one failed-then-retried checkpoint write
+// attempt.
+func (t *trainTelemetry) checkpointRetried() {
+	if t == nil {
+		return
+	}
+	t.ckptRetry.Inc()
 }
 
 // RegisterRuntimeGauges exposes process-level health useful alongside the

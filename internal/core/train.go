@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"harpte/internal/autograd"
+	"harpte/internal/fsio"
 	"harpte/internal/obs"
 	"harpte/internal/tensor"
 )
@@ -61,6 +62,22 @@ type TrainConfig struct {
 	// best-validation snapshot all pick up where they left off. A missing
 	// checkpoint file simply starts a fresh run.
 	Resume bool
+	// CheckpointRetries bounds how many times each checkpoint write is
+	// attempted before FitCheckpointed gives up (<= 0 means 3; 1 disables
+	// retrying). Transient IO errors — a briefly full disk, a flaky NFS
+	// mount — should not abort a multi-hour run, so failed writes are
+	// retried with capped jittered backoff; only the final attempt's error
+	// surfaces.
+	CheckpointRetries int
+	// CheckpointRetryBackoff is the base delay before the first retry;
+	// each further retry doubles it, jittered to [0.5x, 1.5x), capped at
+	// 1s (0 means 50ms).
+	CheckpointRetryBackoff time.Duration
+	// CheckpointFS routes checkpoint writes through an alternate
+	// filesystem implementation (nil means the real OS). The
+	// crash-consistency torture tests inject chaos.CrashFS here;
+	// production runs leave it nil.
+	CheckpointFS fsio.FS
 
 	// MaxConsecutiveSkips is how many poisoned batches in a row the
 	// numerical health guard tolerates before restoring the last-good
@@ -310,6 +327,55 @@ func (m *Model) FitCheckpointed(train, val []Sample, tc TrainConfig) (FitResult,
 
 	tt := newTrainTelemetry(tc.Metrics)
 
+	ckFS := tc.CheckpointFS
+	if ckFS == nil {
+		ckFS = fsio.OS{}
+	}
+	ckRetries := tc.CheckpointRetries
+	if ckRetries <= 0 {
+		ckRetries = 3
+	}
+	ckBackoff := tc.CheckpointRetryBackoff
+	if ckBackoff <= 0 {
+		ckBackoff = 50 * time.Millisecond
+	}
+	// The backoff jitter draws from its own RNG so retries never perturb
+	// the shuffle stream (which must stay a pure function of seed+epoch
+	// for bit-identical resume).
+	retryRNG := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+
+	// saveWithRetry attempts the atomic checkpoint write up to ckRetries
+	// times. Checkpoint writes are idempotent (same bytes, same rename
+	// target), so retrying after any failure is safe; persistent failures
+	// still surface after the final attempt.
+	saveWithRetry := func(ck *Checkpoint) error {
+		delay := ckBackoff
+		var err error
+		for attempt := 1; ; attempt++ {
+			err = SaveCheckpointFS(ckFS, tc.CheckpointPath, ck)
+			if err == nil {
+				return nil
+			}
+			if attempt >= ckRetries {
+				break
+			}
+			tt.checkpointRetried()
+			sleep := delay/2 + time.Duration(retryRNG.Int63n(int64(delay)))
+			if tc.Log != nil {
+				fmt.Fprintf(tc.Log, "checkpoint write attempt %d/%d failed: %v (retrying in %v)\n",
+					attempt, ckRetries, err, sleep.Round(time.Millisecond))
+			}
+			time.Sleep(sleep)
+			if delay < time.Second {
+				delay *= 2
+				if delay > time.Second {
+					delay = time.Second
+				}
+			}
+		}
+		return fmt.Errorf("core: checkpoint write failed after %d attempts: %w", ckRetries, err)
+	}
+
 	checkpoint := func(epoch int) error {
 		if tc.CheckpointPath == "" {
 			return nil
@@ -334,7 +400,7 @@ func (m *Model) FitCheckpointed(train, val []Sample, tc TrainConfig) (FitResult,
 		if tt != nil {
 			t0 = time.Now()
 		}
-		err := SaveCheckpoint(tc.CheckpointPath, ck)
+		err := saveWithRetry(ck)
 		if err == nil && tt != nil {
 			tt.checkpointWritten(time.Since(t0))
 		}

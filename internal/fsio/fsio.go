@@ -1,0 +1,80 @@
+// Package fsio defines the narrow filesystem surface the crash-safe
+// checkpoint writer needs — create-temp, write, fsync, close, rename,
+// remove, directory fsync — as interfaces, plus the real-OS implementation.
+//
+// The indirection exists for one reason: crash-consistency testing. The
+// torture harness in internal/chaos implements FS with a deterministic
+// fault schedule (short writes, dropped fsyncs, a kill at any byte
+// offset) and threads it under core.SaveCheckpoint, proving that a crash
+// at *any* point of the write protocol leaves either the previous good
+// checkpoint or a cleanly detected error on disk. Production code always
+// uses OS; the interfaces carry only stdlib types so fault injectors need
+// no dependency on the packages they torture.
+package fsio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+)
+
+// File is the subset of *os.File the checkpoint writer touches.
+type File interface {
+	io.Writer
+	// Sync flushes the file's written data to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+	// Name returns the path the file was created with.
+	Name() string
+}
+
+// FS is the filesystem surface of the atomic write protocol:
+// temp file → write → fsync → close → rename → fsync parent directory.
+type FS interface {
+	// CreateTemp creates a new unique file in dir (pattern as in
+	// os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir fsyncs a directory so a completed rename inside it is
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem. The zero value is ready to use.
+type OS struct{}
+
+// CreateTemp wraps os.CreateTemp.
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename wraps os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove wraps os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir fsyncs a directory so a just-completed rename inside it survives
+// a crash. Filesystems that do not support fsync on directories report
+// EINVAL/ENOTSUP; those are ignored — the rename is still atomic, we simply
+// cannot strengthen its durability there.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package resilience
+
+// Hot model reload. Retraining on a changed topology produces a new
+// checkpoint while the old model keeps serving; Reload swaps the new
+// weights in without dropping a single in-flight request. The new model is
+// validated entirely off the serving path — structural checks and
+// non-finite rejection in core.Load, then a canary inference on a pinned
+// probe problem whose output must vet — and only then atomically published.
+// A failed reload changes nothing: the old model keeps serving and no
+// breaker trips.
+
+import (
+	"fmt"
+	"os"
+
+	"harpte/internal/core"
+)
+
+// modelPair is one immutable generation of serving models: the full-RAU
+// model and its reduced-RAU clone (same weights, fewer iterations).
+// Serve loads the pair pointer once per request, so a Reload mid-request
+// is invisible to that request.
+type modelPair struct {
+	full    *core.Model
+	reduced *core.Model
+}
+
+// Reload validates the model checkpoint at path and, if healthy, swaps it
+// in as the serving model. Validation happens entirely off the serving
+// path: core.Load's structural and non-finite checks, then a canary
+// inference (on Options.Probe, or the most recently served problem when no
+// probe is pinned) whose output must pass the same vetting Serve applies.
+// On any failure the old model keeps serving and the error is returned.
+func (s *Server) Reload(path string) error {
+	fail := func(stage string, err error) error {
+		s.reloadFailures.Add(1)
+		s.tel.reloadRecorded(false)
+		return fmt.Errorf("resilience: reload %s: %s: %w", path, stage, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fail("open", err)
+	}
+	m, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		return fail("decode", err)
+	}
+	if err := s.canary(m); err != nil {
+		return fail("canary", err)
+	}
+	// Telemetry is attached before cloning so the reduced clone inherits
+	// the stage tracer, matching NewServer + EnableTelemetry.
+	if reg := s.reg; reg != nil {
+		m.EnableTelemetry(reg)
+	}
+	reduced := s.opts.ReducedRAUIterations
+	if reduced > m.Cfg.RAUIterations {
+		reduced = m.Cfg.RAUIterations
+	}
+	s.models.Store(&modelPair{full: m, reduced: m.WithRAUIterations(reduced)})
+	gen := s.generation.Add(1)
+	s.reloads.Add(1)
+	s.tel.reloadRecorded(true)
+	s.tel.generationChanged(gen)
+	return nil
+}
+
+// canary runs one guarded inference on the candidate model and vets the
+// output, so a model that decodes cleanly but panics or emits garbage is
+// rejected before it can serve. With no pinned probe and no serving
+// history yet, only the decode-time checks apply.
+func (s *Server) canary(m *core.Model) (err error) {
+	p, demand := s.opts.Probe, s.opts.ProbeDemand
+	if p == nil {
+		s.cacheMu.Lock()
+		p = s.lastProb
+		s.cacheMu.Unlock()
+		demand = nil
+		if p == nil {
+			return nil
+		}
+	}
+	if demand == nil {
+		demand = zeroDemand(p)
+	}
+	if verr := ValidateInput(p, demand); verr != nil {
+		return fmt.Errorf("probe problem invalid: %w", verr)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("canary inference panic: %v", r)
+		}
+	}()
+	splits := m.Splits(m.Context(p), demand)
+	if _, verr := vetSplits(p, splits); verr != nil {
+		return fmt.Errorf("canary output rejected: %w", verr)
+	}
+	return nil
+}
+
+// Generation returns how many successful Reloads have been applied; the
+// model NewServer was built with is generation 0.
+func (s *Server) Generation() int64 { return s.generation.Load() }
+
+// Stats is a point-in-time snapshot of the server's operational counters —
+// the plain-Go mirror of the registry metrics, available without
+// telemetry enabled.
+type Stats struct {
+	// Shed tallies turned-away requests, total and by reason.
+	Shed              int64
+	ShedQueueFull     int64
+	ShedQueueDeadline int64
+	ShedDraining      int64
+	// QueueDepth / InFlight are instantaneous gauges.
+	QueueDepth int64
+	InFlight   int64
+	Draining   bool
+	// Breaker aggregates across the neural tiers.
+	BreakerTrips         int64
+	BreakerShortCircuits int64
+	BreakerOpenTiers     int
+	// Reload bookkeeping.
+	Reloads        int64
+	ReloadFailures int64
+	Generation     int64
+	Drains         int64
+}
+
+// Stats snapshots the operational counters. Counter fields are exact;
+// gauge fields (QueueDepth, InFlight) are instantaneous reads.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		ShedQueueFull:     s.sheds[shedQueueFull].Load(),
+		ShedQueueDeadline: s.sheds[shedQueueDeadline].Load(),
+		ShedDraining:      s.sheds[shedDraining].Load(),
+		QueueDepth:        s.queued.Load(),
+		InFlight:          s.inflight.Load(),
+		Draining:          s.draining.Load(),
+		Reloads:           s.reloads.Load(),
+		ReloadFailures:    s.reloadFailures.Load(),
+		Generation:        s.generation.Load(),
+		Drains:            s.drains.Load(),
+	}
+	st.Shed = st.ShedQueueFull + st.ShedQueueDeadline + st.ShedDraining
+	for _, b := range s.breakers {
+		state, trips, shorts := b.snapshot()
+		st.BreakerTrips += trips
+		st.BreakerShortCircuits += shorts
+		if state == BreakerOpen {
+			st.BreakerOpenTiers++
+		}
+	}
+	return st
+}

@@ -12,6 +12,14 @@
 // is computed with plain arithmetic on validated inputs, so the chain
 // always terminates with a valid, row-normalized split matrix; the tier
 // that actually served each request is recorded for observability.
+//
+// Around that chain sit the overload and churn guards: a bounded admission
+// gate that sheds excess load with typed errors instead of queueing it
+// unboundedly (admission.go), per-tier circuit breakers that short-circuit
+// a persistently failing model tier for a cooloff (breaker.go), and hot
+// model reload with canary validation plus graceful drain (reload.go,
+// admission.go). All of it is off by default: a zero Options gives the
+// plain guarded chain with no gate and no breakers.
 package resilience
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harpte/internal/core"
@@ -42,6 +51,10 @@ const (
 	// TierRejected means the input itself was invalid; no splits were
 	// produced. Decision.Err carries the reason.
 	TierRejected
+	// TierShed means the request was turned away by admission control
+	// before inference (overload or drain); no splits were produced.
+	// Decision.Err wraps ErrOverload or ErrDraining.
+	TierShed
 
 	numTiers
 )
@@ -57,6 +70,8 @@ func (t Tier) String() string {
 		return "ecmp"
 	case TierRejected:
 		return "rejected"
+	case TierShed:
+		return "shed"
 	}
 	return fmt.Sprintf("tier(%d)", int(t))
 }
@@ -65,41 +80,94 @@ func (t Tier) String() string {
 // distinguish a bad request from an internal degradation.
 var ErrInvalidInput = errors.New("resilience: invalid input")
 
-// Options configures a Server.
+// Options configures a Server. The zero value disables every optional
+// guard: no admission gate, no breakers, no pinned reload probe.
 type Options struct {
 	// ReducedRAUIterations is the RAU depth of the middle tier
 	// (<= 0 means 2).
 	ReducedRAUIterations int
-	// Deadline bounds the wall clock spent on the neural tiers per
-	// request; once exceeded the request is served by ECMP immediately.
+	// Deadline bounds the wall clock spent per request — both waiting in
+	// the admission queue and running the neural tiers; once exceeded,
+	// queued requests are shed and admitted ones fall through to ECMP.
 	// 0 disables the deadline.
 	Deadline time.Duration
+
+	// MaxConcurrent caps how many admitted requests run the serving chain
+	// at once. 0 disables admission control entirely (no gate, no queue,
+	// no per-request gate overhead beyond two atomic ops).
+	MaxConcurrent int
+	// MaxQueueDepth bounds how many requests may wait for a concurrency
+	// slot; beyond it requests shed immediately with ErrOverload. <= 0
+	// means no queue: shed as soon as the gate is full. Only meaningful
+	// with MaxConcurrent > 0.
+	MaxQueueDepth int
+
+	// BreakerThreshold trips a neural tier's circuit breaker open after
+	// this many consecutive failures (timeout, panic, invalid output) on
+	// that tier; while open the tier is skipped without spending latency
+	// budget. 0 disables the breakers.
+	BreakerThreshold int
+	// BreakerCooloff is how long a tripped tier stays open before a
+	// single half-open probe request is allowed through (0 means 5s).
+	BreakerCooloff time.Duration
+
+	// Probe and ProbeDemand pin the canary request Reload validates a
+	// candidate model against before swapping it in. With a nil Probe,
+	// Reload falls back to the most recently served problem (with a zero
+	// demand vector when ProbeDemand is unset).
+	Probe       *te.Problem
+	ProbeDemand *tensor.Dense
 }
 
 // Decision is the outcome of one Serve call.
 type Decision struct {
 	// Splits is a valid, row-normalized F×K split matrix. It is nil only
-	// when Tier == TierRejected.
+	// when Tier == TierRejected or TierShed.
 	Splits *tensor.Dense
 	// Tier records which rung of the fallback chain produced Splits.
 	Tier Tier
 	// Degraded lists, in order, why each higher tier was abandoned.
 	Degraded []string
-	// Err is non-nil only when Tier == TierRejected and wraps
-	// ErrInvalidInput.
+	// Err is non-nil only for TierRejected (wraps ErrInvalidInput) and
+	// TierShed (wraps ErrOverload or ErrDraining).
 	Err error
 }
 
 // Server is a guarded inference frontend over one HARP model. It is safe
-// for concurrent use.
+// for concurrent use, including Serve racing Reload and Drain.
 type Server struct {
-	full    *core.Model
-	reduced *core.Model
-	opts    Options
+	opts Options
 
+	// models is the current serving generation (full + reduced pair).
+	// Serve loads it exactly once per request, so Reload's atomic Store
+	// never mixes generations within a request.
+	models atomic.Pointer[modelPair]
+
+	// reg is the registry EnableTelemetry attached (nil when disabled);
+	// Reload re-attaches it to freshly loaded models.
+	reg *obs.Registry
 	// tel carries the optional telemetry instruments (EnableTelemetry);
 	// nil disables them. All serverTelemetry methods are nil-safe.
 	tel *serverTelemetry
+
+	// Admission gate (admission.go). sem is nil when MaxConcurrent == 0.
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+	drainCh  chan struct{} // closed when draining starts; wakes queued waiters
+	idleCh   chan struct{} // buffered(1); signaled when in-flight hits zero
+	sheds    [numShedReasons]atomic.Int64
+	drains   atomic.Int64
+
+	// Circuit breakers for the neural tiers (breaker.go); nil when
+	// disabled. Indexed by Tier (only TierFull and TierReducedRAU).
+	breakers [2]*breaker
+
+	// Reload bookkeeping (reload.go).
+	generation     atomic.Int64
+	reloads        atomic.Int64
+	reloadFailures atomic.Int64
 
 	// statMu guards only the tier tally, so TierCounts can take a
 	// consistent snapshot in one acquisition without contending with the
@@ -109,7 +177,8 @@ type Server struct {
 
 	// cacheMu guards the single-entry context cache: serving loops
 	// typically replay many traffic matrices against one problem, and
-	// contexts are immutable.
+	// contexts are immutable (and model-independent, so the cache
+	// survives reloads).
 	cacheMu  sync.Mutex
 	lastProb *te.Problem
 	lastCtx  *core.Context
@@ -118,7 +187,7 @@ type Server struct {
 // Metric names emitted by this package.
 const (
 	// MetricServeRequests counts Serve calls by the tier that answered
-	// (labels: tier="full"|"reduced-rau"|"ecmp"|"rejected").
+	// (labels: tier="full"|"reduced-rau"|"ecmp"|"rejected"|"shed").
 	MetricServeRequests = "harp_serve_requests_total"
 	// MetricServeSeconds is a per-tier histogram of Serve latency.
 	MetricServeSeconds = "harp_serve_seconds"
@@ -129,6 +198,34 @@ const (
 	MetricServeDeadlineExpirations = "harp_serve_deadline_expirations_total"
 	// MetricServePanicRecoveries counts panics converted to degradations.
 	MetricServePanicRecoveries = "harp_serve_panic_recoveries_total"
+
+	// MetricServeShed counts requests turned away by admission control
+	// (labels: reason="queue_full"|"queue_deadline"|"draining").
+	MetricServeShed = "harp_serve_shed_total"
+	// MetricServeQueueDepth gauges how many requests are waiting for an
+	// admission slot right now.
+	MetricServeQueueDepth = "harp_serve_queue_depth"
+	// MetricServeInflight gauges admitted-or-queued requests currently
+	// inside the server.
+	MetricServeInflight = "harp_serve_inflight"
+	// MetricServeDrains counts Drain initiations (at most 1 per server).
+	MetricServeDrains = "harp_serve_drains_total"
+
+	// MetricBreakerState gauges each neural tier's breaker state
+	// (labels: tier; 0=closed, 1=half-open, 2=open).
+	MetricBreakerState = "harp_serve_breaker_state"
+	// MetricBreakerTrips counts breaker open transitions per tier.
+	MetricBreakerTrips = "harp_serve_breaker_trips_total"
+	// MetricBreakerShortCircuits counts requests that skipped a tier
+	// because its breaker was open.
+	MetricBreakerShortCircuits = "harp_serve_breaker_short_circuits_total"
+
+	// MetricModelReloads counts Reload attempts (labels:
+	// result="ok"|"error").
+	MetricModelReloads = "harp_model_reloads_total"
+	// MetricModelGeneration gauges the serving model generation (0 =
+	// the model the server was built with).
+	MetricModelGeneration = "harp_model_generation"
 )
 
 // serverTelemetry is the registry-backed half of the tier bookkeeping.
@@ -139,6 +236,16 @@ type serverTelemetry struct {
 	rejects   *obs.Counter
 	deadlines *obs.Counter
 	panics    *obs.Counter
+
+	sheds         [numShedReasons]*obs.Counter
+	drainsStarted *obs.Counter
+
+	breakerTrips  [2]*obs.Counter
+	breakerShorts [2]*obs.Counter
+
+	reloadOK   *obs.Counter
+	reloadErr  *obs.Counter
+	generation *obs.Gauge
 }
 
 func newServerTelemetry(reg *obs.Registry) *serverTelemetry {
@@ -152,6 +259,14 @@ func newServerTelemetry(reg *obs.Registry) *serverTelemetry {
 			"Neural serving tiers abandoned on the per-request deadline."),
 		panics: reg.Counter(MetricServePanicRecoveries,
 			"Panics recovered and converted into tier degradations."),
+		drainsStarted: reg.Counter(MetricServeDrains,
+			"Graceful drains initiated."),
+		reloadOK: reg.Counter(MetricModelReloads,
+			"Model reload attempts by outcome.", obs.L("result", "ok")),
+		reloadErr: reg.Counter(MetricModelReloads,
+			"Model reload attempts by outcome.", obs.L("result", "error")),
+		generation: reg.Gauge(MetricModelGeneration,
+			"Serving model generation (successful reloads applied)."),
 	}
 	for tier := Tier(0); tier < numTiers; tier++ {
 		l := obs.L("tier", tier.String())
@@ -159,6 +274,18 @@ func newServerTelemetry(reg *obs.Registry) *serverTelemetry {
 			"Serve calls by the fallback-chain tier that answered.", l)
 		t.latency[tier] = reg.Histogram(MetricServeSeconds,
 			"Serve wall-clock latency by answering tier.", nil, l)
+	}
+	for r := 0; r < numShedReasons; r++ {
+		t.sheds[r] = reg.Counter(MetricServeShed,
+			"Requests turned away by admission control, by reason.",
+			obs.L("reason", shedReasonLabel(r)))
+	}
+	for i, tier := range []Tier{TierFull, TierReducedRAU} {
+		l := obs.L("tier", tier.String())
+		t.breakerTrips[i] = reg.Counter(MetricBreakerTrips,
+			"Circuit-breaker open transitions per neural tier.", l)
+		t.breakerShorts[i] = reg.Counter(MetricBreakerShortCircuits,
+			"Requests that skipped a neural tier on an open breaker.", l)
 	}
 	return t
 }
@@ -186,15 +313,79 @@ func (t *serverTelemetry) panicRecovered() {
 	}
 }
 
+func (t *serverTelemetry) shedRecorded(reason int) {
+	if t != nil {
+		t.sheds[reason].Inc()
+	}
+}
+
+func (t *serverTelemetry) drainStarted() {
+	if t != nil {
+		t.drainsStarted.Inc()
+	}
+}
+
+func (t *serverTelemetry) breakerTripped(idx int) {
+	if t != nil {
+		t.breakerTrips[idx].Inc()
+	}
+}
+
+func (t *serverTelemetry) breakerShortCircuited(idx int) {
+	if t != nil {
+		t.breakerShorts[idx].Inc()
+	}
+}
+
+func (t *serverTelemetry) reloadRecorded(ok bool) {
+	if t == nil {
+		return
+	}
+	if ok {
+		t.reloadOK.Inc()
+	} else {
+		t.reloadErr.Inc()
+	}
+}
+
+func (t *serverTelemetry) generationChanged(gen int64) {
+	if t != nil {
+		t.generation.Set(float64(gen))
+	}
+}
+
 // EnableTelemetry attaches serving telemetry to the server: per-tier
-// request counters and latency histograms, and rejection / deadline /
-// panic-recovery counters (the Metric* constants). It also enables
-// forward-pass stage tracing on both the full and reduced models. Call it
-// before serving starts; passing nil detaches.
+// request counters and latency histograms; rejection / deadline /
+// panic-recovery / shed / breaker / reload counters; and gauges for queue
+// depth, in-flight requests, breaker states, and the model generation
+// (the Metric* constants). It also enables forward-pass stage tracing on
+// both the full and reduced models, and Reload re-attaches the same
+// registry to freshly loaded models. Call it before serving starts;
+// passing nil detaches the counters (gauges registered earlier keep
+// reading the server's state).
 func (s *Server) EnableTelemetry(reg *obs.Registry) {
+	s.reg = reg
 	s.tel = newServerTelemetry(reg)
-	s.full.EnableTelemetry(reg)
-	s.reduced.EnableTelemetry(reg)
+	if reg == nil {
+		return
+	}
+	pair := s.models.Load()
+	pair.full.EnableTelemetry(reg)
+	pair.reduced.EnableTelemetry(reg)
+	reg.GaugeFunc(MetricServeQueueDepth,
+		"Requests waiting for an admission slot.",
+		func() float64 { return float64(s.queued.Load()) })
+	reg.GaugeFunc(MetricServeInflight,
+		"Admitted or queued requests currently inside the server.",
+		func() float64 { return float64(s.inflight.Load()) })
+	for i, tier := range []Tier{TierFull, TierReducedRAU} {
+		b := s.breakers[i]
+		reg.GaugeFunc(MetricBreakerState,
+			"Circuit-breaker state per neural tier (0=closed, 1=half-open, 2=open).",
+			func() float64 { st, _, _ := b.snapshot(); return float64(st) },
+			obs.L("tier", tier.String()))
+	}
+	s.tel.generationChanged(s.generation.Load())
 }
 
 // NewServer builds a Server over m. The model is used read-only; training
@@ -207,11 +398,22 @@ func NewServer(m *core.Model, opts Options) *Server {
 	if opts.ReducedRAUIterations > m.Cfg.RAUIterations {
 		opts.ReducedRAUIterations = m.Cfg.RAUIterations
 	}
-	return &Server{
+	s := &Server{
+		opts:    opts,
+		drainCh: make(chan struct{}),
+		idleCh:  make(chan struct{}, 1),
+	}
+	s.models.Store(&modelPair{
 		full:    m,
 		reduced: m.WithRAUIterations(opts.ReducedRAUIterations),
-		opts:    opts,
+	})
+	if opts.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, opts.MaxConcurrent)
 	}
+	for i := range s.breakers {
+		s.breakers[i] = newBreaker(opts.BreakerThreshold, opts.BreakerCooloff)
+	}
+	return s
 }
 
 // ValidateInput checks everything Serve assumes about a request: a
@@ -272,11 +474,28 @@ func ValidateInput(p *te.Problem, demand *tensor.Dense) error {
 	return nil
 }
 
+// zeroDemand builds an all-zero demand vector for p — the default canary
+// demand when no ProbeDemand is pinned (a zero matrix still exercises the
+// full forward pass).
+func zeroDemand(p *te.Problem) *tensor.Dense {
+	return tensor.New(p.NumFlows(), 1)
+}
+
 // Serve produces split ratios for the request, degrading through the
-// fallback chain as needed. On any non-rejected return, Decision.Splits is
-// a finite F×K matrix whose rows each sum to 1.
+// fallback chain as needed. On any non-rejected, non-shed return,
+// Decision.Splits is a finite F×K matrix whose rows each sum to 1.
 func (s *Server) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 	start := time.Now()
+	dec, admitted := s.admit(start)
+	if !admitted {
+		return dec
+	}
+	defer s.release()
+	return s.serve(start, p, demand)
+}
+
+// serve runs the guarded fallback chain for one admitted request.
+func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense) Decision {
 	if err := ValidateInput(p, demand); err != nil {
 		s.record(TierRejected, start)
 		return Decision{Tier: TierRejected, Err: err}
@@ -290,25 +509,37 @@ func (s *Server) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 		return left, left > 0
 	}
 
-	ctx, err := s.contextFor(p)
+	// One pointer load pins this request's model generation: a Reload
+	// mid-request swaps the pair out from under later requests only.
+	pair := s.models.Load()
+	ctx, err := s.contextFor(pair.full, p)
 	if err != nil {
 		dec.Degraded = append(dec.Degraded, fmt.Sprintf("context: %v", err))
 	} else {
-		for _, tier := range []struct {
+		for i, tier := range [...]struct {
 			t Tier
 			m *core.Model
-		}{{TierFull, s.full}, {TierReducedRAU, s.reduced}} {
+		}{{TierFull, pair.full}, {TierReducedRAU, pair.reduced}} {
 			left, ok := budget()
 			if !ok {
 				s.tel.deadlineExpired()
 				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: deadline exceeded", tier.t))
 				continue
 			}
+			if !s.breakers[i].allow() {
+				s.tel.breakerShortCircuited(i)
+				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: circuit open", tier.t))
+				continue
+			}
 			splits, err := s.safeInfer(tier.m, ctx, p, demand, left)
 			if err != nil {
+				if s.breakers[i].onFailure() {
+					s.tel.breakerTripped(i)
+				}
 				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: %v", tier.t, err))
 				continue
 			}
+			s.breakers[i].onSuccess()
 			dec.Splits, dec.Tier = splits, tier.t
 			s.record(tier.t, start)
 			return dec
@@ -325,7 +556,9 @@ func (s *Server) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 
 // contextFor builds (or returns the cached) model context for p,
 // converting construction panics on malformed problems into errors.
-func (s *Server) contextFor(p *te.Problem) (ctx *core.Context, err error) {
+// Contexts depend only on the problem, never on the weights, so the cache
+// deliberately survives model reloads.
+func (s *Server) contextFor(m *core.Model, p *te.Problem) (ctx *core.Context, err error) {
 	s.cacheMu.Lock()
 	if s.lastProb == p && s.lastCtx != nil {
 		ctx = s.lastCtx
@@ -339,7 +572,7 @@ func (s *Server) contextFor(p *te.Problem) (ctx *core.Context, err error) {
 			ctx, err = nil, fmt.Errorf("panic building context: %v", r)
 		}
 	}()
-	ctx = s.full.Context(p)
+	ctx = m.Context(p)
 	s.cacheMu.Lock()
 	s.lastProb, s.lastCtx = p, ctx
 	s.cacheMu.Unlock()
