@@ -27,10 +27,12 @@ test:
 
 # race covers the packages with real concurrency: core's parallel train
 # step, obs's scrape-while-write registry, resilience's Serve/Reload/Drain
-# churn hammer, chaos's fault-injecting filesystem under torture, and the
-# differential-oracle suite.
+# churn hammer plus the breaker half-open contention pin, chaos's
+# fault-injecting filesystem and replica-fault injectors under torture,
+# the fleet dispatcher's chaos torture (hedges, retries, rolling reload
+# mid-burst), and the differential-oracle suite.
 race:
-	$(GO) test -race ./internal/core ./internal/obs ./internal/resilience ./internal/chaos ./internal/verify
+	$(GO) test -race ./internal/core ./internal/obs ./internal/resilience ./internal/chaos ./internal/chaos/replica ./internal/fleet ./internal/verify
 
 # verify runs the differential-oracle suite: autograd gradients vs central
 # finite differences, simplex optima vs duality/complementary-slackness

@@ -15,12 +15,20 @@
 // Usage:
 //
 //	tereplay [-nodes N] [-snapshots N] [-seed N] [-epochs N] [-every N]
-//	         [-deadline D] [-metrics-addr host:port]
+//	         [-deadline D] [-replicas N] [-hedge-quantile Q]
+//	         [-retry-budget R] [-metrics-addr host:port]
+//
+// With -replicas N > 1 the replay serves through internal/fleet instead
+// of a single server: N replicas of the trained model behind the
+// health-checked dispatcher, with hedged requests after the adaptive
+// -hedge-quantile latency delay and failover retries bounded by the
+// -retry-budget token bucket. The fleet summary line at the end reports
+// hedges, retries, ejections, and local ECMP fallbacks.
 //
 // With -metrics-addr the replay serves the observability admin endpoint
 // while it runs: per-tier request counters and latency histograms, forward
 // -pass stage timings, and pool gauges on /metrics, plus expvar and pprof
-// under /debug/.
+// under /debug/ (and the harp_fleet_* series when -replicas > 1).
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"harpte/internal/core"
 	"harpte/internal/dataset"
 	"harpte/internal/experiments"
+	"harpte/internal/fleet"
 	"harpte/internal/lp"
 	"harpte/internal/obs"
 	"harpte/internal/resilience"
@@ -52,6 +61,9 @@ func main() {
 		queueLen  = flag.Int("max-queue", 0, "admission gate: queued requests beyond the gate before shedding")
 		brkN      = flag.Int("breaker-threshold", 0, "consecutive tier failures before its circuit opens (0 disables breakers)")
 		brkCool   = flag.Duration("breaker-cooloff", 5*time.Second, "how long a tripped tier stays open before a half-open probe")
+		replicas  = flag.Int("replicas", 1, "serve through a fleet of N model replicas (>1 enables the dispatcher)")
+		hedgeQ    = flag.Float64("hedge-quantile", 0.95, "fleet: latency quantile after which a hedge fires on a second replica (0 disables hedging)")
+		retryBud  = flag.Float64("retry-budget", 0.1, "fleet: retry tokens earned per request; hedges and retries each spend one (negative disables)")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port during the replay")
 	)
 	flag.Parse()
@@ -108,15 +120,41 @@ func main() {
 		experiments.HarpSamples(model, valInst), tc)
 	fmt.Printf("trained: best val MLU %.4f\n\n", res.BestValMLU)
 
-	srv := resilience.NewServer(model, resilience.Options{
-		Deadline:         *deadline,
-		MaxConcurrent:    *maxConc,
-		MaxQueueDepth:    *queueLen,
-		BreakerThreshold: *brkN,
-		BreakerCooloff:   *brkCool,
-	})
-	if reg != nil {
-		srv.EnableTelemetry(reg)
+	if *replicas < 1 {
+		*replicas = 1
+	}
+	// Replicas share the trained model (inference is concurrency-safe and
+	// the weights are immutable behind each server's atomic swap); each
+	// replica still gets its own guards, breakers, and reload generation.
+	servers := make([]*resilience.Server, *replicas)
+	backends := make([]fleet.Replica, *replicas)
+	for i := range servers {
+		servers[i] = resilience.NewServer(model, resilience.Options{
+			Deadline:         *deadline,
+			MaxConcurrent:    *maxConc,
+			MaxQueueDepth:    *queueLen,
+			BreakerThreshold: *brkN,
+			BreakerCooloff:   *brkCool,
+		})
+		if reg != nil {
+			// Same metric names resolve to shared counters, so the
+			// registry shows the fleet-wide aggregate.
+			servers[i].EnableTelemetry(reg)
+		}
+		backends[i] = fleet.Local{S: servers[i]}
+	}
+	srv := servers[0]
+	var fl *fleet.Fleet
+	if *replicas > 1 {
+		fl = fleet.New(backends, fleet.Options{
+			Deadline:      *deadline,
+			HedgeQuantile: *hedgeQ,
+			RetryBudget:   *retryBud,
+		})
+		defer fl.Close()
+		if reg != nil {
+			fl.EnableTelemetry(reg)
+		}
 	}
 
 	fmt.Println("  t  cluster  event            tier         HARP-MLU  optimal   NormMLU")
@@ -130,7 +168,12 @@ func main() {
 		c := ds.Clusters[snap.Cluster]
 		p := te.NewProblem(snap.Graph, c.Tunnels)
 		d := traffic.DemandVector(snap.TM, c.Tunnels.Flows)
-		dec := srv.Serve(p, d)
+		var dec resilience.Decision
+		if fl != nil {
+			dec = fl.Serve(p, d).Decision
+		} else {
+			dec = srv.Serve(p, d)
+		}
 		if dec.Tier == resilience.TierRejected {
 			fmt.Fprintf(os.Stderr, "tereplay: snapshot %d rejected: %v\n", si, dec.Err)
 			continue
@@ -164,7 +207,12 @@ func main() {
 	}
 	d := experiments.NewDistribution(norms)
 	fmt.Printf("\nreplayed %d snapshots: %s\n", len(norms), d.CDFRow())
-	counts := srv.TierCounts()
+	counts := map[resilience.Tier]int64{}
+	for _, s := range servers {
+		for tier, n := range s.TierCounts() {
+			counts[tier] += n
+		}
+	}
 	fmt.Printf("serving tiers: full=%d reduced-rau=%d ecmp=%d rejected=%d shed=%d\n",
 		counts[resilience.TierFull], counts[resilience.TierReducedRAU],
 		counts[resilience.TierECMP], counts[resilience.TierRejected],
@@ -174,4 +222,11 @@ func main() {
 		st.Shed, st.ShedQueueFull, st.ShedQueueDeadline, st.ShedDraining,
 		st.BreakerTrips, st.BreakerOpenTiers, st.BreakerShortCircuits,
 		st.Reloads, st.ReloadFailures, st.Generation)
+	if fl != nil {
+		fst := fl.Stats()
+		fmt.Printf("fleet: replicas=%d (healthy=%d degraded=%d quarantined=%d) served=%d ecmp-fallback=%d hedges=%d (wins=%d) retries=%d (denied=%d) ejections=%d readmits=%d\n",
+			fst.Replicas, fst.Healthy, fst.Degraded, fst.Quarantined,
+			fst.Served, fst.LocalFallbacks, fst.Hedges, fst.HedgeWins,
+			fst.Retries, fst.RetryBudgetDenied, fst.Ejections, fst.Readmissions)
+	}
 }

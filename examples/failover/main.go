@@ -11,11 +11,20 @@
 //
 // Run with:
 //
-//	go run ./examples/failover [-metrics-addr host:port]
+//	go run ./examples/failover [-replicas N] [-deadline D]
+//	    [-max-concurrent N] [-max-queue N]
+//	    [-breaker-threshold N] [-breaker-cooloff D]
+//	    [-hedge-quantile Q] [-retry-budget R]
+//	    [-metrics-addr host:port]
 //
+// The sweep is served through a self-healing fleet of -replicas model
+// replicas (see README.md for the full flag table): health-checked
+// dispatch, hedged requests after the adaptive -hedge-quantile latency
+// delay, and failover retries bounded by the -retry-budget token bucket.
 // With -metrics-addr the run serves the observability admin endpoint:
-// training gauges and per-stage forward-pass histograms appear on /metrics
-// while the failure sweep executes.
+// training gauges, per-stage forward-pass histograms, and the
+// harp_fleet_* series appear on /metrics while the failure sweep
+// executes.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	"harpte/internal/core"
+	"harpte/internal/fleet"
 	"harpte/internal/lp"
 	"harpte/internal/obs"
 	"harpte/internal/resilience"
@@ -36,7 +46,17 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	metrics := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port")
+	var (
+		replicas = flag.Int("replicas", 2, "model replicas behind the fleet dispatcher")
+		deadline = flag.Duration("deadline", 10*time.Second, "per-request wall-clock budget before degrading to ECMP (0 disables)")
+		maxConc  = flag.Int("max-concurrent", 0, "per replica: concurrent serving slots (0 disables admission control)")
+		maxQueue = flag.Int("max-queue", 0, "per replica: queued requests beyond the gate before shedding")
+		brkN     = flag.Int("breaker-threshold", 3, "per replica: consecutive tier failures before its circuit opens (0 disables breakers)")
+		brkCool  = flag.Duration("breaker-cooloff", 5*time.Second, "per replica: how long a tripped tier stays open before a half-open probe")
+		hedgeQ   = flag.Float64("hedge-quantile", 0.95, "fleet: latency quantile after which a hedge fires on a second replica (0 disables hedging)")
+		retryBud = flag.Float64("retry-budget", 0.1, "fleet: retry tokens earned per request; hedges and retries each spend one (negative disables)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port")
+	)
 	flag.Parse()
 	var reg *obs.Registry
 	if *metrics != "" {
@@ -82,20 +102,43 @@ func main() {
 	tc.Metrics = reg
 	model.Fit(train, val, tc)
 
-	// Serve the sweep through the guarded path: validated inputs, vetted
-	// outputs, a per-request deadline, and circuit breakers so a sick
-	// model stops burning budget before every fallback.
-	srv := resilience.NewServer(model, resilience.Options{
-		Deadline:         10 * time.Second,
-		BreakerThreshold: 3,
+	// Serve the sweep through a self-healing fleet over the guarded path:
+	// each replica validates inputs, vets outputs, enforces the deadline,
+	// and runs circuit breakers; the dispatcher on top health-checks the
+	// replicas, hedges past slow ones, and retries past broken ones under
+	// the token budget.
+	if *replicas < 1 {
+		*replicas = 1
+	}
+	demand := traffic.DemandVector(tms[34], set.Flows)
+	backends := make([]fleet.Replica, *replicas)
+	for i := range backends {
+		srv := resilience.NewServer(model, resilience.Options{
+			Deadline:         *deadline,
+			MaxConcurrent:    *maxConc,
+			MaxQueueDepth:    *maxQueue,
+			BreakerThreshold: *brkN,
+			BreakerCooloff:   *brkCool,
+		})
+		if reg != nil {
+			srv.EnableTelemetry(reg)
+		}
+		backends[i] = fleet.Local{S: srv}
+	}
+	fl := fleet.New(backends, fleet.Options{
+		Deadline:      *deadline,
+		HedgeQuantile: *hedgeQ,
+		RetryBudget:   *retryBud,
+		Probe:         healthy,
+		ProbeDemand:   demand,
 	})
+	defer fl.Close()
 	if reg != nil {
-		srv.EnableTelemetry(reg)
+		fl.EnableTelemetry(reg)
 	}
 
 	// The test matrix and the splits HARP chose before any failure.
-	demand := traffic.DemandVector(tms[34], set.Flows)
-	pre := srv.Serve(healthy, demand)
+	pre := fl.Serve(healthy, demand)
 	if pre.Err != nil {
 		log.Fatalf("healthy serve failed: %v", pre.Err)
 	}
@@ -120,7 +163,7 @@ func main() {
 			continue
 		}
 
-		dec := srv.Serve(failed, demand)
+		dec := fl.Serve(failed, demand)
 		if dec.Err != nil {
 			fmt.Printf("  %2d<->%-2d   (serve failed: %v)\n", link[0], link[1], dec.Err)
 			continue
@@ -141,9 +184,23 @@ func main() {
 	}
 	fmt.Printf("\nworst-case NormMLU: HARP recompute %.2f, rescaling %.2f\n",
 		worstHARP, worstRescale)
-	counts := srv.TierCounts()
-	st := srv.Stats()
+	counts := map[resilience.Tier]int64{}
+	var trips, shorts int64
+	for _, b := range backends {
+		srv := b.(fleet.Local).S
+		for tier, n := range srv.TierCounts() {
+			counts[tier] += n
+		}
+		st := srv.Stats()
+		trips += st.BreakerTrips
+		shorts += st.BreakerShortCircuits
+	}
 	fmt.Printf("serving tiers: full=%d reduced-rau=%d ecmp=%d | breaker trips=%d short-circuits=%d\n",
 		counts[resilience.TierFull], counts[resilience.TierReducedRAU],
-		counts[resilience.TierECMP], st.BreakerTrips, st.BreakerShortCircuits)
+		counts[resilience.TierECMP], trips, shorts)
+	fst := fl.Stats()
+	fmt.Printf("fleet: replicas=%d (healthy=%d degraded=%d quarantined=%d) served=%d ecmp-fallback=%d hedges=%d (wins=%d) retries=%d (denied=%d) ejections=%d readmits=%d\n",
+		fst.Replicas, fst.Healthy, fst.Degraded, fst.Quarantined,
+		fst.Served, fst.LocalFallbacks, fst.Hedges, fst.HedgeWins,
+		fst.Retries, fst.RetryBudgetDenied, fst.Ejections, fst.Readmissions)
 }

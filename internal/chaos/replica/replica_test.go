@@ -1,0 +1,162 @@
+package replica_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"harpte/internal/chaos/replica"
+	"harpte/internal/resilience"
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+// twoPathProblem: 0→1 via a 10G direct link or a 5G two-hop detour.
+func twoPathProblem() *te.Problem {
+	g := topology.New("twopath", 3)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(0, 2, 5)
+	g.AddBidirectional(2, 1, 5)
+	g.EdgeNodes = []int{0, 1}
+	return te.NewProblem(g, tunnels.Compute(g, 2))
+}
+
+// ecmpBackend answers every request with valid ECMP splits.
+type ecmpBackend struct{ serves, reloads, drains int }
+
+func (b *ecmpBackend) Serve(p *te.Problem, d *tensor.Dense) (resilience.Decision, error) {
+	b.serves++
+	return resilience.Decision{
+		Splits: te.NormalizeRows(te.Rescale(p, p.UniformSplits())),
+		Tier:   resilience.TierECMP,
+	}, nil
+}
+
+func (b *ecmpBackend) Reload(path string) error { b.reloads++; return nil }
+
+func (b *ecmpBackend) Drain(ctx context.Context) error { b.drains++; return nil }
+
+// TestFaultDeterministic pins the chaos discipline: the same seed and
+// plan yield the identical fault schedule — both across two live Fault
+// instances and against the Schedule reference — so any torture failure
+// replays from its seed alone.
+func TestFaultDeterministic(t *testing.T) {
+	p := twoPathProblem()
+	plan := replica.Plan{
+		Seed:       42,
+		CrashAfter: 40,
+		PSlow:      0.2,
+		PNaN:       0.3,
+		PShape:     0.2,
+	}
+	const n = 50
+	want := replica.Schedule(plan, n)
+
+	a := replica.New(&ecmpBackend{}, plan)
+	b := replica.New(&ecmpBackend{}, plan)
+	for i := 0; i < n; i++ {
+		decA, errA := a.Serve(p, nil)
+		b.Serve(p, nil)
+		// Behavior must match the scheduled kind, call by call.
+		switch want[i] {
+		case replica.KindCrash:
+			if !errors.Is(errA, replica.ErrDown) {
+				t.Fatalf("call %d scheduled %v, got err %v", i, want[i], errA)
+			}
+		case replica.KindNaN:
+			if errA != nil || decA.Splits.Rows != p.NumFlows() || decA.Splits.Cols != p.Tunnels.K {
+				t.Fatalf("call %d scheduled nan: err=%v splits=%v", i, errA, decA.Splits)
+			}
+			if !math.IsNaN(decA.Splits.Data[0]) {
+				t.Fatalf("call %d scheduled nan, got finite splits", i)
+			}
+		case replica.KindShape:
+			if errA != nil || decA.Splits.Rows != 1 || decA.Splits.Cols != 1 {
+				t.Fatalf("call %d scheduled shape fault: err=%v", i, errA)
+			}
+		case replica.KindOK, replica.KindSlow:
+			if errA != nil || decA.Splits == nil {
+				t.Fatalf("call %d scheduled %v: err=%v", i, want[i], errA)
+			}
+		}
+	}
+
+	logA, logB := a.Log(), b.Log()
+	if len(logA) != n || len(logB) != n {
+		t.Fatalf("log lengths %d/%d, want %d", len(logA), len(logB), n)
+	}
+	for i := range logA {
+		if logA[i] != logB[i] {
+			t.Fatalf("same seed diverged at call %d: %q vs %q", i, logA[i], logB[i])
+		}
+	}
+	if !a.Down() || a.Calls() != n {
+		t.Fatalf("after %d calls past CrashAfter=%d: down=%v calls=%d",
+			n, plan.CrashAfter, a.Down(), a.Calls())
+	}
+
+	// A different seed must produce a different schedule (else the seed
+	// is not actually driving the stream).
+	other := replica.Schedule(replica.Plan{Seed: 43, CrashAfter: 40, PSlow: 0.2, PNaN: 0.3, PShape: 0.2}, n)
+	same := true
+	for i := range want {
+		if want[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestFaultCrashRefusesControlPlane: a crashed replica refuses Reload and
+// Drain too, tagged ErrDown.
+func TestFaultCrashRefusesControlPlane(t *testing.T) {
+	p := twoPathProblem()
+	inner := &ecmpBackend{}
+	f := replica.New(inner, replica.Plan{Seed: 1, CrashAfter: 0})
+	if _, err := f.Serve(p, nil); !errors.Is(err, replica.ErrDown) {
+		t.Fatalf("serve after crash: %v", err)
+	}
+	if err := f.Reload("x"); !errors.Is(err, replica.ErrDown) {
+		t.Fatalf("reload after crash: %v", err)
+	}
+	if err := f.Drain(context.Background()); !errors.Is(err, replica.ErrDown) {
+		t.Fatalf("drain after crash: %v", err)
+	}
+	if inner.serves+inner.reloads+inner.drains != 0 {
+		t.Fatal("crashed fault leaked calls to the backend")
+	}
+}
+
+// TestFaultHangBlocksUntilRelease: a hung call parks until Release, then
+// fails with ErrDown — the shape torture tests rely on to join workers.
+func TestFaultHangBlocksUntilRelease(t *testing.T) {
+	p := twoPathProblem()
+	f := replica.New(&ecmpBackend{}, replica.Plan{Seed: 1, CrashAfter: -1, PHang: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Serve(p, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung call returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	f.Release()
+	f.Release() // idempotent
+	select {
+	case err := <-done:
+		if !errors.Is(err, replica.ErrDown) {
+			t.Fatalf("released hung call: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("hung call never released")
+	}
+}

@@ -1,0 +1,116 @@
+package fleet
+
+// The streaming latency digest behind adaptive hedging, and the token
+// bucket behind the retry budget. The digest is a fixed ring of recent
+// successful-request latencies; quantiles are computed on a snapshot, so
+// the hedge delay tracks the live latency distribution (a reload that
+// slows inference, a topology that grows) instead of a hand-tuned
+// constant. The bucket earns a fraction of a token per primary request
+// and every hedge or retry spends one, so speculative traffic is a
+// bounded ratio of offered load — retries can never storm the fleet no
+// matter how many replicas are failing.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// defaultDigestWindow is the ring size: large enough to make a p95/p99
+// estimate stable, small enough to forget a latency regime within a few
+// hundred requests.
+const defaultDigestWindow = 512
+
+// latencyDigest is a concurrent ring buffer of recent latencies.
+type latencyDigest struct {
+	mu  sync.Mutex
+	buf []time.Duration
+	idx int // next write position
+	n   int // filled entries (≤ len(buf))
+}
+
+func newLatencyDigest(window int) *latencyDigest {
+	return &latencyDigest{buf: make([]time.Duration, window)}
+}
+
+// record adds one latency sample, evicting the oldest when full.
+func (d *latencyDigest) record(v time.Duration) {
+	d.mu.Lock()
+	d.buf[d.idx] = v
+	d.idx = (d.idx + 1) % len(d.buf)
+	if d.n < len(d.buf) {
+		d.n++
+	}
+	d.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0..1) of the current window, or
+// ok=false when no samples exist yet. The window is copied under the
+// lock and sorted outside it; at a few hundred entries this is cheap
+// relative to one hedge decision.
+func (d *latencyDigest) quantile(q float64) (v time.Duration, ok bool) {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return 0, false
+	}
+	snap := append([]time.Duration(nil), d.buf[:d.n]...)
+	d.mu.Unlock()
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(q * float64(len(snap)-1))
+	return snap[i], true
+}
+
+// samples returns how many latencies the window currently holds.
+func (d *latencyDigest) samples() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// tokenBucket is the retry budget: earn `rate` tokens per primary
+// request (capped at `burst`, starting full), spend one per hedge or
+// failover retry. A non-positive rate disables spending entirely.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	rate   float64
+	burst  float64
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	return &tokenBucket{tokens: burst, rate: rate, burst: burst}
+}
+
+// earn credits the bucket for one primary request.
+func (b *tokenBucket) earn() {
+	if b.rate <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// spend takes one token, reporting whether the retry/hedge may proceed.
+func (b *tokenBucket) spend() bool {
+	if b.rate <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,269 @@
+package fleet
+
+// Registry-backed telemetry and the plain-Go Stats mirror. Follows the
+// repo-wide discipline: a nil *fleetTelemetry (telemetry disabled) makes
+// every method a no-op, and the always-on atomic counters on Fleet stay
+// authoritative either way.
+
+import (
+	"strconv"
+
+	"harpte/internal/obs"
+)
+
+// Metric names emitted by this package.
+const (
+	// MetricFleetReplicaState gauges each replica's health (labels:
+	// replica="0".."N-1"; 0=healthy, 1=degraded, 2=quarantined).
+	MetricFleetReplicaState = "harp_fleet_replica_state"
+	// MetricFleetServiceable gauges replicas currently in the dispatch
+	// rotation (healthy + degraded).
+	MetricFleetServiceable = "harp_fleet_serviceable_replicas"
+	// MetricFleetRequests counts Serve calls by outcome (labels:
+	// outcome="replica"|"fallback"|"rejected").
+	MetricFleetRequests = "harp_fleet_requests_total"
+	// MetricFleetHedges counts hedges fired; MetricFleetHedgeWins counts
+	// requests the hedge answered first.
+	MetricFleetHedges    = "harp_fleet_hedges_total"
+	MetricFleetHedgeWins = "harp_fleet_hedge_wins_total"
+	// MetricFleetHedgeDelay gauges the current adaptive hedge delay.
+	MetricFleetHedgeDelay = "harp_fleet_hedge_delay_seconds"
+	// MetricFleetRetries counts failover retries beyond the primary
+	// attempt; MetricFleetRetryDenied counts hedges/retries refused by
+	// the token budget.
+	MetricFleetRetries     = "harp_fleet_retries_total"
+	MetricFleetRetryDenied = "harp_fleet_retry_budget_denied_total"
+	// MetricFleetProbes counts health-check probes by outcome (labels:
+	// result="ok"|"error").
+	MetricFleetProbes = "harp_fleet_probes_total"
+	// MetricFleetEjections counts quarantine transitions;
+	// MetricFleetReadmissions counts probation re-admissions.
+	MetricFleetEjections    = "harp_fleet_ejections_total"
+	MetricFleetReadmissions = "harp_fleet_readmissions_total"
+	// MetricFleetRollingReloads counts RollingReload attempts (labels:
+	// result="ok"|"error").
+	MetricFleetRollingReloads = "harp_fleet_rolling_reloads_total"
+)
+
+type fleetTelemetry struct {
+	reqReplica  *obs.Counter
+	reqFallback *obs.Counter
+	reqRejected *obs.Counter
+	hedges      *obs.Counter
+	hedgeWins   *obs.Counter
+	retries     *obs.Counter
+	retryDenied *obs.Counter
+	probeOK     *obs.Counter
+	probeErr    *obs.Counter
+	ejections   *obs.Counter
+	readmits    *obs.Counter
+	reloadOK    *obs.Counter
+	reloadErr   *obs.Counter
+}
+
+func (t *fleetTelemetry) requestRecorded(outcome int) {
+	if t == nil {
+		return
+	}
+	switch outcome {
+	case outcomeReplica:
+		t.reqReplica.Inc()
+	case outcomeFallback:
+		t.reqFallback.Inc()
+	case outcomeRejected:
+		t.reqRejected.Inc()
+	}
+}
+
+func (t *fleetTelemetry) hedgeFired() {
+	if t != nil {
+		t.hedges.Inc()
+	}
+}
+
+func (t *fleetTelemetry) hedgeWon() {
+	if t != nil {
+		t.hedgeWins.Inc()
+	}
+}
+
+func (t *fleetTelemetry) retryFired() {
+	if t != nil {
+		t.retries.Inc()
+	}
+}
+
+func (t *fleetTelemetry) retryRefused() {
+	if t != nil {
+		t.retryDenied.Inc()
+	}
+}
+
+func (t *fleetTelemetry) probeRecorded(ok bool) {
+	if t == nil {
+		return
+	}
+	if ok {
+		t.probeOK.Inc()
+	} else {
+		t.probeErr.Inc()
+	}
+}
+
+func (t *fleetTelemetry) ejected() {
+	if t != nil {
+		t.ejections.Inc()
+	}
+}
+
+func (t *fleetTelemetry) readmitted() {
+	if t != nil {
+		t.readmits.Inc()
+	}
+}
+
+func (t *fleetTelemetry) reloadRecorded(ok bool) {
+	if t == nil {
+		return
+	}
+	if ok {
+		t.reloadOK.Inc()
+	} else {
+		t.reloadErr.Inc()
+	}
+}
+
+// Request outcomes for the requests_total label.
+const (
+	outcomeReplica = iota
+	outcomeFallback
+	outcomeRejected
+)
+
+// EnableTelemetry attaches fleet telemetry to reg: per-replica health
+// gauges, the serviceable-replica and hedge-delay gauges, and counters
+// for requests by outcome, hedges (fired/won), retries (fired/denied),
+// probes, ejections, re-admissions, and rolling reloads. Gauges read the
+// fleet's live state at scrape time. Passing nil detaches the counters.
+// This does not reach into the replicas — enable their telemetry (e.g.
+// resilience.Server.EnableTelemetry) separately, with distinct registries
+// or shared ones as the deployment wants.
+func (f *Fleet) EnableTelemetry(reg *obs.Registry) {
+	if reg == nil {
+		f.tel = nil
+		return
+	}
+	f.tel = &fleetTelemetry{
+		reqReplica: reg.Counter(MetricFleetRequests,
+			"Fleet Serve calls by outcome.", obs.L("outcome", "replica")),
+		reqFallback: reg.Counter(MetricFleetRequests,
+			"Fleet Serve calls by outcome.", obs.L("outcome", "fallback")),
+		reqRejected: reg.Counter(MetricFleetRequests,
+			"Fleet Serve calls by outcome.", obs.L("outcome", "rejected")),
+		hedges: reg.Counter(MetricFleetHedges,
+			"Hedge attempts fired after the adaptive hedge delay."),
+		hedgeWins: reg.Counter(MetricFleetHedgeWins,
+			"Requests answered first by their hedge attempt."),
+		retries: reg.Counter(MetricFleetRetries,
+			"Failover retries beyond the primary attempt."),
+		retryDenied: reg.Counter(MetricFleetRetryDenied,
+			"Hedges and retries refused by the token retry budget."),
+		probeOK: reg.Counter(MetricFleetProbes,
+			"Health-check probe inferences by outcome.", obs.L("result", "ok")),
+		probeErr: reg.Counter(MetricFleetProbes,
+			"Health-check probe inferences by outcome.", obs.L("result", "error")),
+		ejections: reg.Counter(MetricFleetEjections,
+			"Replicas quarantined (outlier ejections and draining replicas)."),
+		readmits: reg.Counter(MetricFleetReadmissions,
+			"Quarantined replicas re-admitted after probation."),
+		reloadOK: reg.Counter(MetricFleetRollingReloads,
+			"Rolling reload attempts by outcome.", obs.L("result", "ok")),
+		reloadErr: reg.Counter(MetricFleetRollingReloads,
+			"Rolling reload attempts by outcome.", obs.L("result", "error")),
+	}
+	for _, r := range f.replicas {
+		r := r
+		reg.GaugeFunc(MetricFleetReplicaState,
+			"Replica health (0=healthy, 1=degraded, 2=quarantined).",
+			func() float64 { return float64(r.healthState()) },
+			obs.L("replica", strconv.Itoa(r.id)))
+	}
+	reg.GaugeFunc(MetricFleetServiceable,
+		"Replicas currently in the dispatch rotation (healthy + degraded).",
+		func() float64 {
+			n := 0
+			for _, r := range f.replicas {
+				if r.healthState() != Quarantined {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc(MetricFleetHedgeDelay,
+		"Current adaptive hedge delay in seconds.",
+		func() float64 { return f.hedgeDelay().Seconds() })
+}
+
+// Stats is a point-in-time snapshot of the fleet's operational counters —
+// the plain-Go mirror of the registry metrics, available without
+// telemetry enabled.
+type Stats struct {
+	// Replica census by health state.
+	Replicas    int
+	Healthy     int
+	Degraded    int
+	Quarantined int
+	// Requests by outcome.
+	Served         int64 // answered by a replica
+	LocalFallbacks int64 // answered by the local ECMP fallback (ErrNoReplicas)
+	Rejected       int64 // invalid input, no splits produced
+	// Hedging and retries.
+	Hedges            int64
+	HedgeWins         int64
+	Retries           int64
+	RetryBudgetDenied int64
+	// Health checking.
+	Probes        int64
+	ProbeFailures int64
+	Ejections     int64
+	Readmissions  int64
+	// Rolling reloads.
+	RollingReloads       int64
+	RollingReloadFailures int64
+}
+
+// Stats snapshots the operational counters; the health census reads each
+// replica's current state.
+func (f *Fleet) Stats() Stats {
+	st := Stats{
+		Replicas:              len(f.replicas),
+		Served:                f.served.Load(),
+		LocalFallbacks:        f.fallbacks.Load(),
+		Rejected:              f.rejected.Load(),
+		Hedges:                f.hedges.Load(),
+		HedgeWins:             f.hedgeWins.Load(),
+		Retries:               f.retries.Load(),
+		RetryBudgetDenied:     f.retryDenied.Load(),
+		Probes:                f.probes.Load(),
+		ProbeFailures:         f.probeFails.Load(),
+		Ejections:             f.ejections.Load(),
+		Readmissions:          f.readmits.Load(),
+		RollingReloads:        f.reloadOK.Load(),
+		RollingReloadFailures: f.reloadErr.Load(),
+	}
+	for _, r := range f.replicas {
+		switch r.healthState() {
+		case Healthy:
+			st.Healthy++
+		case Degraded:
+			st.Degraded++
+		case Quarantined:
+			st.Quarantined++
+		}
+	}
+	return st
+}
+
+// ReplicaHealth returns the health state of replica i (for CLIs and
+// tests; metrics expose the same via MetricFleetReplicaState).
+func (f *Fleet) ReplicaHealth(i int) Health { return f.replicas[i].healthState() }

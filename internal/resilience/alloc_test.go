@@ -1,0 +1,53 @@
+package resilience
+
+// Allocation pins for the shed path. Shedding exists to keep an
+// overloaded server cheap; if turning a request away allocates, the
+// overload response becomes its own GC pressure source exactly when the
+// process can least afford one. The pre-wrapped shed errors
+// (errQueueFull, ErrDraining) and the value-typed Decision exist so both
+// hot shed paths run allocation-free — this test pins that property.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"harpte/internal/core"
+	"harpte/internal/tensor"
+)
+
+func TestShedPathZeroAllocs(t *testing.T) {
+	if tensor.RaceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	p := twoPathProblem()
+	d := demand(p, 4, 2)
+
+	// Queue-full shed: one slot, held for the duration, no queue behind it.
+	srv := NewServer(core.New(tinyConfig()), Options{MaxConcurrent: 1})
+	srv.sem <- struct{}{} // occupy the only slot
+	if dec := srv.Serve(p, d); !errors.Is(dec.Err, ErrOverload) {
+		t.Fatalf("setup: expected overload shed, got %+v", dec)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if dec := srv.Serve(p, d); !errors.Is(dec.Err, ErrOverload) {
+			t.Fatalf("expected overload shed, got %+v", dec)
+		}
+	}); avg != 0 {
+		t.Fatalf("queue-full shed allocates %.1f/op, want 0", avg)
+	}
+	<-srv.sem
+
+	// Draining shed: permanent turn-away on a drained server.
+	drained := NewServer(core.New(tinyConfig()), Options{MaxConcurrent: 1})
+	if err := drained.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if dec := drained.Serve(p, d); !errors.Is(dec.Err, ErrDraining) {
+			t.Fatalf("expected draining shed, got %+v", dec)
+		}
+	}); avg != 0 {
+		t.Fatalf("draining shed allocates %.1f/op, want 0", avg)
+	}
+}

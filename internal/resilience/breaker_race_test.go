@@ -1,0 +1,77 @@
+package resilience
+
+// Concurrency regression for the breaker's half-open transition: when the
+// cooloff elapses, any number of racing requests may call allow(), but
+// exactly one is the probe — everyone else keeps short-circuiting until
+// the probe resolves. A breaker that admits two "single" probes under
+// contention silently doubles the load on a sick tier; this hammers the
+// transition under -race (make race covers this package).
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func raceAllow(b *breaker, goroutines int) int64 {
+	var admitted atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < goroutines; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait() // maximize the collision on the transition
+			if b.allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	return admitted.Load()
+}
+
+func TestBreakerHalfOpenAdmitsExactlyOneProbeUnderContention(t *testing.T) {
+	const goroutines = 16
+	for round := 0; round < 50; round++ {
+		b, clk := testBreaker(1, time.Minute)
+		b.onFailure() // trip (threshold 1)
+
+		// Still inside the cooloff: nobody gets through.
+		if got := raceAllow(b, goroutines); got != 0 {
+			t.Fatalf("round %d: open breaker admitted %d requests", round, got)
+		}
+
+		// Cooloff elapsed (advanced before the racers start, so the clock
+		// itself is not part of the race): exactly one probe wins.
+		clk.advance(time.Minute)
+		if got := raceAllow(b, goroutines); got != 1 {
+			t.Fatalf("round %d: half-open transition admitted %d probes, want exactly 1", round, got)
+		}
+
+		// Probe fails: breaker re-opens for a fresh cooloff, everyone
+		// short-circuits again.
+		if !b.onFailure() {
+			t.Fatalf("round %d: failed half-open probe did not re-open the breaker", round)
+		}
+		if got := raceAllow(b, goroutines); got != 0 {
+			t.Fatalf("round %d: re-opened breaker admitted %d requests", round, got)
+		}
+
+		// Next cooloff: again one probe; this time it succeeds and the
+		// breaker closes for everyone.
+		clk.advance(time.Minute)
+		if got := raceAllow(b, goroutines); got != 1 {
+			t.Fatalf("round %d: second half-open admitted %d probes, want exactly 1", round, got)
+		}
+		b.onSuccess()
+		if got := raceAllow(b, goroutines); got != goroutines {
+			t.Fatalf("round %d: closed breaker admitted %d of %d", round, got, goroutines)
+		}
+		if st, _, _ := b.snapshot(); st != BreakerClosed {
+			t.Fatalf("round %d: final state %v, want closed", round, st)
+		}
+	}
+}

@@ -616,6 +616,16 @@ func (s *Server) safeInfer(m *core.Model, ctx *core.Context, p *te.Problem, dema
 	return vetSplits(p, r.splits)
 }
 
+// VetSplits verifies a serving answer is shaped F×K, finite and
+// non-negative, and row-normalized (renormalizing in place when the sums
+// have merely drifted). It is the same vetting Serve applies to its own
+// inference output, exported so a dispatcher fronting remote or faulty
+// replicas (internal/fleet) can refuse byzantine answers it did not
+// compute locally.
+func VetSplits(p *te.Problem, splits *tensor.Dense) (*tensor.Dense, error) {
+	return vetSplits(p, splits)
+}
+
 // vetSplits verifies an inference output is shaped F×K, finite and
 // non-negative, and row-normalized (renormalizing when the sums have
 // merely drifted). It returns the vetted matrix or an error.
