@@ -53,6 +53,7 @@ fuzzsmoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzMatMul$$' -fuzztime=2s ./internal/tensor
 	$(GO) test -run='^$$' -fuzz='^FuzzNewCSR$$' -fuzztime=2s ./internal/tensor
 	$(GO) test -run='^$$' -fuzz='^FuzzSoftmaxRow$$' -fuzztime=2s ./internal/tensor
+	$(GO) test -run='^$$' -fuzz='^FuzzCacheKey$$' -fuzztime=2s ./internal/resilience
 
 # obssmoke boots the observability admin endpoint on a loopback port and
 # scrapes /metrics, /debug/vars and /debug/pprof once.
@@ -67,9 +68,15 @@ benchsmoke:
 # bench runs the perf-regression suite (hot-path micro and macro
 # benchmarks with allocation counts) and records the results as the
 # "current" entry of BENCH_1.json; the committed "baseline" entry is
-# preserved for comparison. See the Performance section of the README.
+# preserved for comparison. It then records the serving-throughput
+# ledger BENCH_2.json: batched vs sequential inference (SplitsBatch and
+# the micro-batch collector) and the split-cache hit vs miss path. See
+# the Performance section of the README.
 BENCH_PKGS = ./internal/tensor ./internal/autograd ./internal/core
+BENCH2_RE = 'SplitsBatch16|SplitsSequential16|ServeCache|ServeBatchedBurst|ServeSequentialBurst'
 bench:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | \
 		/tmp/benchjson -out BENCH_1.json -cmd "go test -run='^$$' -bench=. -benchmem $(BENCH_PKGS)"
+	$(GO) test -run='^$$' -bench=$(BENCH2_RE) -benchmem ./internal/core ./internal/resilience | \
+		/tmp/benchjson -out BENCH_2.json -cmd "go test -run='^$$' -bench=$(BENCH2_RE) -benchmem ./internal/core ./internal/resilience"

@@ -17,13 +17,27 @@
 //	tereplay [-nodes N] [-snapshots N] [-seed N] [-epochs N] [-every N]
 //	         [-deadline D] [-replicas N] [-hedge-quantile Q]
 //	         [-retry-budget R] [-metrics-addr host:port]
+//	         [-batch-max N] [-batch-linger D] [-cache-entries N] [-shard]
+//	         [-load-duration D] [-open-loop-rate R] [-load-workers N]
 //
 // With -replicas N > 1 the replay serves through internal/fleet instead
 // of a single server: N replicas of the trained model behind the
 // health-checked dispatcher, with hedged requests after the adaptive
 // -hedge-quantile latency delay and failover retries bounded by the
-// -retry-budget token bucket. The fleet summary line at the end reports
-// hedges, retries, ejections, and local ECMP fallbacks.
+// -retry-budget token bucket. -shard routes by topology cluster
+// (rendezvous hashing over the topology fingerprint) so each replica's
+// caches stay hot. The fleet summary line at the end reports hedges,
+// retries, ejections, and local ECMP fallbacks.
+//
+// -batch-max / -batch-linger enable replica-side micro-batching
+// (concurrent same-topology requests coalesce into one batched inference)
+// and -cache-entries enables the split-ratio cache; the summary then
+// reports realized batch occupancy and cache hit rates. The replay itself
+// is sequential — batching and caching pay off in the load phase:
+// -load-duration runs a post-replay load-generation phase over the test
+// snapshots, closed-loop with -load-workers by default or open-loop at
+// -open-loop-rate req/s, reporting throughput, shed rate, and
+// p50/p99/p999 latency.
 //
 // With -metrics-addr the replay serves the observability admin endpoint
 // while it runs: per-tier request counters and latency histograms, forward
@@ -35,7 +49,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"harpte/internal/core"
@@ -46,6 +62,7 @@ import (
 	"harpte/internal/obs"
 	"harpte/internal/resilience"
 	"harpte/internal/te"
+	"harpte/internal/tensor"
 	"harpte/internal/traffic"
 )
 
@@ -65,6 +82,15 @@ func main() {
 		hedgeQ    = flag.Float64("hedge-quantile", 0.95, "fleet: latency quantile after which a hedge fires on a second replica (0 disables hedging)")
 		retryBud  = flag.Float64("retry-budget", 0.1, "fleet: retry tokens earned per request; hedges and retries each spend one (negative disables)")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port during the replay")
+
+		batchMax    = flag.Int("batch-max", 0, "micro-batch: max same-topology requests coalesced into one batched inference (<=1 disables batching)")
+		batchLinger = flag.Duration("batch-linger", 2*time.Millisecond, "micro-batch: max wait for an unfilled batch before it dispatches anyway")
+		cacheEnt    = flag.Int("cache-entries", 0, "split-ratio cache capacity per replica (0 disables the cache)")
+		shard       = flag.Bool("shard", false, "fleet: route by topology cluster (rendezvous sharding) instead of round-robin")
+
+		loadDur     = flag.Duration("load-duration", 0, "run a post-replay load-generation phase for this long (0 skips it)")
+		openRate    = flag.Float64("open-loop-rate", 0, "load phase: open-loop arrival rate in req/s (0 = closed loop with -load-workers)")
+		loadWorkers = flag.Int("load-workers", 8, "load phase: concurrent workers in closed-loop mode")
 	)
 	flag.Parse()
 
@@ -135,6 +161,9 @@ func main() {
 			MaxQueueDepth:    *queueLen,
 			BreakerThreshold: *brkN,
 			BreakerCooloff:   *brkCool,
+			BatchMaxSize:     *batchMax,
+			BatchMaxLinger:   *batchLinger,
+			CacheEntries:     *cacheEnt,
 		})
 		if reg != nil {
 			// Same metric names resolve to shared counters, so the
@@ -147,9 +176,10 @@ func main() {
 	var fl *fleet.Fleet
 	if *replicas > 1 {
 		fl = fleet.New(backends, fleet.Options{
-			Deadline:      *deadline,
-			HedgeQuantile: *hedgeQ,
-			RetryBudget:   *retryBud,
+			Deadline:        *deadline,
+			HedgeQuantile:   *hedgeQ,
+			RetryBudget:     *retryBud,
+			ShardByTopology: *shard,
 		})
 		defer fl.Close()
 		if reg != nil {
@@ -157,8 +187,17 @@ func main() {
 		}
 	}
 
+	serveOne := func(p *te.Problem, d *tensor.Dense) resilience.Decision {
+		if fl != nil {
+			return fl.Serve(p, d).Decision
+		}
+		return srv.Serve(p, d)
+	}
+
 	fmt.Println("  t  cluster  event            tier         HARP-MLU  optimal   NormMLU")
 	var norms []float64
+	tierLat := map[resilience.Tier][]time.Duration{}
+	var pool []loadRequest // test-snapshot requests reused by the load phase
 	lastCluster := -1
 	for si := 0; si < len(ds.Snapshots); si += *every {
 		snap := ds.Snapshots[si]
@@ -168,12 +207,12 @@ func main() {
 		c := ds.Clusters[snap.Cluster]
 		p := te.NewProblem(snap.Graph, c.Tunnels)
 		d := traffic.DemandVector(snap.TM, c.Tunnels.Flows)
-		var dec resilience.Decision
-		if fl != nil {
-			dec = fl.Serve(p, d).Decision
-		} else {
-			dec = srv.Serve(p, d)
+		if len(pool) < 64 {
+			pool = append(pool, loadRequest{p: p, d: d})
 		}
+		t0 := time.Now()
+		dec := serveOne(p, d)
+		tierLat[dec.Tier] = append(tierLat[dec.Tier], time.Since(t0))
 		if dec.Tier == resilience.TierRejected {
 			fmt.Fprintf(os.Stderr, "tereplay: snapshot %d rejected: %v\n", si, dec.Err)
 			continue
@@ -213,10 +252,16 @@ func main() {
 			counts[tier] += n
 		}
 	}
-	fmt.Printf("serving tiers: full=%d reduced-rau=%d ecmp=%d rejected=%d shed=%d\n",
-		counts[resilience.TierFull], counts[resilience.TierReducedRAU],
-		counts[resilience.TierECMP], counts[resilience.TierRejected],
-		counts[resilience.TierShed])
+	fmt.Printf("serving tiers: cached=%d full=%d reduced-rau=%d ecmp=%d rejected=%d shed=%d\n",
+		counts[resilience.TierCached], counts[resilience.TierFull],
+		counts[resilience.TierReducedRAU], counts[resilience.TierECMP],
+		counts[resilience.TierRejected], counts[resilience.TierShed])
+	for _, tier := range []resilience.Tier{resilience.TierCached, resilience.TierFull,
+		resilience.TierReducedRAU, resilience.TierECMP} {
+		if lats := tierLat[tier]; len(lats) > 0 {
+			fmt.Printf("tier latency %-12s %s (n=%d)\n", tier.String()+":", percentileRow(lats), len(lats))
+		}
+	}
 	st := srv.Stats()
 	fmt.Printf("overload/churn: shed=%d (queue-full=%d deadline=%d draining=%d) breaker-trips=%d breaker-open=%d short-circuits=%d reloads=%d (failed=%d) generation=%d\n",
 		st.Shed, st.ShedQueueFull, st.ShedQueueDeadline, st.ShedDraining,
@@ -229,4 +274,144 @@ func main() {
 			fst.Served, fst.LocalFallbacks, fst.Hedges, fst.HedgeWins,
 			fst.Retries, fst.RetryBudgetDenied, fst.Ejections, fst.Readmissions)
 	}
+	printServingStats(servers, *cacheEnt, *batchMax)
+
+	if *loadDur > 0 && len(pool) > 0 {
+		runLoadPhase(serveOne, pool, *loadDur, *openRate, *loadWorkers)
+		printServingStats(servers, *cacheEnt, *batchMax)
+	}
+}
+
+// loadRequest is one (problem, demand) pair replayed by the load phase.
+type loadRequest struct {
+	p *te.Problem
+	d *tensor.Dense
+}
+
+// percentileRow formats p50/p99/p999 of a latency sample.
+func percentileRow(lats []time.Duration) string {
+	return fmt.Sprintf("p50=%v p99=%v p999=%v",
+		percentile(lats, 0.50), percentile(lats, 0.99), percentile(lats, 0.999))
+}
+
+// percentile returns the q-quantile (nearest-rank on a sorted copy).
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(len(s)-1) + 0.5)
+	return s[idx]
+}
+
+// printServingStats aggregates and prints split-cache and batch-collector
+// effectiveness across the replicas, when either feature is enabled.
+func printServingStats(servers []*resilience.Server, cacheEnt, batchMax int) {
+	var cs resilience.CacheStats
+	var bs resilience.BatchStats
+	for _, s := range servers {
+		st := s.Stats()
+		cs.Hits += st.Cache.Hits
+		cs.Misses += st.Cache.Misses
+		cs.Evictions += st.Cache.Evictions
+		cs.Size += st.Cache.Size
+		bs.Dispatches += st.Batch.Dispatches
+		bs.Batched += st.Batch.Batched
+	}
+	if cacheEnt > 0 {
+		total := cs.Hits + cs.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(cs.Hits) / float64(total)
+		}
+		fmt.Printf("split cache: hits=%d misses=%d (hit-rate %.1f%%) evictions=%d entries=%d\n",
+			cs.Hits, cs.Misses, 100*rate, cs.Evictions, cs.Size)
+	}
+	if batchMax > 1 {
+		mean := 0.0
+		if bs.Dispatches > 0 {
+			mean = float64(bs.Batched) / float64(bs.Dispatches)
+		}
+		fmt.Printf("micro-batch: dispatches=%d requests=%d (mean batch %.2f)\n",
+			bs.Dispatches, bs.Batched, mean)
+	}
+}
+
+// runLoadPhase hammers the serving path with the pooled test requests for
+// dur: closed-loop (workers issuing back-to-back) when rate is 0, or
+// open-loop at a fixed arrival rate regardless of completions. It reports
+// throughput, shed rate, and overall latency percentiles — the serving
+// numbers the replay's sequential timeline cannot show.
+func runLoadPhase(serve func(*te.Problem, *tensor.Dense) resilience.Decision, pool []loadRequest, dur time.Duration, rate float64, workers int) {
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+		shed int64
+		next int64
+	)
+	issue := func(i int) {
+		req := pool[i%len(pool)]
+		t0 := time.Now()
+		dec := serve(req.p, req.d)
+		elapsed := time.Since(t0)
+		mu.Lock()
+		lats = append(lats, elapsed)
+		if dec.Tier == resilience.TierShed {
+			shed++
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if rate > 0 {
+		fmt.Printf("\nload phase: open-loop %.0f req/s for %v over %d snapshots\n", rate, dur, len(pool))
+		interval := time.Duration(float64(time.Second) / rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		deadline := time.After(dur)
+	open:
+		for {
+			select {
+			case <-ticker.C:
+				wg.Add(1)
+				n := int(next)
+				next++
+				go func() { defer wg.Done(); issue(n) }()
+			case <-deadline:
+				break open
+			}
+		}
+	} else {
+		if workers < 1 {
+			workers = 1
+		}
+		fmt.Printf("\nload phase: closed-loop %d workers for %v over %d snapshots\n", workers, dur, len(pool))
+		stop := time.Now().Add(dur)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; time.Now().Before(stop); i += workers {
+					issue(i)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := len(lats)
+	if total == 0 {
+		fmt.Println("load phase: no requests completed")
+		return
+	}
+	fmt.Printf("load phase: %d requests in %v: throughput %.1f req/s, shed %d (%.2f%%)\n",
+		total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), shed, 100*float64(shed)/float64(total))
+	fmt.Printf("load latency: %s\n", percentileRow(lats))
 }

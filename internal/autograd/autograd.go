@@ -134,6 +134,13 @@ func ShareParam(p *Tensor) *Tensor {
 type Tape struct {
 	nodes []*Tensor
 	ar    *arena // nil for plain tapes
+
+	// inference disables gradient bookkeeping: recorded nodes never mark
+	// needGrad and never check out gradient buffers, so a forward pass
+	// skips one zeroed buffer per node. Values are bit-identical to a
+	// gradient-tracking pass (the forward kernels are untouched); only
+	// Backward is off the table until the mode is switched off again.
+	inference bool
 }
 
 // NewTape returns an empty, non-pooling tape.
@@ -143,6 +150,15 @@ func NewTape() *Tape { return &Tape{} }
 // storage. Use one long-lived reusable tape per worker in hot loops; see
 // the package comment for the lifetime contract.
 func NewReusableTape() *Tape { return &Tape{ar: newArena()} }
+
+// SetInference toggles inference mode. While on, recorded nodes carry no
+// gradient buffers (forward values are unchanged bit for bit), which
+// removes the dominant per-node cost of a pure-inference pass: checking
+// out and zeroing one arena buffer per operation. Backward panics on a
+// graph recorded in inference mode (the loss node has no gradient), so
+// hot serving paths own dedicated inference tapes rather than flipping a
+// shared training tape back and forth.
+func (tp *Tape) SetInference(on bool) { tp.inference = on }
 
 // Reset discards all recorded nodes so the tape can be reused. Leaf tensors
 // (parameters, constants) are unaffected. On a reusable tape this also
@@ -216,7 +232,7 @@ func (tp *Tape) newNode() *Tensor {
 func (tp *Tape) node1(op opKind, val *tensor.Dense, a *Tensor) *Tensor {
 	t := tp.newNode()
 	t.Val, t.op, t.a = val, op, a
-	if a.needGrad {
+	if a.needGrad && !tp.inference {
 		t.needGrad = true
 		t.Grad = tp.gradBuf(val.Rows, val.Cols)
 	}
@@ -228,7 +244,7 @@ func (tp *Tape) node1(op opKind, val *tensor.Dense, a *Tensor) *Tensor {
 func (tp *Tape) node2(op opKind, val *tensor.Dense, a, b *Tensor) *Tensor {
 	t := tp.newNode()
 	t.Val, t.op, t.a, t.b = val, op, a, b
-	if a.needGrad || b.needGrad {
+	if (a.needGrad || b.needGrad) && !tp.inference {
 		t.needGrad = true
 		t.Grad = tp.gradBuf(val.Rows, val.Cols)
 	}
@@ -241,11 +257,13 @@ func (tp *Tape) node2(op opKind, val *tensor.Dense, a, b *Tensor) *Tensor {
 func (tp *Tape) nodeN(op opKind, val *tensor.Dense, parents []*Tensor) *Tensor {
 	t := tp.newNode()
 	t.Val, t.op, t.parents = val, op, parents
-	for _, p := range parents {
-		if p.needGrad {
-			t.needGrad = true
-			t.Grad = tp.gradBuf(val.Rows, val.Cols)
-			break
+	if !tp.inference {
+		for _, p := range parents {
+			if p.needGrad {
+				t.needGrad = true
+				t.Grad = tp.gradBuf(val.Rows, val.Cols)
+				break
+			}
 		}
 	}
 	tp.nodes = append(tp.nodes, t)

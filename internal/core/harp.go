@@ -325,22 +325,22 @@ type ForwardResult struct {
 	MLU *autograd.Tensor
 }
 
-// Forward runs HARP on a problem context and an F×1 demand vector,
-// recording every operation on tp. The same demand is used both as a model
-// input and for the RAU's internal MLU computations; HARP-Pred feeds a
-// predicted demand here and computes the loss against the true demand via
-// LossMLU.
-func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) ForwardResult {
-	ctx := c.inner
-	p := ctx.p
-	set := p.Tunnels
-	numFlows := len(set.Flows)
-	k := set.K
-	numTunnels := numFlows * k
+// embedding is the demand-independent half of a forward pass: the
+// SETTRANS token matrix h (edge-tunnel embeddings) and the per-tunnel CLS
+// embeddings. Everything in it depends only on the parameters and the
+// Context, so one embedding can be shared by every snapshot of a batch
+// that shares a topology/tunnel configuration — the amortization
+// SplitsBatch is built on. The tensors live on the tape that recorded
+// them and are invalid after its Reset.
+type embedding struct {
+	h         *autograd.Tensor // numTokens×r (or tokens in the mean-pool ablation)
+	tunnelEmb *autograd.Tensor // T×r
+}
 
-	// Stage tracing (EnableTelemetry): tel is nil when disabled, and each
-	// site below is gated on that one check — no clock reads, no
-	// allocations, so the zero-alloc pins hold either way.
+// embed runs stages 1–2 of the architecture (GNN topology encoder,
+// SETTRANS tunnel encoder): everything that depends on the topology and
+// parameters but not on the traffic matrix.
+func (m *Model) embed(tp *autograd.Tape, ctx *probContext) embedding {
 	tel := m.tele
 	var span obs.Span
 
@@ -365,20 +365,53 @@ func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) For
 	}
 	withCLS := tp.ConcatRows(edgeEmb, m.cls) // (E+1)×r
 	tokens := tp.GatherRowsStable(withCLS, ctx.tokenIdx)
-	var h, tunnelEmb *autograd.Tensor
+	var emb embedding
 	if m.Cfg.MeanPoolTunnels {
 		// Ablation: skip SETTRANS; tunnel embedding = mean of its edge
 		// embeddings, edge-tunnel embeddings = the raw edge embeddings.
-		h = tokens
-		tunnelEmb = tp.CSRMul(ctx.avgPool, h)
+		emb.h = tokens
+		emb.tunnelEmb = tp.CSRMul(ctx.avgPool, emb.h)
 	} else {
-		h = m.settrans.Forward(tp, tokens, ctx.segs)
-		tunnelEmb = tp.GatherRowsStable(h, ctx.clsPos) // T×r
+		emb.h = m.settrans.Forward(tp, tokens, ctx.segs)
+		emb.tunnelEmb = tp.GatherRowsStable(emb.h, ctx.clsPos) // T×r
 	}
+	if tel != nil {
+		span.End()
+	}
+	return emb
+}
+
+// Forward runs HARP on a problem context and an F×1 demand vector,
+// recording every operation on tp. The same demand is used both as a model
+// input and for the RAU's internal MLU computations; HARP-Pred feeds a
+// predicted demand here and computes the loss against the true demand via
+// LossMLU.
+func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) ForwardResult {
+	ctx := c.inner
+	emb := m.embed(tp, ctx)
+	return m.adjust(tp, ctx, emb, demand)
+}
+
+// adjust runs stages 3–4 (MLP1 initial splits, RAU refinement) for one
+// demand matrix on top of a previously computed embedding. It is the
+// demand-dependent half of Forward; SplitsBatch calls it once per
+// snapshot against one shared embedding.
+func (m *Model) adjust(tp *autograd.Tape, ctx *probContext, emb embedding, demand *tensor.Dense) ForwardResult {
+	p := ctx.p
+	set := p.Tunnels
+	numFlows := len(set.Flows)
+	k := set.K
+	numTunnels := numFlows * k
+	h, tunnelEmb := emb.h, emb.tunnelEmb
+
+	// Stage tracing (EnableTelemetry): tel is nil when disabled, and each
+	// site below is gated on that one check — no clock reads, no
+	// allocations, so the zero-alloc pins hold either way.
+	tel := m.tele
+	var span obs.Span
 
 	// ---- demand features and constants ----
 	if tel != nil {
-		span.End()
 		span = tel.mlp1.Start()
 	}
 	demandFeat, demandTunnel := m.demandInputs(tp, ctx, demand)

@@ -144,6 +144,19 @@ type Options struct {
 	// again.
 	MaxQuarantinedFraction float64
 
+	// ShardByTopology routes requests by topology cluster: replicas are
+	// ranked per topology fingerprint with rendezvous (highest-random-
+	// weight) hashing, and every request for a topology goes to its
+	// top-ranked serviceable replica. One replica therefore sees all the
+	// traffic for a topology cluster, keeping its context cache, batch
+	// collector, and split-ratio cache hot, instead of the round-robin
+	// default spreading a cluster's requests (and their cache misses)
+	// across the whole fleet. Failover and hedges walk down the same
+	// per-topology ranking, so a quarantined shard owner's traffic moves
+	// deterministically to the next-ranked replica and snaps back when the
+	// owner is re-admitted — no remapping of unrelated topologies.
+	ShardByTopology bool
+
 	// HealthInterval is the period of the background prober; every tick
 	// each replica serves the pinned probe and the vetted outcome feeds
 	// its state machine. 0 disables the prober (health is then driven by
@@ -310,7 +323,7 @@ func (f *Fleet) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 	}
 
 	var dec Decision
-	primary := f.pick(tried)
+	primary := f.pick(p, tried)
 	if primary == nil {
 		return f.fallback(p, dec, fmt.Errorf("%w: 0 of %d replicas serviceable",
 			ErrNoReplicas, len(f.replicas)))
@@ -342,7 +355,7 @@ func (f *Fleet) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 				return dec
 			}
 			dec.Degraded = append(dec.Degraded, fmt.Sprintf("replica %d: %v", out.rep.id, out.err))
-			if next := f.pick(tried); next != nil && f.spend(&f.retries) {
+			if next := f.pick(p, tried); next != nil && f.spend(&f.retries) {
 				dec.Retries++
 				launch(next, false)
 				inFlight++
@@ -353,7 +366,7 @@ func (f *Fleet) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if next := f.pick(tried); next != nil && f.spend(&f.hedges) {
+			if next := f.pick(p, tried); next != nil && f.spend(&f.hedges) {
 				dec.Hedged = true
 				launch(next, true)
 				inFlight++
@@ -447,15 +460,19 @@ func (f *Fleet) fallback(p *te.Problem, dec Decision, err error) Decision {
 	return dec
 }
 
-// pick chooses the next replica for an attempt: round-robin over
-// serviceable (healthy or degraded) replicas not yet tried for this
-// request. Degraded replicas stay in the rotation on purpose — real
+// pick chooses the next replica for an attempt: by topology-cluster shard
+// when Options.ShardByTopology is set, round-robin otherwise — in both
+// cases over serviceable (healthy or degraded) replicas not yet tried for
+// this request. Degraded replicas stay in the rotation on purpose — real
 // traffic is what either heals them (one vetted success resets the
 // streak) or finishes ejecting them (consecutive failures reach the
 // quarantine threshold); shielding them would freeze the state machine
 // at degraded whenever no prober runs. Quarantined replicas are never
 // picked. Returns nil when every serviceable replica has been tried.
-func (f *Fleet) pick(tried []bool) *replica {
+func (f *Fleet) pick(p *te.Problem, tried []bool) *replica {
+	if f.opts.ShardByTopology && p != nil {
+		return f.pickSharded(p.Fingerprint(), tried)
+	}
 	n := len(f.replicas)
 	startAt := int(f.rr.Add(1)-1) % n
 	for i := 0; i < n; i++ {
@@ -466,6 +483,38 @@ func (f *Fleet) pick(tried []bool) *replica {
 		return r
 	}
 	return nil
+}
+
+// pickSharded returns the highest-ranked untried serviceable replica for
+// the topology fingerprint. Rendezvous hashing gives each topology its own
+// stable pseudo-random ranking of replicas: the top pick owns the shard,
+// retries and hedges descend the same ranking, and quarantining one
+// replica moves only that replica's shards (to each shard's next-ranked
+// survivor) while every other topology keeps its owner.
+func (f *Fleet) pickSharded(fp uint64, tried []bool) *replica {
+	var best *replica
+	var bestScore uint64
+	for _, r := range f.replicas {
+		if tried[r.id] || r.healthState() == Quarantined {
+			continue
+		}
+		if s := shardScore(fp, r.id); best == nil || s > bestScore {
+			best, bestScore = r, s
+		}
+	}
+	return best
+}
+
+// shardScore mixes a topology fingerprint with a replica id (splitmix64
+// finalizer) into that replica's rendezvous weight for the topology.
+func shardScore(fp uint64, id int) uint64 {
+	x := fp + (uint64(id)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // spend takes one retry token, tallying into counter on success and into

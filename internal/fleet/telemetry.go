@@ -228,7 +228,7 @@ type Stats struct {
 	Ejections     int64
 	Readmissions  int64
 	// Rolling reloads.
-	RollingReloads       int64
+	RollingReloads        int64
 	RollingReloadFailures int64
 }
 

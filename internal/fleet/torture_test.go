@@ -67,10 +67,10 @@ func TestFleetChaosTorture(t *testing.T) {
 	ckpt := saveModel(t, core.New(tinyConfig()), "v2.model")
 
 	plans := []chaosreplica.Plan{
-		{Seed: 101, CrashAfter: -1},                                  // healthy
-		{Seed: 102, CrashAfter: 5},                                   // dies early, stays down
-		{Seed: 103, CrashAfter: -1, PHang: 0.3},                      // wedges 30% of calls
-		{Seed: 104, CrashAfter: -1, PNaN: 0.5},                       // lies half the time
+		{Seed: 101, CrashAfter: -1},             // healthy
+		{Seed: 102, CrashAfter: 5},              // dies early, stays down
+		{Seed: 103, CrashAfter: -1, PHang: 0.3}, // wedges 30% of calls
+		{Seed: 104, CrashAfter: -1, PNaN: 0.5},  // lies half the time
 		{Seed: 105, CrashAfter: -1, PShape: 0.3, PSlow: 0.2, SlowDelay: 30 * time.Millisecond},
 	}
 	faults := make([]*chaosreplica.Fault, len(plans))
@@ -167,6 +167,147 @@ func TestFleetChaosTorture(t *testing.T) {
 	if faults[1].Down() && f.ReplicaHealth(1) != Quarantined {
 		t.Errorf("crashed replica 1 ended %v, want quarantined (stats %+v)",
 			f.ReplicaHealth(1), st)
+	}
+}
+
+// newBatchedServer builds a replica server with the planet-scale serving
+// options on: micro-batching, split-ratio caching, and a deadline.
+func newBatchedServer(p *te.Problem, d *tensor.Dense) *resilience.Server {
+	return resilience.NewServer(core.New(tinyConfig()), resilience.Options{
+		Deadline:       2 * time.Second,
+		Probe:          p,
+		ProbeDemand:    d,
+		BatchMaxSize:   4,
+		BatchMaxLinger: time.Millisecond,
+		CacheEntries:   64,
+	})
+}
+
+// TestFleetChaosTortureBatchedShardedCached re-runs the chaos torture with
+// the PR's serving optimizations all enabled — replica-side micro-batching
+// and split caching, fleet-side topology-cluster sharding — across several
+// topologies at once. The acceptance bar is unchanged: zero hangs, zero
+// invalid splits, every request resolves; and the repeated demands must
+// actually hit the split caches.
+func TestFleetChaosTortureBatchedShardedCached(t *testing.T) {
+	probs := []*te.Problem{shardProblem(0), shardProblem(1), shardProblem(2)}
+	probe := demand(probs[0], 4, 2)
+	ckpt := saveModel(t, core.New(tinyConfig()), "v2.model")
+
+	plans := []chaosreplica.Plan{
+		{Seed: 201, CrashAfter: -1}, // healthy
+		{Seed: 202, CrashAfter: 8},  // dies early, stays down
+		{Seed: 203, CrashAfter: -1, PHang: 0.2},
+		{Seed: 204, CrashAfter: -1, PNaN: 0.3},
+		{Seed: 205, CrashAfter: -1, PSlow: 0.2, SlowDelay: 20 * time.Millisecond},
+	}
+	servers := make([]*resilience.Server, len(plans))
+	faults := make([]*chaosreplica.Fault, len(plans))
+	replicas := make([]Replica, len(plans))
+	for i, plan := range plans {
+		servers[i] = newBatchedServer(probs[0], probe)
+		faults[i] = chaosreplica.New(Local{S: servers[i]}, plan)
+		replicas[i] = faults[i]
+	}
+	defer func() {
+		for _, fa := range faults {
+			fa.Release()
+		}
+	}()
+
+	f := New(replicas, Options{
+		Deadline:               3 * time.Second,
+		TryTimeout:             150 * time.Millisecond,
+		HedgeQuantile:          0.9,
+		RetryBudget:            1,
+		RetryBurst:             200,
+		QuarantineThreshold:    3,
+		ProbationSuccesses:     2,
+		MaxQuarantinedFraction: 0.6,
+		HealthInterval:         10 * time.Millisecond,
+		Probe:                  probs[0],
+		ProbeDemand:            probe,
+		ShardByTopology:        true,
+	})
+	defer f.Close()
+
+	const workers, perWorker = 8, 20
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures []string
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Rotate topologies; repeat only two demand patterns per
+				// topology so the shard owner's split cache gets hits.
+				p := probs[(w+i)%len(probs)]
+				dec := f.Serve(p, demand(p, 4, float64(2+i%2)))
+				switch {
+				case dec.Err == nil:
+					if dec.Replica < 0 || dec.Replica >= len(plans) {
+						mu.Lock()
+						failures = append(failures, "success with no replica attribution")
+						mu.Unlock()
+					}
+				case errors.Is(dec.Err, ErrNoReplicas):
+					// Degraded but honest: the ECMP splits below must vet.
+				default:
+					mu.Lock()
+					failures = append(failures, dec.Err.Error())
+					mu.Unlock()
+					continue
+				}
+				assertValidSplits(t, p, dec.Splits)
+				// Batched and cached answers must satisfy the same vetting
+				// the dispatcher applies to any replica answer.
+				if dec.Splits != nil {
+					if _, err := resilience.VetSplits(p, dec.Splits); err != nil {
+						mu.Lock()
+						failures = append(failures, "served splits failed vetting: "+err.Error())
+						mu.Unlock()
+					}
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	if err := f.RollingReload(ckpt); err != nil && !errors.Is(err, ErrReloadAborted) {
+		t.Errorf("rolling reload mid-chaos: %v", err)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("batched+sharded torture burst hung")
+	}
+	for _, msg := range failures {
+		t.Errorf("unexpected request outcome: %s", msg)
+	}
+
+	st := f.Stats()
+	if got := st.Served + st.LocalFallbacks + st.Rejected; got != workers*perWorker {
+		t.Fatalf("request conservation: served %d + fallback %d + rejected %d != %d",
+			st.Served, st.LocalFallbacks, st.Rejected, workers*perWorker)
+	}
+	if st.Rejected != 0 || st.Served == 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	var hits, batched int64
+	for _, s := range servers {
+		ss := s.Stats()
+		hits += ss.Cache.Hits
+		batched += ss.Batch.Batched
+	}
+	if hits == 0 {
+		t.Error("no split-cache hits across the fleet despite repeated demands")
+	}
+	if batched == 0 {
+		t.Error("no requests went through the batch collectors")
 	}
 }
 

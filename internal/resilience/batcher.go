@@ -1,0 +1,199 @@
+package resilience
+
+// Micro-batching for the TierFull serving path. Concurrent requests that
+// share a model generation and context (i.e. the same topology) are
+// coalesced into one core.SplitsBatch call, which computes the
+// topology-dependent GNN and set-transformer embeddings once for the whole
+// batch. A batch dispatches when it reaches Options.BatchMaxSize or when
+// Options.BatchMaxLinger elapses after its first request, whichever comes
+// first — bounded batching, never unbounded queueing.
+//
+// Deadline and shed semantics are preserved per request: each waiter blocks
+// on its own buffered channel under its own remaining budget, exactly like
+// safeInfer, and a waiter that times out simply abandons its slot (the
+// dispatch later completes into the buffered channel and the result is
+// discarded). A panic inside the batched inference is recovered once and
+// broadcast to every member as an error, so one poisoned batch degrades its
+// members to the reduced tier instead of wedging them.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harpte/internal/core"
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+)
+
+// DefaultBatchLinger is the dispatch deadline for an unfilled batch when
+// Options.BatchMaxLinger is unset.
+const DefaultBatchLinger = 2 * time.Millisecond
+
+// batchKey identifies requests that may share one SplitsBatch call: same
+// weights, same immutable topology context.
+type batchKey struct {
+	m   *core.Model
+	ctx *core.Context
+}
+
+type batchResult struct {
+	splits *tensor.Dense
+	err    error
+}
+
+type batchWaiter struct {
+	p      *te.Problem
+	demand *tensor.Dense
+	ch     chan batchResult
+}
+
+type pendingBatch struct {
+	key     batchKey
+	waiters []batchWaiter
+	timer   *time.Timer
+	fired   bool // detached from pending; the timer callback must not re-fire it
+}
+
+// batcher is the bounded batch collector. One per Server, created only
+// when Options.BatchMaxSize > 1. Telemetry is read through the owning
+// server at call time, since EnableTelemetry may attach it after
+// construction.
+type batcher struct {
+	srv     *Server
+	maxSize int
+	linger  time.Duration
+
+	mu      sync.Mutex
+	pending map[batchKey]*pendingBatch
+
+	dispatches atomic.Int64 // SplitsBatch calls issued
+	batched    atomic.Int64 // requests served through those calls
+}
+
+func newBatcher(srv *Server, maxSize int, linger time.Duration) *batcher {
+	if linger <= 0 {
+		linger = DefaultBatchLinger
+	}
+	return &batcher{
+		srv:     srv,
+		maxSize: maxSize,
+		linger:  linger,
+		pending: make(map[batchKey]*pendingBatch),
+	}
+}
+
+// submit joins (or opens) the pending batch for (m, ctx) and waits for the
+// batched result under the caller's remaining budget. budget <= 0 means no
+// deadline. The first member arms the linger timer; the member that fills
+// the batch detaches it and triggers dispatch immediately.
+func (b *batcher) submit(m *core.Model, ctx *core.Context, p *te.Problem, demand *tensor.Dense, budget time.Duration) (*tensor.Dense, error) {
+	w := batchWaiter{p: p, demand: demand, ch: make(chan batchResult, 1)}
+	key := batchKey{m: m, ctx: ctx}
+
+	b.mu.Lock()
+	pb := b.pending[key]
+	if pb == nil {
+		pb = &pendingBatch{key: key}
+		b.pending[key] = pb
+		pb.timer = time.AfterFunc(b.linger, func() { b.lingerExpired(pb) })
+	}
+	pb.waiters = append(pb.waiters, w)
+	full := len(pb.waiters) >= b.maxSize
+	if full {
+		b.detachLocked(pb)
+	}
+	b.mu.Unlock()
+
+	if full {
+		pb.timer.Stop()
+		// Dispatch off the filler's goroutine so the filler, too, waits
+		// under its own budget rather than riding out a hung inference.
+		go b.dispatch(pb)
+	}
+
+	if budget > 0 {
+		timer := time.NewTimer(budget)
+		defer timer.Stop()
+		select {
+		case r := <-w.ch:
+			return r.splits, r.err
+		case <-timer.C:
+			b.srv.tel.deadlineExpired()
+			return nil, fmt.Errorf("deadline exceeded after %v (batched)", budget)
+		}
+	}
+	r := <-w.ch
+	return r.splits, r.err
+}
+
+// lingerExpired is the timer callback: dispatch whatever has accumulated,
+// unless a filler already detached the batch.
+func (b *batcher) lingerExpired(pb *pendingBatch) {
+	b.mu.Lock()
+	if pb.fired {
+		b.mu.Unlock()
+		return
+	}
+	b.detachLocked(pb)
+	b.mu.Unlock()
+	b.dispatch(pb)
+}
+
+// detachLocked removes pb from the pending map so late arrivals open a
+// fresh batch. Caller holds b.mu.
+func (b *batcher) detachLocked(pb *pendingBatch) {
+	pb.fired = true
+	delete(b.pending, pb.key)
+}
+
+// dispatch runs the batched inference once and broadcasts per-member
+// results. Every member's output is vetted individually, exactly as the
+// unbatched path vets safeInfer output.
+func (b *batcher) dispatch(pb *pendingBatch) {
+	ws := pb.waiters
+	b.dispatches.Add(1)
+	b.batched.Add(int64(len(ws)))
+	b.srv.tel.batchDispatched(len(ws))
+	demands := make([]*tensor.Dense, len(ws))
+	for i := range ws {
+		demands[i] = ws[i].demand
+	}
+	outs, err := b.run(pb.key.m, pb.key.ctx, demands)
+	for i := range ws {
+		if err != nil {
+			ws[i].ch <- batchResult{err: err}
+			continue
+		}
+		splits, verr := vetSplits(ws[i].p, outs[i])
+		ws[i].ch <- batchResult{splits: splits, err: verr}
+	}
+}
+
+// run executes SplitsBatch under a recover guard.
+func (b *batcher) run(m *core.Model, ctx *core.Context, demands []*tensor.Dense) (outs []*tensor.Dense, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.srv.tel.panicRecovered()
+			outs, err = nil, fmt.Errorf("batched inference panic: %v", r)
+		}
+	}()
+	outs = m.SplitsBatch(nil, ctx, demands)
+	if len(outs) != len(demands) {
+		return nil, fmt.Errorf("batched inference returned %d outputs for %d demands", len(outs), len(demands))
+	}
+	return outs, nil
+}
+
+// BatchStats is a point-in-time snapshot of collector effectiveness.
+type BatchStats struct {
+	// Dispatches counts SplitsBatch calls; Batched counts requests served
+	// through them. Batched/Dispatches is the realized mean batch size.
+	Dispatches int64
+	Batched    int64
+}
+
+func (b *batcher) stats() BatchStats {
+	return BatchStats{Dispatches: b.dispatches.Load(), Batched: b.batched.Load()}
+}

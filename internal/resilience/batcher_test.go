@@ -1,0 +1,123 @@
+package resilience
+
+// Batch-collector tests: batched answers must be bit-identical to the
+// unbatched tier, concurrent requests must actually coalesce, a lone
+// request must still dispatch within the linger bound, and the
+// steady-state collector path must stay allocation-bounded.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"harpte/internal/core"
+	"harpte/internal/tensor"
+)
+
+// TestBatchedServeBitIdenticalToUnbatched: turning batching on may never
+// change a single output bit for the same (problem, demand).
+func TestBatchedServeBitIdenticalToUnbatched(t *testing.T) {
+	p := twoPathProblem()
+	m := core.New(tinyConfig())
+	plain := NewServer(m, Options{})
+	batched := NewServer(m, Options{BatchMaxSize: 4, BatchMaxLinger: time.Millisecond})
+
+	for _, d := range []*tensor.Dense{demand(p, 4, 2), demand(p, 1, 9), demand(p, 0, 0)} {
+		want := plain.Serve(p, d)
+		got := batched.Serve(p, d)
+		if want.Tier != TierFull || got.Tier != TierFull {
+			t.Fatalf("tiers %v / %v, want full / full", want.Tier, got.Tier)
+		}
+		for i := range want.Splits.Data {
+			if want.Splits.Data[i] != got.Splits.Data[i] {
+				t.Fatalf("split %d: batched %v != unbatched %v",
+					i, got.Splits.Data[i], want.Splits.Data[i])
+			}
+		}
+	}
+}
+
+// TestBatchCoalescesConcurrentRequests: with a generous linger, a burst of
+// BatchMaxSize concurrent requests on one topology must ride fewer
+// SplitsBatch dispatches than requests.
+func TestBatchCoalescesConcurrentRequests(t *testing.T) {
+	const burst = 4
+	p := twoPathProblem()
+	srv := NewServer(core.New(tinyConfig()), Options{
+		BatchMaxSize:   burst,
+		BatchMaxLinger: 200 * time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	decs := make([]Decision, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			decs[i] = srv.Serve(p, demand(p, float64(i+1), 2))
+		}(i)
+	}
+	wg.Wait()
+	for i, dec := range decs {
+		if dec.Tier != TierFull {
+			t.Fatalf("request %d tier %v (degraded %v), want full", i, dec.Tier, dec.Degraded)
+		}
+		assertValidSplits(t, p, dec.Splits)
+	}
+	st := srv.Stats()
+	if st.Batch.Batched != burst {
+		t.Fatalf("batched %d requests, want %d", st.Batch.Batched, burst)
+	}
+	if st.Batch.Dispatches >= burst {
+		t.Fatalf("%d dispatches for %d concurrent requests: no coalescing happened",
+			st.Batch.Dispatches, burst)
+	}
+}
+
+// TestBatchLoneRequestDispatchesOnLinger: a request with no company must
+// not wait for a full batch — the linger timer flushes it.
+func TestBatchLoneRequestDispatchesOnLinger(t *testing.T) {
+	p := twoPathProblem()
+	srv := NewServer(core.New(tinyConfig()), Options{
+		BatchMaxSize:   64, // never fills
+		BatchMaxLinger: 5 * time.Millisecond,
+	})
+	start := time.Now()
+	dec := srv.Serve(p, demand(p, 4, 2))
+	elapsed := time.Since(start)
+	if dec.Tier != TierFull {
+		t.Fatalf("tier %v (degraded %v), want full", dec.Tier, dec.Degraded)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("lone request took %v; linger flush did not fire", elapsed)
+	}
+	if st := srv.Stats(); st.Batch.Dispatches != 1 || st.Batch.Batched != 1 {
+		t.Fatalf("batch stats %+v, want exactly one single-request dispatch", st.Batch)
+	}
+}
+
+// TestBatchPathAllocsBounded pins the steady-state allocation count of the
+// collector path for a lone request (waiter + pending batch + timer +
+// dispatch bookkeeping, plus the inference itself). The bound is loose but
+// fixed: regressions that make the collector allocate per-flow or
+// per-edge state would blow well past it.
+func TestBatchPathAllocsBounded(t *testing.T) {
+	if tensor.RaceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	p := twoPathProblem()
+	srv := NewServer(core.New(tinyConfig()), Options{
+		BatchMaxSize:   4,
+		BatchMaxLinger: 100 * time.Microsecond,
+	})
+	d := demand(p, 4, 2)
+	run := func() {
+		if dec := srv.Serve(p, d); dec.Tier != TierFull {
+			t.Fatalf("tier %v", dec.Tier)
+		}
+	}
+	run() // warm the context cache and batch tape pools
+	run()
+	if avg := testing.AllocsPerRun(20, run); avg > 160 {
+		t.Fatalf("steady-state batched serve allocates %.1f/op, want <= 160", avg)
+	}
+}

@@ -1,0 +1,175 @@
+package resilience
+
+// Split-ratio cache tests: hit/miss semantics through Serve, the zero-alloc
+// hit path, LRU eviction order, the epsilon MLU bound for colliding
+// demands, and the reload purge.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"harpte/internal/core"
+	"harpte/internal/tensor"
+)
+
+func cachedServer(t *testing.T, entries int, quantum float64) *Server {
+	t.Helper()
+	return NewServer(core.New(tinyConfig()), Options{
+		CacheEntries: entries,
+		CacheQuantum: quantum,
+	})
+}
+
+func TestSplitCacheHitServesCachedTier(t *testing.T) {
+	p := twoPathProblem()
+	srv := cachedServer(t, 8, 0)
+	d := demand(p, 4, 2)
+
+	first := srv.Serve(p, d)
+	if first.Tier != TierFull {
+		t.Fatalf("cold request tier %v, want full", first.Tier)
+	}
+	second := srv.Serve(p, d)
+	if second.Tier != TierCached {
+		t.Fatalf("warm request tier %v, want cached", second.Tier)
+	}
+	assertValidSplits(t, p, second.Splits)
+	for i := range first.Splits.Data {
+		if first.Splits.Data[i] != second.Splits.Data[i] {
+			t.Fatalf("cached split %d = %v, fresh %v", i, second.Splits.Data[i], first.Splits.Data[i])
+		}
+	}
+	if counts := srv.TierCounts(); counts[TierCached] != 1 || counts[TierFull] != 1 {
+		t.Fatalf("tier counts %v, want 1 full + 1 cached", counts)
+	}
+	st := srv.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Cache.Size != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit, 1 miss, 1 entry", st.Cache)
+	}
+}
+
+// TestSplitCacheHitZeroAllocs pins the acceptance criterion: cache hits
+// serve with zero allocations per request.
+func TestSplitCacheHitZeroAllocs(t *testing.T) {
+	if tensor.RaceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	p := twoPathProblem()
+	srv := cachedServer(t, 8, 0)
+	d := demand(p, 4, 2)
+	if dec := srv.Serve(p, d); dec.Tier != TierFull {
+		t.Fatalf("warmup tier %v", dec.Tier)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if dec := srv.Serve(p, d); dec.Tier != TierCached {
+			t.Fatalf("tier %v, want cached", dec.Tier)
+		}
+	}); avg != 0 {
+		t.Fatalf("cache hit allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestSplitCacheEpsilonBound: a demand that collides with a cached entry
+// (perturbed by less than half a quantization step) must be served an
+// answer whose MLU is within a small multiple of the quantum of what fresh
+// inference would have achieved.
+func TestSplitCacheEpsilonBound(t *testing.T) {
+	const quantum = 0.01
+	p := twoPathProblem()
+	m := core.New(tinyConfig())
+	srv := NewServer(m, Options{CacheEntries: 8, CacheQuantum: quantum})
+
+	base := demand(p, 4, 2)
+	if dec := srv.Serve(p, base); dec.Tier != TierFull {
+		t.Fatalf("cold tier %v", dec.Tier)
+	}
+	// Perturb the non-peak entry by 0.4 quantization steps. The peak must
+	// stay put: it anchors both the scale bucket and the step size, so
+	// moving it re-keys the whole matrix (by design — a demand whose scale
+	// shifted deserves fresh inference).
+	perturbed := demand(p, 4, 2+0.4*quantum*4)
+	dec := srv.Serve(p, perturbed)
+	if dec.Tier != TierCached {
+		t.Fatalf("perturbed demand missed the cache (tier %v); quantization too fine", dec.Tier)
+	}
+	fresh := m.Splits(m.Context(p), perturbed)
+	cachedMLU := p.MLU(dec.Splits, perturbed)
+	freshMLU := p.MLU(fresh, perturbed)
+	if freshMLU <= 0 {
+		t.Fatalf("degenerate fresh MLU %v", freshMLU)
+	}
+	rel := (cachedMLU - freshMLU) / freshMLU
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 10*quantum {
+		t.Fatalf("cached answer MLU %v vs fresh %v: relative error %.4f exceeds %.4f",
+			cachedMLU, freshMLU, rel, 10*quantum)
+	}
+	// A demand outside the collision radius must miss.
+	far := demand(p, 4*1.1, 2)
+	if dec := srv.Serve(p, far); dec.Tier != TierFull {
+		t.Fatalf("distant demand tier %v, want full (miss)", dec.Tier)
+	}
+}
+
+func TestSplitCacheLRUEviction(t *testing.T) {
+	p := twoPathProblem()
+	srv := cachedServer(t, 2, 0)
+	d1, d2, d3 := demand(p, 1, 1), demand(p, 2, 1), demand(p, 3, 1)
+
+	for _, d := range []*tensor.Dense{d1, d2, d3} {
+		if dec := srv.Serve(p, d); dec.Tier != TierFull {
+			t.Fatalf("cold tier %v", dec.Tier)
+		}
+	}
+	// d1 is the LRU victim of inserting d3.
+	if dec := srv.Serve(p, d1); dec.Tier != TierFull {
+		t.Fatalf("evicted demand tier %v, want full (miss)", dec.Tier)
+	}
+	if dec := srv.Serve(p, d3); dec.Tier != TierCached {
+		t.Fatalf("recent demand tier %v, want cached", dec.Tier)
+	}
+	st := srv.Stats()
+	if st.Cache.Evictions < 1 || st.Cache.Size != 2 {
+		t.Fatalf("cache stats %+v, want >=1 eviction at capacity 2", st.Cache)
+	}
+}
+
+// TestReloadPurgesSplitCache: cached answers embody the old generation's
+// weights and must not survive a model swap.
+func TestReloadPurgesSplitCache(t *testing.T) {
+	p := twoPathProblem()
+	srv := cachedServer(t, 8, 0)
+	d := demand(p, 4, 2)
+	srv.Serve(p, d)
+	if dec := srv.Serve(p, d); dec.Tier != TierCached {
+		t.Fatalf("warm tier %v", dec.Tier)
+	}
+
+	next := core.New(tinyConfig())
+	path := filepath.Join(t.TempDir(), "next.model")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := srv.Reload(path); err != nil {
+		t.Fatal(err)
+	}
+	if dec := srv.Serve(p, d); dec.Tier != TierCached {
+		// Expected: the purge forces a fresh TierFull inference.
+		if dec.Tier != TierFull {
+			t.Fatalf("post-reload tier %v", dec.Tier)
+		}
+	} else {
+		t.Fatal("cache survived a model reload")
+	}
+	if st := srv.Stats(); st.Cache.Purges != 1 {
+		t.Fatalf("cache purges %d, want 1", st.Cache.Purges)
+	}
+}

@@ -1,0 +1,120 @@
+package resilience
+
+// FuzzCacheKey drives the split-cache key (topology fingerprint + quantized
+// TM hash) through randomized topologies, demands, and quantization steps,
+// checking the invariants correct caching rests on: equal inputs always
+// produce equal keys, and structurally distinct topologies (or uniformly
+// rescaled demands) never share one. A violation of the second kind would
+// silently serve one topology's splits to another.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+// fuzzDemand decodes data into a non-negative, finite demand vector with
+// entries in [0, 1e6]; positive values are floored at 1e-9 so quantization
+// steps never underflow.
+func fuzzDemand(data []byte, n int) *tensor.Dense {
+	d := tensor.New(n, 1)
+	if len(data) == 0 {
+		data = []byte{1}
+	}
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		for j := 0; j < 8; j++ {
+			buf[j] = data[(i*8+j)%len(data)]
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = float64(buf[0])
+		}
+		v = math.Abs(v)
+		if v > 1e6 {
+			v = 1e6
+		}
+		if v > 0 && v < 1e-9 {
+			v = 0
+		}
+		d.Data[i] = v
+	}
+	return d
+}
+
+// fuzzProblem builds a ring-plus-chord topology with data-derived
+// capacities — enough structural variety to exercise the fingerprint
+// without rejection-sampling unroutable graphs.
+func fuzzProblem(nodes uint8, data []byte, capScale float64) *te.Problem {
+	n := 3 + int(nodes)%6
+	g := topology.New("fuzz", n)
+	if len(data) == 0 {
+		data = []byte{1}
+	}
+	for i := 0; i < n; i++ {
+		cap := capScale * float64(1+int(data[i%len(data)]))
+		g.AddBidirectional(i, (i+1)%n, cap)
+	}
+	if n >= 4 { // for n=3 the chord would duplicate a ring edge
+		g.AddBidirectional(0, n/2, capScale*7)
+	}
+	g.EdgeNodes = []int{0, 1}
+	return te.NewProblem(g, tunnels.Compute(g, 2))
+}
+
+func FuzzCacheKey(f *testing.F) {
+	f.Add(uint8(4), uint8(10), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(0), uint8(0), []byte{0})
+	f.Add(uint8(7), uint8(255), []byte("\x00\x00\x00\x00\x00\x00\xf0\x7f")) // NaN bits
+	f.Fuzz(func(t *testing.T, nodes, qRaw uint8, data []byte) {
+		quantum := float64(1+int(qRaw)%500) / 1000 // 0.001 .. 0.5
+		p := fuzzProblem(nodes, data, 1)
+		d := fuzzDemand(data, p.NumFlows())
+
+		// Determinism: the same logical input, hashed twice and rebuilt
+		// from scratch, must produce the same key.
+		t1, m1 := CacheKey(p, d, quantum)
+		t2, m2 := CacheKey(p, d, quantum)
+		if t1 != t2 || m1 != m2 {
+			t.Fatalf("repeated CacheKey differs: (%x,%x) vs (%x,%x)", t1, m1, t2, m2)
+		}
+		rebuilt := fuzzProblem(nodes, data, 1)
+		t3, m3 := CacheKey(rebuilt, d.Clone(), quantum)
+		if t1 != t3 || m1 != m3 {
+			t.Fatalf("rebuilt input keys differently: (%x,%x) vs (%x,%x)", t1, m1, t3, m3)
+		}
+
+		// Distinct topologies must not collide: scaling every capacity and
+		// growing the node count each change the structure.
+		if tc, _ := CacheKey(fuzzProblem(nodes, data, 2), d, quantum); tc == t1 {
+			t.Fatalf("capacity-scaled topology collides: %x", tc)
+		}
+		if tc, _ := CacheKey(fuzzProblem(nodes+1, data, 1), d, quantum); tc == t1 {
+			t.Fatalf("different-size topology collides: %x", tc)
+		}
+
+		// A uniformly rescaled demand changes the TM hash (the peak-scale
+		// bucket moves by log(4)/log(1+quantum) >= 3 steps), unless the
+		// demand is all-zero, where scaling is a no-op.
+		var dmax float64
+		for _, v := range d.Data {
+			if v > dmax {
+				dmax = v
+			}
+		}
+		if dmax > 0 {
+			scaled := d.Clone()
+			for i := range scaled.Data {
+				scaled.Data[i] *= 4
+			}
+			if _, ms := CacheKey(p, scaled, quantum); ms == m1 {
+				t.Fatalf("4x-scaled demand collides: %x", ms)
+			}
+		}
+	})
+}

@@ -59,6 +59,10 @@ func (s *Server) Reload(path string) error {
 		reduced = m.Cfg.RAUIterations
 	}
 	s.models.Store(&modelPair{full: m, reduced: m.WithRAUIterations(reduced)})
+	// Cached answers embody the old weights; they must not outlive them.
+	if s.cache != nil {
+		s.cache.purge()
+	}
 	gen := s.generation.Add(1)
 	s.reloads.Add(1)
 	s.tel.reloadRecorded(true)
@@ -125,6 +129,10 @@ type Stats struct {
 	ReloadFailures int64
 	Generation     int64
 	Drains         int64
+	// Cache / Batch snapshot the split-cache and micro-batch collector
+	// (all-zero when the corresponding option is disabled).
+	Cache CacheStats
+	Batch BatchStats
 }
 
 // Stats snapshots the operational counters. Counter fields are exact;
@@ -143,6 +151,12 @@ func (s *Server) Stats() Stats {
 		Drains:            s.drains.Load(),
 	}
 	st.Shed = st.ShedQueueFull + st.ShedQueueDeadline + st.ShedDraining
+	if s.cache != nil {
+		st.Cache = s.cache.stats()
+	}
+	if s.batch != nil {
+		st.Batch = s.batch.stats()
+	}
 	for _, b := range s.breakers {
 		state, trips, shorts := b.snapshot()
 		st.BreakerTrips += trips

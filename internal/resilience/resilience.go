@@ -55,6 +55,10 @@ const (
 	// before inference (overload or drain); no splits were produced.
 	// Decision.Err wraps ErrOverload or ErrDraining.
 	TierShed
+	// TierCached means the request was answered from the split-ratio cache
+	// (cache.go) — a previously vetted TierFull answer for the same
+	// topology and quantized traffic matrix, served with zero inference.
+	TierCached
 
 	numTiers
 )
@@ -72,6 +76,8 @@ func (t Tier) String() string {
 		return "rejected"
 	case TierShed:
 		return "shed"
+	case TierCached:
+		return "cached"
 	}
 	return fmt.Sprintf("tier(%d)", int(t))
 }
@@ -117,6 +123,28 @@ type Options struct {
 	// demand vector when ProbeDemand is unset).
 	Probe       *te.Problem
 	ProbeDemand *tensor.Dense
+
+	// BatchMaxSize enables TierFull micro-batching (batcher.go) when > 1:
+	// concurrent requests on the same topology coalesce into one
+	// core.SplitsBatch call of at most this many snapshots. <= 1 disables
+	// batching (every request infers alone, as before).
+	BatchMaxSize int
+	// BatchMaxLinger bounds how long an unfilled batch waits for company
+	// before dispatching (0 means DefaultBatchLinger, 2ms). It trades
+	// tail latency for batch occupancy; see RUNBOOK.md.
+	BatchMaxLinger time.Duration
+
+	// CacheEntries enables the split-ratio LRU cache (cache.go) when > 0:
+	// vetted TierFull answers are replayed for requests with the same
+	// topology fingerprint and quantized traffic matrix, with zero
+	// inference and zero allocations. 0 disables the cache.
+	CacheEntries int
+	// CacheQuantum is the relative TM quantization step for cache keys
+	// (0 means DefaultCacheQuantum, 0.01). Colliding demands differ per
+	// flow by at most ~CacheQuantum of the peak demand, so the served
+	// answer's MLU is within an O(CacheQuantum) relative factor of fresh
+	// inference.
+	CacheQuantum float64
 }
 
 // Decision is the outcome of one Serve call.
@@ -163,6 +191,13 @@ type Server struct {
 	// Circuit breakers for the neural tiers (breaker.go); nil when
 	// disabled. Indexed by Tier (only TierFull and TierReducedRAU).
 	breakers [2]*breaker
+
+	// batch coalesces concurrent TierFull requests (batcher.go); nil when
+	// Options.BatchMaxSize <= 1.
+	batch *batcher
+	// cache replays vetted TierFull answers (cache.go); nil when
+	// Options.CacheEntries == 0.
+	cache *SplitCache
 
 	// Reload bookkeeping (reload.go).
 	generation     atomic.Int64
@@ -226,6 +261,16 @@ const (
 	// MetricModelGeneration gauges the serving model generation (0 =
 	// the model the server was built with).
 	MetricModelGeneration = "harp_model_generation"
+
+	// MetricServeBatchSize is a histogram of realized micro-batch sizes at
+	// dispatch (1 = a request that lingered out alone).
+	MetricServeBatchSize = "harp_serve_batch_size"
+	// MetricSplitCacheHits / Misses / Evictions count split-cache events;
+	// MetricSplitCacheSize gauges the current entry count.
+	MetricSplitCacheHits      = "harp_split_cache_hits_total"
+	MetricSplitCacheMisses    = "harp_split_cache_misses_total"
+	MetricSplitCacheEvictions = "harp_split_cache_evictions_total"
+	MetricSplitCacheSize      = "harp_split_cache_entries"
 )
 
 // serverTelemetry is the registry-backed half of the tier bookkeeping.
@@ -246,6 +291,8 @@ type serverTelemetry struct {
 	reloadOK   *obs.Counter
 	reloadErr  *obs.Counter
 	generation *obs.Gauge
+
+	batchSize *obs.Histogram
 }
 
 func newServerTelemetry(reg *obs.Registry) *serverTelemetry {
@@ -267,6 +314,8 @@ func newServerTelemetry(reg *obs.Registry) *serverTelemetry {
 			"Model reload attempts by outcome.", obs.L("result", "error")),
 		generation: reg.Gauge(MetricModelGeneration,
 			"Serving model generation (successful reloads applied)."),
+		batchSize: reg.Histogram(MetricServeBatchSize,
+			"Realized micro-batch size at dispatch.", nil),
 	}
 	for tier := Tier(0); tier < numTiers; tier++ {
 		l := obs.L("tier", tier.String())
@@ -310,6 +359,12 @@ func (t *serverTelemetry) deadlineExpired() {
 func (t *serverTelemetry) panicRecovered() {
 	if t != nil {
 		t.panics.Inc()
+	}
+}
+
+func (t *serverTelemetry) batchDispatched(size int) {
+	if t != nil {
+		t.batchSize.Observe(float64(size))
 	}
 }
 
@@ -385,6 +440,20 @@ func (s *Server) EnableTelemetry(reg *obs.Registry) {
 			func() float64 { st, _, _ := b.snapshot(); return float64(st) },
 			obs.L("tier", tier.String()))
 	}
+	if c := s.cache; c != nil {
+		reg.GaugeFunc(MetricSplitCacheHits,
+			"Split-cache hits served with zero inference.",
+			func() float64 { return float64(c.stats().Hits) })
+		reg.GaugeFunc(MetricSplitCacheMisses,
+			"Split-cache misses (request fell through to inference).",
+			func() float64 { return float64(c.stats().Misses) })
+		reg.GaugeFunc(MetricSplitCacheEvictions,
+			"Split-cache LRU evictions.",
+			func() float64 { return float64(c.stats().Evictions) })
+		reg.GaugeFunc(MetricSplitCacheSize,
+			"Split-cache entries currently resident.",
+			func() float64 { return float64(c.stats().Size) })
+	}
 	s.tel.generationChanged(s.generation.Load())
 }
 
@@ -412,6 +481,12 @@ func NewServer(m *core.Model, opts Options) *Server {
 	}
 	for i := range s.breakers {
 		s.breakers[i] = newBreaker(opts.BreakerThreshold, opts.BreakerCooloff)
+	}
+	if opts.BatchMaxSize > 1 {
+		s.batch = newBatcher(s, opts.BatchMaxSize, opts.BatchMaxLinger)
+	}
+	if opts.CacheEntries > 0 {
+		s.cache = newSplitCache(opts.CacheEntries, opts.CacheQuantum)
 	}
 	return s
 }
@@ -500,6 +575,15 @@ func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense) Dec
 		s.record(TierRejected, start)
 		return Decision{Tier: TierRejected, Err: err}
 	}
+	// Cache probe before any model work: a hit replays a previously vetted
+	// TierFull answer with zero inference and zero allocations. The cached
+	// matrix is shared read-only (see cache.go).
+	if s.cache != nil {
+		if splits := s.cache.get(p, demand); splits != nil {
+			s.record(TierCached, start)
+			return Decision{Splits: splits, Tier: TierCached}
+		}
+	}
 	var dec Decision
 	budget := func() (time.Duration, bool) {
 		if s.opts.Deadline <= 0 {
@@ -531,7 +615,13 @@ func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense) Dec
 				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: circuit open", tier.t))
 				continue
 			}
-			splits, err := s.safeInfer(tier.m, ctx, p, demand, left)
+			var splits *tensor.Dense
+			var err error
+			if tier.t == TierFull && s.batch != nil {
+				splits, err = s.batch.submit(tier.m, ctx, p, demand, left)
+			} else {
+				splits, err = s.safeInfer(tier.m, ctx, p, demand, left)
+			}
 			if err != nil {
 				if s.breakers[i].onFailure() {
 					s.tel.breakerTripped(i)
@@ -540,6 +630,9 @@ func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense) Dec
 				continue
 			}
 			s.breakers[i].onSuccess()
+			if tier.t == TierFull && s.cache != nil {
+				s.cache.put(p, demand, splits)
+			}
 			dec.Splits, dec.Tier = splits, tier.t
 			s.record(tier.t, start)
 			return dec

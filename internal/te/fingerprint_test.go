@@ -1,0 +1,90 @@
+package te
+
+import (
+	"math/rand"
+	"testing"
+
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+func fpProblem(capScale float64) *Problem {
+	g := topology.New("fp", 4)
+	g.AddEdge(0, 1, 10*capScale)
+	g.AddEdge(1, 2, 20*capScale)
+	g.AddEdge(2, 3, 10*capScale)
+	g.AddEdge(0, 3, 5*capScale)
+	set := tunnels.Compute(g, 2)
+	return NewProblem(g, set)
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a, b := fpProblem(1), fpProblem(1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("structurally identical problems hash differently: %x vs %x",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpProblem(1)
+	if got := fpProblem(2).Fingerprint(); got == base.Fingerprint() {
+		t.Fatal("capacity change did not change the fingerprint")
+	}
+	g := topology.New("fp", 5) // extra node, same edges
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 20)
+	g.AddEdge(2, 3, 10)
+	g.AddEdge(0, 3, 5)
+	if got := NewProblem(g, tunnels.Compute(g, 2)).Fingerprint(); got == base.Fingerprint() {
+		t.Fatal("node-count change did not change the fingerprint")
+	}
+	// Swap the two tunnels of some flow whose tunnels differ (padding by
+	// cycling can make a flow's K tunnels identical, where a swap is a
+	// no-op — and a seeded Shuffled call can happen to preserve order).
+	swapped := base.Tunnels.Shuffled(rand.New(rand.NewSource(1))) // deep copy
+	copy(swapped.PerFlow, base.Tunnels.PerFlow)
+	found := false
+	for i := range swapped.PerFlow {
+		a, b := swapped.PerFlow[i][0], swapped.PerFlow[i][1]
+		if len(a.Edges) != len(b.Edges) || a.Edges[0] != b.Edges[0] {
+			per := append([]tunnels.Tunnel(nil), swapped.PerFlow[i]...)
+			per[0], per[1] = per[1], per[0]
+			swapped.PerFlow[i] = per
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("test topology has no flow with two distinct tunnels")
+	}
+	if got := NewProblem(base.Graph, swapped).Fingerprint(); got == base.Fingerprint() {
+		t.Fatal("tunnel reorder did not change the fingerprint")
+	}
+}
+
+// TestFingerprintLiteralProblem: tests and tools build Problems as struct
+// literals without NewProblem; Fingerprint must tolerate that, including
+// nil Graph/Tunnels.
+func TestFingerprintLiteralProblem(t *testing.T) {
+	base := fpProblem(1)
+	lit := &Problem{Graph: base.Graph, Tunnels: base.Tunnels}
+	if lit.Fingerprint() != base.Fingerprint() {
+		t.Fatal("literal problem hashes differently from NewProblem")
+	}
+	empty := &Problem{}
+	if empty.Fingerprint() == base.Fingerprint() {
+		t.Fatal("empty problem collides with a real one")
+	}
+}
+
+func TestFingerprintZeroAllocsAfterFirst(t *testing.T) {
+	p := fpProblem(1)
+	p.Fingerprint()
+	if n := testing.AllocsPerRun(100, func() { p.Fingerprint() }); n != 0 {
+		t.Fatalf("cached Fingerprint allocates %v times per call", n)
+	}
+}

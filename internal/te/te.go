@@ -8,6 +8,7 @@ package te
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"harpte/internal/tensor"
 	"harpte/internal/topology"
@@ -22,6 +23,9 @@ type Problem struct {
 	Tunnels *tunnels.Set
 
 	incidence *tensor.CSR // E×T, cached
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // NewProblem builds a Problem and caches the edge-tunnel incidence.
@@ -31,6 +35,69 @@ func NewProblem(g *topology.Graph, set *tunnels.Set) *Problem {
 
 // Incidence returns the cached E×T edge-tunnel incidence matrix.
 func (p *Problem) Incidence() *tensor.CSR { return p.incidence }
+
+// Fingerprint returns a 64-bit structural hash of the problem: node count,
+// every edge's endpoints and capacity bits, the edge-node set, and the
+// full tunnel structure (K, flow endpoints, per-tunnel edge sequences).
+// Two problems with the same fingerprint route identically for the same
+// demand vector, so the serving layer uses it as the topology half of
+// split-cache keys and as the shard key for topology-cluster routing.
+//
+// The hash is computed lazily on first call and cached (Problems are
+// immutable once built); it is safe for concurrent use. It tolerates
+// Problems assembled as struct literals (nil Graph or Tunnels hash as
+// empty), since tests and tools build them without NewProblem.
+func (p *Problem) Fingerprint() uint64 {
+	p.fpOnce.Do(func() { p.fp = computeFingerprint(p.Graph, p.Tunnels) })
+	return p.fp
+}
+
+// FNV-1a, the same mixing the stdlib's hash/fnv uses, inlined so hashing a
+// problem allocates nothing.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h ^= (v >> s) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+func computeFingerprint(g *topology.Graph, set *tunnels.Set) uint64 {
+	h := uint64(fnvOffset)
+	if g != nil {
+		h = fnvMix(h, uint64(g.NumNodes))
+		h = fnvMix(h, uint64(len(g.Edges)))
+		for _, e := range g.Edges {
+			h = fnvMix(h, uint64(e.Src))
+			h = fnvMix(h, uint64(e.Dst))
+			h = fnvMix(h, math.Float64bits(e.Capacity))
+		}
+		h = fnvMix(h, uint64(len(g.EdgeNodes)))
+		for _, n := range g.EdgeNodes {
+			h = fnvMix(h, uint64(n))
+		}
+	}
+	if set != nil {
+		h = fnvMix(h, uint64(set.K))
+		h = fnvMix(h, uint64(len(set.Flows)))
+		for i, f := range set.Flows {
+			h = fnvMix(h, uint64(f.Src))
+			h = fnvMix(h, uint64(f.Dst))
+			for _, tun := range set.PerFlow[i] {
+				h = fnvMix(h, uint64(len(tun.Edges)))
+				for _, e := range tun.Edges {
+					h = fnvMix(h, uint64(e))
+				}
+			}
+		}
+	}
+	return h
+}
 
 // NumFlows returns the flow count.
 func (p *Problem) NumFlows() int { return len(p.Tunnels.Flows) }
