@@ -1,20 +1,22 @@
 # Tier-1 verification gate plus extras. `make check` is what CI should run.
 GO ?= go
 
-.PHONY: ci check vet build test race benchsmoke bench obssmoke verify fuzzsmoke
+.PHONY: ci check vet build test race benchsmoke bench obssmoke tracesmoke verify fuzzsmoke
 
 # ci is the hosted-CI entry point (.github/workflows/ci.yml): the full
 # check gate, ordered fastest-fail-first.
-ci: build vet test race fuzzsmoke obssmoke benchsmoke verify
+ci: build vet test race fuzzsmoke obssmoke tracesmoke benchsmoke verify
 
 # check runs static analysis, the full build, the full test suite, the
 # race detector on internal/core (exercises ParallelTrainStep's shared-
 # weight/private-gradient scheme under -race) and internal/obs (scrape-
-# while-write on the metrics registry), an admin-endpoint smoke test, a
-# one-iteration bench smoke that compiles and executes every benchmark
-# once so the perf harness can never silently rot, the differential-oracle
-# suite (internal/verify), and a short fuzzing pass over every fuzz target.
-check: vet build test race obssmoke benchsmoke verify fuzzsmoke
+# while-write on the metrics registry), an admin-endpoint smoke test, the
+# request-tracing smoke (flight recorder spans plus the tracing-disabled
+# zero-allocation pin), a one-iteration bench smoke that compiles and
+# executes every benchmark once so the perf harness can never silently
+# rot, the differential-oracle suite (internal/verify), and a short
+# fuzzing pass over every fuzz target.
+check: vet build test race obssmoke tracesmoke benchsmoke verify fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -58,7 +60,16 @@ fuzzsmoke:
 # obssmoke boots the observability admin endpoint on a loopback port and
 # scrapes /metrics, /debug/vars and /debug/pprof once.
 obssmoke:
-	$(GO) test -count=1 -run 'TestAdminEndpointSmoke' ./internal/obs
+	$(GO) test -count=1 -run 'TestAdminEndpointSmoke|TestAdminRouteTable' ./internal/obs
+
+# tracesmoke drives a coalesced burst through a traced server and checks
+# the flight-recorder dump (queue waits, cache misses, batch membership
+# links, per-stage forward timings, shed retention under hopeless sampling
+# odds), then pins that with tracing disabled the serve path stays
+# allocation-free even with SLO tracking and quality sampling attached.
+tracesmoke:
+	$(GO) test -count=1 -run 'TestTrace' ./internal/resilience
+	$(GO) test -count=1 -run 'TestFleetTraceHedgeWinRetained|TestFleetStatsTelemetryParity' ./internal/fleet
 
 # benchsmoke runs every benchmark exactly once in -short mode (experiment-
 # scale benchmarks in the root package skip themselves under -short).

@@ -362,6 +362,7 @@ func startAdmin(addr string) (*obs.Registry, func()) {
 	}
 	reg := obs.NewRegistry()
 	core.RegisterRuntimeGauges(reg)
+	obs.RegisterBuildInfo(reg, obs.L("component", "harpcli"))
 	admin, err := obs.ServeAdmin(addr, reg)
 	if err != nil {
 		fatal(err)

@@ -19,6 +19,7 @@
 //	         [-retry-budget R] [-metrics-addr host:port]
 //	         [-batch-max N] [-batch-linger D] [-cache-entries N] [-shard]
 //	         [-load-duration D] [-open-loop-rate R] [-load-workers N]
+//	         [-trace-dump FILE] [-trace-sample N] [-quality-every N]
 //
 // With -replicas N > 1 the replay serves through internal/fleet instead
 // of a single server: N replicas of the trained model behind the
@@ -41,11 +42,24 @@
 //
 // With -metrics-addr the replay serves the observability admin endpoint
 // while it runs: per-tier request counters and latency histograms, forward
-// -pass stage timings, and pool gauges on /metrics, plus expvar and pprof
+// -pass stage timings, pool gauges, build info, and SLO burn-rate gauges
+// on /metrics, plus expvar, pprof, and the flight-recorder trace dump
 // under /debug/ (and the harp_fleet_* series when -replicas > 1).
+//
+// -trace-dump (or -metrics-addr) arms the per-request flight recorder:
+// every request runs under a trace whose spans cover fleet dispatch,
+// queue waits, cache hits/misses, batch membership, and per-stage forward
+// timings. Tail-based sampling keeps errors, sheds, hedge wins, and
+// p99-slow requests while retaining only 1-in-(-trace-sample) of the
+// boring ones; the retained ring is written as JSON at exit (and served
+// live on /debug/traces). -quality-every N re-solves one in N served
+// requests with the exact simplex oracle in the background and reports
+// the achieved/optimal MLU ratio — the live answer to "how far from
+// optimal is what we are serving".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,10 +74,12 @@ import (
 	"harpte/internal/fleet"
 	"harpte/internal/lp"
 	"harpte/internal/obs"
+	"harpte/internal/obs/reqtrace"
 	"harpte/internal/resilience"
 	"harpte/internal/te"
 	"harpte/internal/tensor"
 	"harpte/internal/traffic"
+	"harpte/internal/verify"
 )
 
 func main() {
@@ -91,20 +107,46 @@ func main() {
 		loadDur     = flag.Duration("load-duration", 0, "run a post-replay load-generation phase for this long (0 skips it)")
 		openRate    = flag.Float64("open-loop-rate", 0, "load phase: open-loop arrival rate in req/s (0 = closed loop with -load-workers)")
 		loadWorkers = flag.Int("load-workers", 8, "load phase: concurrent workers in closed-loop mode")
+
+		traceDump    = flag.String("trace-dump", "", "write the flight-recorder trace dump to this file at exit (\"-\" for stdout)")
+		traceSample  = flag.Int("trace-sample", 64, "flight recorder: probabilistically retain 1-in-N boring traces (errors, sheds, hedge wins and p99-slow requests are always kept)")
+		qualityEvery = flag.Int("quality-every", 0, "re-solve 1-in-N served requests with the simplex oracle and score MLU vs optimal (0 disables)")
 	)
 	flag.Parse()
 
+	// The flight recorder runs whenever someone can see its output: a
+	// -trace-dump file at exit, or /debug/traces under -metrics-addr.
+	var rec *reqtrace.Recorder
+	if *traceDump != "" || *metrics != "" {
+		rec = reqtrace.NewRecorder(reqtrace.Options{SampleEvery: *traceSample})
+	}
 	var reg *obs.Registry
+	var slos *resilience.SLOSet
 	if *metrics != "" {
 		reg = obs.NewRegistry()
 		core.RegisterRuntimeGauges(reg)
-		admin, err := obs.ServeAdmin(*metrics, reg)
+		obs.RegisterBuildInfo(reg, obs.L("component", "tereplay"))
+		// One SLO set shared by all replicas: burn-rate gauges are
+		// last-writer-wins per label set, so per-server sets would shadow
+		// each other on a shared registry.
+		slos = resilience.NewSLOSet(resilience.SLOConfig{})
+		slos.Register(reg)
+		admin, err := obs.ServeAdminOpts(*metrics, obs.AdminOptions{Registry: reg, Traces: rec})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tereplay:", err)
 			os.Exit(1)
 		}
 		defer admin.Close()
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", admin.Addr())
+	}
+	var qm *verify.QualityMonitor
+	if *qualityEvery > 0 {
+		qm = verify.NewQualityMonitor(verify.QualityOptions{
+			SampleEvery: *qualityEvery,
+			OnSample:    func(_ float64, good bool) { slos.RecordQuality(good) },
+		})
+		defer qm.Close()
+		qm.EnableTelemetry(reg)
 	}
 
 	cfg := experiments.AnonNetConfig(experiments.Small)
@@ -164,6 +206,8 @@ func main() {
 			BatchMaxSize:     *batchMax,
 			BatchMaxLinger:   *batchLinger,
 			CacheEntries:     *cacheEnt,
+			SLO:              slos,
+			Quality:          qm,
 		})
 		if reg != nil {
 			// Same metric names resolve to shared counters, so the
@@ -188,10 +232,19 @@ func main() {
 	}
 
 	serveOne := func(p *te.Problem, d *tensor.Dense) resilience.Decision {
-		if fl != nil {
-			return fl.Serve(p, d).Decision
+		ctx := context.Background()
+		var root *reqtrace.Span
+		if rec != nil {
+			ctx, root = rec.StartTrace(ctx, "request")
 		}
-		return srv.Serve(p, d)
+		var dec resilience.Decision
+		if fl != nil {
+			dec = fl.ServeCtx(ctx, p, d).Decision
+		} else {
+			dec = srv.ServeCtx(ctx, p, d)
+		}
+		root.End()
+		return dec
 	}
 
 	fmt.Println("  t  cluster  event            tier         HARP-MLU  optimal   NormMLU")
@@ -279,6 +332,34 @@ func main() {
 	if *loadDur > 0 && len(pool) > 0 {
 		runLoadPhase(serveOne, pool, *loadDur, *openRate, *loadWorkers)
 		printServingStats(servers, *cacheEnt, *batchMax)
+	}
+
+	if qm != nil {
+		qm.Drain()
+		qst := qm.Stats()
+		fmt.Printf("quality: offered=%d sampled=%d dropped=%d worst-ratio=%.4f\n",
+			qst.Offered, qst.Sampled, qst.Dropped, qst.WorstRatio)
+	}
+	for _, s := range slos.Snapshot() {
+		fmt.Printf("slo %-13s burn 5m=%.2f 1h=%.2f\n", s.Name+":", s.Burn5m, s.Burn1h)
+	}
+	if *traceDump != "" {
+		w := os.Stdout
+		if *traceDump != "-" {
+			fh, err := os.Create(*traceDump)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tereplay:", err)
+				os.Exit(1)
+			}
+			defer fh.Close()
+			w = fh
+		}
+		if err := rec.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "tereplay: trace dump:", err)
+			os.Exit(1)
+		}
+		rst := rec.RecorderStats()
+		fmt.Fprintf(os.Stderr, "traces: retained=%d dropped=%d\n", rst.Retained, rst.Dropped)
 	}
 }
 

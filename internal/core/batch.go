@@ -30,6 +30,7 @@ import (
 
 	"harpte/internal/autograd"
 	"harpte/internal/obs"
+	"harpte/internal/obs/reqtrace"
 	"harpte/internal/te"
 	"harpte/internal/tensor"
 	"harpte/internal/verify"
@@ -317,24 +318,37 @@ var batchTapes = sync.Pool{New: func() any {
 // verify gate is on, every snapshot's routing invariants are re-checked
 // exactly as Splits does.
 func (m *Model) SplitsBatch(dst []*tensor.Dense, c *Context, demands []*tensor.Dense) []*tensor.Dense {
+	return m.SplitsBatchSpan(dst, c, demands, nil)
+}
+
+// SplitsBatchSpan is SplitsBatch with request-trace propagation: a
+// non-nil sp (typically a batch-dispatch root span) gains the shared
+// embedding stage spans plus one forward.adjust span covering the
+// per-snapshot MLP1/RAU work, and a verify-gate failure is recorded on
+// it. With a nil sp it is exactly SplitsBatch.
+func (m *Model) SplitsBatchSpan(dst []*tensor.Dense, c *Context, demands []*tensor.Dense, sp *reqtrace.Span) []*tensor.Dense {
 	if len(demands) == 0 {
 		return dst
 	}
 	ctx := c.inner
 	tp := batchTapes.Get().(*autograd.Tape)
-	emb := m.embed(tp, ctx)
+	emb := m.embed(tp, ctx, sp)
 	sc := inferScratches.Get().(*inferScratch)
 	sc.ensure(m, ctx)
 	sc.precompute(m, emb)
+	asp := sp.StartChild("forward.adjust")
+	asp.AnnotateInt("demands", int64(len(demands)))
 	for _, d := range demands {
 		dst = append(dst, sc.adjustInfer(m, ctx, d).Clone())
 	}
+	asp.End()
 	sc.release()
 	tp.Reset()
 	batchTapes.Put(tp)
 	if verify.Enabled() {
 		for i, d := range demands {
 			if err := verify.CheckRouting(ctx.p, dst[len(dst)-len(demands)+i], d); err != nil {
+				sp.SetError(err)
 				verify.Fail(err)
 			}
 		}

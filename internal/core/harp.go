@@ -25,6 +25,7 @@ import (
 	"harpte/internal/autograd"
 	"harpte/internal/nn"
 	"harpte/internal/obs"
+	"harpte/internal/obs/reqtrace"
 	"harpte/internal/te"
 	"harpte/internal/tensor"
 	"harpte/internal/verify"
@@ -339,8 +340,10 @@ type embedding struct {
 
 // embed runs stages 1–2 of the architecture (GNN topology encoder,
 // SETTRANS tunnel encoder): everything that depends on the topology and
-// parameters but not on the traffic matrix.
-func (m *Model) embed(tp *autograd.Tape, ctx *probContext) embedding {
+// parameters but not on the traffic matrix. sp, when non-nil, receives
+// per-stage child spans (request tracing); all reqtrace calls are
+// nil-safe no-ops otherwise.
+func (m *Model) embed(tp *autograd.Tape, ctx *probContext, sp *reqtrace.Span) embedding {
 	tel := m.tele
 	var span obs.Span
 
@@ -348,6 +351,7 @@ func (m *Model) embed(tp *autograd.Tape, ctx *probContext) embedding {
 	// Gathers over Context-owned index slices use the Stable variant:
 	// contexts are immutable, so the defensive copy GatherRows makes is
 	// wasted work on the hot path.
+	gsp := sp.StartChild("forward.gnn")
 	if tel != nil {
 		span = tel.gnn.Start()
 	}
@@ -359,6 +363,8 @@ func (m *Model) embed(tp *autograd.Tape, ctx *probContext) embedding {
 	edgeEmb := tp.Tanh(m.edgeProj.Forward(tp, edgeRaw))          // E×r
 
 	// ---- 2. tunnel embeddings (SETTRANS over hyperedge tokens) ----
+	gsp.End()
+	ssp := sp.StartChild("forward.settrans")
 	if tel != nil {
 		span.End()
 		span = tel.settrans.Start()
@@ -378,6 +384,7 @@ func (m *Model) embed(tp *autograd.Tape, ctx *probContext) embedding {
 	if tel != nil {
 		span.End()
 	}
+	ssp.End()
 	return emb
 }
 
@@ -387,16 +394,23 @@ func (m *Model) embed(tp *autograd.Tape, ctx *probContext) embedding {
 // predicted demand here and computes the loss against the true demand via
 // LossMLU.
 func (m *Model) Forward(tp *autograd.Tape, c *Context, demand *tensor.Dense) ForwardResult {
+	return m.forward(tp, c, demand, nil)
+}
+
+// forward is Forward with request-trace propagation: a non-nil sp gains
+// per-stage child spans (forward.gnn, forward.settrans, forward.mlp1,
+// forward.rau).
+func (m *Model) forward(tp *autograd.Tape, c *Context, demand *tensor.Dense, sp *reqtrace.Span) ForwardResult {
 	ctx := c.inner
-	emb := m.embed(tp, ctx)
-	return m.adjust(tp, ctx, emb, demand)
+	emb := m.embed(tp, ctx, sp)
+	return m.adjust(tp, ctx, emb, demand, sp)
 }
 
 // adjust runs stages 3–4 (MLP1 initial splits, RAU refinement) for one
 // demand matrix on top of a previously computed embedding. It is the
 // demand-dependent half of Forward; SplitsBatch calls it once per
 // snapshot against one shared embedding.
-func (m *Model) adjust(tp *autograd.Tape, ctx *probContext, emb embedding, demand *tensor.Dense) ForwardResult {
+func (m *Model) adjust(tp *autograd.Tape, ctx *probContext, emb embedding, demand *tensor.Dense, sp *reqtrace.Span) ForwardResult {
 	p := ctx.p
 	set := p.Tunnels
 	numFlows := len(set.Flows)
@@ -411,6 +425,7 @@ func (m *Model) adjust(tp *autograd.Tape, ctx *probContext, emb embedding, deman
 	var span obs.Span
 
 	// ---- demand features and constants ----
+	msp := sp.StartChild("forward.mlp1")
 	if tel != nil {
 		span = tel.mlp1.Start()
 	}
@@ -438,6 +453,13 @@ func (m *Model) adjust(tp *autograd.Tape, ctx *probContext, emb embedding, deman
 	if tel != nil {
 		span.End()
 	}
+	msp.End()
+	// One span covers the whole RAU loop — per-iteration spans would put
+	// tens of clock reads on the hot path; the iteration count is an
+	// attribute instead (the per-iteration histogram lives in the obs
+	// stage telemetry below).
+	rsp := sp.StartChild("forward.rau")
+	rsp.AnnotateInt("iterations", int64(m.Cfg.RAUIterations))
 	for it := 0; it < m.Cfg.RAUIterations; it++ {
 		if tel != nil {
 			span = tel.rauIter.Start()
@@ -509,6 +531,7 @@ func (m *Model) adjust(tp *autograd.Tape, ctx *probContext, emb embedding, deman
 			span.End()
 		}
 	}
+	rsp.End()
 	if tel != nil {
 		tel.passes.Inc()
 	}
@@ -575,12 +598,25 @@ var inferTapes = sync.Pool{New: func() any { return autograd.NewReusableTape() }
 // every inference; when off the gate is a single atomic load, preserving
 // the inference allocation pin.
 func (m *Model) Splits(c *Context, demand *tensor.Dense) *tensor.Dense {
+	return m.splits(nil, c, demand)
+}
+
+// SplitsSpan is Splits with request-trace propagation: a non-nil sp
+// gains per-stage forward child spans, and a verify-gate failure is
+// recorded on it (which pins the trace in the flight recorder). With a
+// nil sp it is exactly Splits.
+func (m *Model) SplitsSpan(sp *reqtrace.Span, c *Context, demand *tensor.Dense) *tensor.Dense {
+	return m.splits(sp, c, demand)
+}
+
+func (m *Model) splits(sp *reqtrace.Span, c *Context, demand *tensor.Dense) *tensor.Dense {
 	tp := inferTapes.Get().(*autograd.Tape)
-	out := m.Forward(tp, c, demand).Splits.Val.Clone()
+	out := m.forward(tp, c, demand, sp).Splits.Val.Clone()
 	tp.Reset()
 	inferTapes.Put(tp)
 	if verify.Enabled() {
 		if err := verify.CheckRouting(c.inner.p, out, demand); err != nil {
+			sp.SetError(err)
 			verify.Fail(err)
 		}
 	}

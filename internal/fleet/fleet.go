@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"harpte/internal/obs/reqtrace"
 	"harpte/internal/resilience"
 	"harpte/internal/te"
 	"harpte/internal/tensor"
@@ -60,6 +61,15 @@ type Replica interface {
 	Drain(ctx context.Context) error
 }
 
+// ContextReplica is an optional Replica extension: a backend that can
+// propagate a request context (request-trace spans, cancellation) into
+// its serving path. The dispatcher type-asserts for it per attempt and
+// falls back to plain Serve otherwise, so existing Replica
+// implementations keep working unchanged.
+type ContextReplica interface {
+	ServeCtx(ctx context.Context, p *te.Problem, demand *tensor.Dense) (resilience.Decision, error)
+}
+
 // Local adapts an in-process *resilience.Server to the Replica interface;
 // the transport never fails, so Serve's error is always nil.
 type Local struct{ S *resilience.Server }
@@ -67,6 +77,11 @@ type Local struct{ S *resilience.Server }
 // Serve delegates to the wrapped server.
 func (l Local) Serve(p *te.Problem, demand *tensor.Dense) (resilience.Decision, error) {
 	return l.S.Serve(p, demand), nil
+}
+
+// ServeCtx delegates to the wrapped server with trace propagation.
+func (l Local) ServeCtx(ctx context.Context, p *te.Problem, demand *tensor.Dense) (resilience.Decision, error) {
+	return l.S.ServeCtx(ctx, p, demand), nil
 }
 
 // Reload delegates to the wrapped server's canaried hot reload.
@@ -283,17 +298,33 @@ func (f *Fleet) Close() {
 // budget), vet every answer, and fall back to a locally computed ECMP
 // answer with ErrNoReplicas when the fleet cannot answer in time.
 func (f *Fleet) Serve(p *te.Problem, demand *tensor.Dense) Decision {
+	return f.ServeCtx(context.Background(), p, demand)
+}
+
+// ServeCtx is Serve with request-trace propagation: when ctx carries a
+// reqtrace span, the dispatch gets a "fleet.dispatch" child holding one
+// "fleet.attempt" span per replica tried (primary, hedge, failover),
+// each annotated with the replica id and outcome, and the context
+// (carrying the attempt span) flows into ContextReplica backends. A
+// hedge win pins the trace in the flight recorder. With no span in ctx
+// it behaves exactly like Serve.
+func (f *Fleet) ServeCtx(ctx context.Context, p *te.Problem, demand *tensor.Dense) Decision {
+	sp := reqtrace.FromContext(ctx)
 	// Validate once, locally: a malformed request must not burn retry
 	// budget proving each replica rejects it too.
 	if err := resilience.ValidateInput(p, demand); err != nil {
 		f.rejected.Add(1)
 		f.tel.requestRecorded(outcomeRejected)
+		sp.SetError(err)
 		return Decision{
 			Decision: resilience.Decision{Tier: resilience.TierRejected, Err: err},
 			Replica:  -1,
 		}
 	}
 	f.budget.earn()
+
+	dsp := sp.StartChild("fleet.dispatch")
+	defer dsp.End()
 
 	type attemptOut struct {
 		dec     resilience.Decision
@@ -308,9 +339,20 @@ func (f *Fleet) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 	tried := make([]bool, len(f.replicas))
 	launch := func(r *replica, hedge bool) {
 		tried[r.id] = true
+		asp := dsp.StartChild("fleet.attempt")
+		asp.AnnotateInt("replica", int64(r.id))
+		asp.AnnotateBool("hedge", hedge)
+		actx := ctx
+		if asp != nil {
+			actx = reqtrace.NewContext(ctx, asp)
+		}
 		go func() {
 			t0 := time.Now()
-			dec, err := f.attempt(r, p, demand)
+			dec, err := f.attempt(actx, r, p, demand)
+			if err != nil {
+				asp.SetError(err)
+			}
+			asp.End()
 			resCh <- attemptOut{dec, err, r, hedge, time.Since(t0)}
 		}()
 	}
@@ -326,7 +368,7 @@ func (f *Fleet) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 	primary := f.pick(p, tried)
 	if primary == nil {
 		return f.fallback(p, dec, fmt.Errorf("%w: 0 of %d replicas serviceable",
-			ErrNoReplicas, len(f.replicas)))
+			ErrNoReplicas, len(f.replicas)), sp)
 	}
 	launch(primary, false)
 	inFlight := 1
@@ -347,9 +389,14 @@ func (f *Fleet) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 				if out.hedge {
 					f.hedgeWins.Add(1)
 					f.tel.hedgeWon()
+					// A hedge that beat the primary is exactly the tail
+					// latency the operator tunes HedgeQuantile against.
+					dsp.Annotate("winner", "hedge")
+					sp.ForceRetain("hedge_win")
 				}
 				f.served.Add(1)
 				f.tel.requestRecorded(outcomeReplica)
+				dsp.AnnotateInt("served_by", int64(out.rep.id))
 				dec.Decision = out.dec
 				dec.Replica = out.rep.id
 				return dec
@@ -362,7 +409,7 @@ func (f *Fleet) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 				continue
 			}
 			if inFlight == 0 {
-				return f.fallback(p, dec, fmt.Errorf("%w: all attempts failed", ErrNoReplicas))
+				return f.fallback(p, dec, fmt.Errorf("%w: all attempts failed", ErrNoReplicas), sp)
 			}
 		case <-hedgeC:
 			hedgeC = nil
@@ -373,15 +420,16 @@ func (f *Fleet) Serve(p *te.Problem, demand *tensor.Dense) Decision {
 			}
 		case <-deadlineC:
 			return f.fallback(p, dec, fmt.Errorf("%w: deadline %v exceeded with %d attempts outstanding",
-				ErrNoReplicas, f.opts.Deadline, inFlight))
+				ErrNoReplicas, f.opts.Deadline, inFlight), sp)
 		}
 	}
 }
 
 // attempt runs one request against one replica under the per-try timeout,
 // vets the answer, and feeds the replica's health state machine. A nil
-// error return means the Decision holds vetted, routable splits.
-func (f *Fleet) attempt(r *replica, p *te.Problem, demand *tensor.Dense) (resilience.Decision, error) {
+// error return means the Decision holds vetted, routable splits. ctx
+// carries the attempt's trace span into ContextReplica backends.
+func (f *Fleet) attempt(ctx context.Context, r *replica, p *te.Problem, demand *tensor.Dense) (resilience.Decision, error) {
 	r.inflight.Add(1)
 	defer r.inflight.Add(-1)
 	type serveOut struct {
@@ -395,7 +443,13 @@ func (f *Fleet) attempt(r *replica, p *te.Problem, demand *tensor.Dense) (resili
 				ch <- serveOut{err: fmt.Errorf("replica panic: %v", rec)}
 			}
 		}()
-		d, err := r.backend.Serve(p, demand)
+		var d resilience.Decision
+		var err error
+		if cr, ok := r.backend.(ContextReplica); ok {
+			d, err = cr.ServeCtx(ctx, p, demand)
+		} else {
+			d, err = r.backend.Serve(p, demand)
+		}
 		ch <- serveOut{d, err}
 	}()
 	var out serveOut
@@ -449,10 +503,12 @@ func (f *Fleet) attempt(r *replica, p *te.Problem, demand *tensor.Dense) (resili
 // fallback resolves a request the fleet could not answer: a locally
 // computed ECMP split matrix (uniform, rescaled off failed tunnels — pure
 // arithmetic on the validated input) plus the typed reason no replica
-// answered. The caller always gets routable ratios.
-func (f *Fleet) fallback(p *te.Problem, dec Decision, err error) Decision {
+// answered. The caller always gets routable ratios. The trace, when one
+// exists, records the fleet-level degradation and is always retained.
+func (f *Fleet) fallback(p *te.Problem, dec Decision, err error, sp *reqtrace.Span) Decision {
 	f.fallbacks.Add(1)
 	f.tel.requestRecorded(outcomeFallback)
+	sp.SetError(err)
 	dec.Splits = te.NormalizeRows(te.Rescale(p, p.UniformSplits()))
 	dec.Tier = resilience.TierECMP
 	dec.Replica = -1
@@ -612,7 +668,7 @@ func (f *Fleet) verifyReplica(r *replica) error {
 	if p == nil {
 		return nil
 	}
-	_, err := f.attempt(r, p, d)
+	_, err := f.attempt(context.Background(), r, p, d)
 	return err
 }
 

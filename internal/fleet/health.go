@@ -14,6 +14,7 @@ package fleet
 // detector (or its probe) is the more likely fault.
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -182,7 +183,7 @@ func (f *Fleet) CheckHealth() {
 		go func(r *replica) {
 			defer wg.Done()
 			f.probes.Add(1)
-			if _, err := f.attempt(r, p, d); err != nil {
+			if _, err := f.attempt(context.Background(), r, p, d); err != nil {
 				f.probeFails.Add(1)
 				f.tel.probeRecorded(false)
 			} else {

@@ -92,6 +92,96 @@ func TestAdminEndpointSmoke(t *testing.T) {
 	}
 }
 
+// fakeDumper is a TraceDumper returning a canned JSON body.
+type fakeDumper struct{ body string }
+
+func (f *fakeDumper) WriteJSON(w io.Writer) error {
+	_, err := io.WriteString(w, f.body)
+	return err
+}
+
+// TestAdminRouteTable drives every admin route through GET and POST,
+// checking status, explicit Content-Type, and the Allow header on 405.
+// The admin endpoint is strictly read-only; even /debug/pprof/symbol
+// (whose upstream handler accepts POST) rejects non-GET here.
+func TestAdminRouteTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("route_requests_total", "requests").Add(1)
+	a, err := ServeAdminOpts("127.0.0.1:0", AdminOptions{
+		Registry: r,
+		Traces:   &fakeDumper{body: `{"retained":1,"dropped":0,"traces":[]}` + "\n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	base := "http://" + a.Addr()
+	cl := &http.Client{Timeout: 5 * time.Second}
+
+	routes := []struct {
+		path        string
+		contentType string // "" = handler-chosen, not asserted
+		bodyHas     string
+	}{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8", "route_requests_total 1"},
+		{"/debug/vars", "application/json; charset=utf-8", "memstats"},
+		{"/debug/traces", "application/json; charset=utf-8", `"retained":1`},
+		{"/debug/pprof/", "", "goroutine"},
+		{"/debug/pprof/cmdline", "", ""},
+		{"/", "text/plain; charset=utf-8", "/debug/traces"},
+	}
+	for _, rt := range routes {
+		t.Run("GET"+rt.path, func(t *testing.T) {
+			resp, err := cl.Get(base + rt.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d, want 200", resp.StatusCode)
+			}
+			if rt.contentType != "" && resp.Header.Get("Content-Type") != rt.contentType {
+				t.Fatalf("Content-Type %q, want %q", resp.Header.Get("Content-Type"), rt.contentType)
+			}
+			if rt.bodyHas != "" && !strings.Contains(string(body), rt.bodyHas) {
+				t.Fatalf("body missing %q:\n%.200s", rt.bodyHas, body)
+			}
+		})
+		t.Run("POST"+rt.path, func(t *testing.T) {
+			resp, err := cl.Post(base+rt.path, "text/plain", strings.NewReader("x"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("status %d, want 405", resp.StatusCode)
+			}
+			if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+				t.Fatalf("Allow %q, want GET", allow)
+			}
+		})
+	}
+}
+
+// TestAdminTracesNilDumper: /debug/traces without a recorder serves an
+// empty, valid dump rather than 404ing (dashboards stay wired up).
+func TestAdminTracesNilDumper(t *testing.T) {
+	a, err := ServeAdminOpts("127.0.0.1:0", AdminOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	code, body := get(t, "http://"+a.Addr()+"/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	if strings.TrimSpace(body) != `{"retained":0,"dropped":0,"traces":[]}` {
+		t.Fatalf("body %q, want empty dump", body)
+	}
+}
+
 func TestServeAdminNilRegistry(t *testing.T) {
 	a, err := ServeAdmin("127.0.0.1:0", nil)
 	if err != nil {

@@ -1,0 +1,80 @@
+package obs
+
+// Build and process identity metrics, so every scrape is attributable to
+// a specific binary (and, via caller-supplied labels, a weights/model
+// pair): the standard harp_build_info constant-1 gauge pattern plus a
+// process-uptime gauge.
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Metric names emitted by RegisterBuildInfo.
+const (
+	// MetricBuildInfo is a constant-1 gauge whose labels carry the build
+	// identity: version (VCS revision or module version), go_version, and
+	// any caller-supplied labels (e.g. model="checkpoint.harp").
+	MetricBuildInfo = "harp_build_info"
+	// MetricProcessUptime gauges seconds since the process started.
+	MetricProcessUptime = "harp_process_uptime_seconds"
+)
+
+// processStart anchors the uptime gauge. Package init time is close
+// enough to process start for attribution purposes.
+var processStart = time.Now()
+
+// RegisterBuildInfo registers the build-identity and uptime gauges on
+// reg. extra labels (e.g. L("model", path)) are appended to the
+// build-info label set, letting a serving process stamp which weights it
+// runs alongside which binary. No-op on a nil registry.
+func RegisterBuildInfo(reg *Registry, extra ...Label) {
+	if reg == nil {
+		return
+	}
+	labels := make([]Label, 0, 2+len(extra))
+	labels = append(labels,
+		L("version", buildVersion()),
+		L("go_version", runtime.Version()))
+	labels = append(labels, extra...)
+	reg.Gauge(MetricBuildInfo,
+		"Build identity (constant 1; the labels carry the information).",
+		labels...).Set(1)
+	reg.GaugeFunc(MetricProcessUptime,
+		"Seconds since the process started.",
+		func() float64 { return time.Since(processStart).Seconds() })
+}
+
+// buildVersion extracts the best available build identity: the VCS
+// revision stamped by the Go toolchain (suffixed -dirty for modified
+// trees), the module version for released builds, or "devel".
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "-dirty"
+		}
+		return rev
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "devel"
+}

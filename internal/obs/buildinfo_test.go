@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfoExposition(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, L("component", "test"), L("model", "ckpt.harp"))
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, MetricBuildInfo+"{") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("exposition missing %s sample:\n%s", MetricBuildInfo, out)
+	}
+	for _, want := range []string{
+		`version="`, `go_version="go`, `component="test"`, `model="ckpt.harp"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("build info line missing %s: %q", want, line)
+		}
+	}
+	if !strings.HasSuffix(line, "} 1") {
+		t.Fatalf("build info gauge not constant 1: %q", line)
+	}
+	if !strings.Contains(out, MetricProcessUptime+" ") {
+		t.Fatalf("exposition missing %s:\n%s", MetricProcessUptime, out)
+	}
+	// Uptime must be a sane non-negative number.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, MetricProcessUptime+" ") {
+			if strings.HasPrefix(strings.TrimPrefix(l, MetricProcessUptime+" "), "-") {
+				t.Fatalf("negative uptime: %q", l)
+			}
+		}
+	}
+}
+
+func TestRegisterBuildInfoNilRegistry(t *testing.T) {
+	RegisterBuildInfo(nil) // must not panic
+}

@@ -1,0 +1,263 @@
+package reqtrace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: every entry point must no-op on nil receivers — the
+// disabled-tracing serve path calls them unconditionally.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	ctx, sp := r.StartTrace(context.Background(), "root")
+	if sp != nil {
+		t.Fatal("nil recorder returned a span")
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext on untouched ctx = %v", got)
+	}
+	var nilSpan *Span
+	nilSpan.Annotate("k", "v")
+	nilSpan.AnnotateInt("k", 1)
+	nilSpan.AnnotateFloat("k", 1.5)
+	nilSpan.AnnotateBool("k", true)
+	nilSpan.AnnotateTrace("k", 7)
+	nilSpan.SetError(errors.New("x"))
+	nilSpan.ForceRetain("because")
+	nilSpan.End()
+	if c := nilSpan.StartChild("child"); c != nil {
+		t.Fatal("child of nil span should be nil")
+	}
+	if lr := nilSpan.NewLinkedRoot("batch"); lr != nil {
+		t.Fatal("linked root of nil span should be nil")
+	}
+	if st := r.RecorderStats(); st != (Stats{}) {
+		t.Fatalf("nil recorder stats = %+v", st)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("nil dump not valid JSON: %v", err)
+	}
+	if len(d.Traces) != 0 {
+		t.Fatalf("nil dump has traces: %+v", d)
+	}
+}
+
+// TestParentLinksAndContext: spans nest through contexts with correct
+// parent IDs, and the dump reproduces the structure.
+func TestParentLinksAndContext(t *testing.T) {
+	r := NewRecorder(Options{SampleEvery: 1})
+	ctx, root := r.StartTrace(context.Background(), "serve")
+	if root == nil || FromContext(ctx) != root {
+		t.Fatal("context does not carry the root span")
+	}
+	child := StartSpan(ctx, "dispatch")
+	grand := child.StartChild("attempt")
+	grand.AnnotateInt("replica", 2)
+	grand.AnnotateBool("hedge", false)
+	grand.End()
+	child.End()
+	root.Annotate("tier", "full")
+	root.End()
+
+	d := r.Snapshot()
+	if len(d.Traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(d.Traces))
+	}
+	tr := d.Traces[0]
+	if len(tr.Spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(tr.Spans))
+	}
+	byName := map[string]SpanDump{}
+	for _, s := range tr.Spans {
+		byName[s.Name] = s
+	}
+	if byName["serve"].Parent != 0 || byName["serve"].ID != 1 {
+		t.Fatalf("root span wrong: %+v", byName["serve"])
+	}
+	if byName["dispatch"].Parent != byName["serve"].ID {
+		t.Fatalf("dispatch parent %d, want %d", byName["dispatch"].Parent, byName["serve"].ID)
+	}
+	if byName["attempt"].Parent != byName["dispatch"].ID {
+		t.Fatalf("attempt parent %d, want %d", byName["attempt"].Parent, byName["dispatch"].ID)
+	}
+	if got := byName["attempt"].Attrs["replica"]; got != int64(2) {
+		t.Fatalf("replica attr = %v (%T)", got, got)
+	}
+	if byName["serve"].DurUS < 0 {
+		t.Fatal("ended root has dur_us < 0")
+	}
+}
+
+// TestTailSampling: boring traces keep 1-in-N; flagged traces always
+// survive.
+func TestTailSampling(t *testing.T) {
+	r := NewRecorder(Options{SampleEvery: 10, Capacity: 128})
+	for i := 0; i < 40; i++ {
+		_, sp := r.StartTrace(context.Background(), "boring")
+		sp.End()
+	}
+	st := r.RecorderStats()
+	if st.Retained != 4 || st.Dropped != 36 {
+		t.Fatalf("boring sampling: retained=%d dropped=%d, want 4/36", st.Retained, st.Dropped)
+	}
+	for i := 0; i < 5; i++ {
+		_, sp := r.StartTrace(context.Background(), "shed")
+		sp.ForceRetain("shed")
+		sp.End()
+	}
+	_, sp := r.StartTrace(context.Background(), "broken")
+	sp.SetError(errors.New("inference panic"))
+	sp.End()
+	st = r.RecorderStats()
+	if st.Retained != 10 {
+		t.Fatalf("flagged traces not all retained: %+v", st)
+	}
+	reasons := map[string]int{}
+	for _, tr := range r.Snapshot().Traces {
+		reasons[tr.Reason]++
+	}
+	if reasons["shed"] != 5 || reasons["error"] != 1 || reasons["sampled"] != 4 {
+		t.Fatalf("retain reasons = %v", reasons)
+	}
+}
+
+// TestRingWrap: the ring keeps only the newest Capacity traces, oldest
+// evicted first, while the cumulative tallies keep counting.
+func TestRingWrap(t *testing.T) {
+	r := NewRecorder(Options{SampleEvery: 1, Capacity: 2})
+	for _, name := range []string{"a", "b", "c"} {
+		_, sp := r.StartTrace(context.Background(), name)
+		sp.End()
+	}
+	d := r.Snapshot()
+	if len(d.Traces) != 2 {
+		t.Fatalf("ring holds %d traces, want 2", len(d.Traces))
+	}
+	if d.Traces[0].Spans[0].Name != "b" || d.Traces[1].Spans[0].Name != "c" {
+		t.Fatalf("ring kept %q,%q; want b,c", d.Traces[0].Spans[0].Name, d.Traces[1].Spans[0].Name)
+	}
+	if d.Retained != 3 {
+		t.Fatalf("cumulative retained = %d, want 3", d.Retained)
+	}
+}
+
+// TestSlowRetention: once the duration window is primed, a root far
+// beyond p99 is retained as "slow" even when sampling would drop it.
+func TestSlowRetention(t *testing.T) {
+	r := NewRecorder(Options{SampleEvery: 1 << 30})
+	// Prime the window past slowMinSamples with ~1ms roots.
+	for i := 0; i < slowMinSamples+slowRefreshEvery; i++ {
+		r.observeRoot(time.Millisecond)
+	}
+	if r.slowNs.Load() == 0 {
+		t.Fatal("slow threshold not armed after priming")
+	}
+	_, fast := r.StartTrace(context.Background(), "fast")
+	fast.End()
+	_, slow := r.StartTrace(context.Background(), "slow")
+	slow.tr.mu.Lock()
+	slow.start = slow.start.Add(-time.Second) // simulate a 1s request
+	slow.tr.mu.Unlock()
+	slow.End()
+	d := r.Snapshot()
+	if len(d.Traces) != 1 || d.Traces[0].Reason != "slow" {
+		t.Fatalf("slow retention: %+v", d.Traces)
+	}
+}
+
+// TestLinkedRoot: a batch-style linked trace is always retained and
+// links back to its origin; AnnotateTrace round-trips through JSON.
+func TestLinkedRoot(t *testing.T) {
+	r := NewRecorder(Options{SampleEvery: 1 << 30}) // drop all boring traces
+	_, root := r.StartTrace(context.Background(), "request")
+	batch := root.NewLinkedRoot("batch.dispatch")
+	batch.AnnotateInt("size", 3)
+	root.AnnotateTrace("batch_trace", batch.TraceID())
+	root.ForceRetain("test")
+	batch.End()
+	root.End()
+
+	d := r.Snapshot()
+	if len(d.Traces) != 2 {
+		t.Fatalf("retained %d traces, want 2 (request + batch)", len(d.Traces))
+	}
+	var req, bt *TraceDump
+	for i := range d.Traces {
+		switch d.Traces[i].Spans[0].Name {
+		case "request":
+			req = &d.Traces[i]
+		case "batch.dispatch":
+			bt = &d.Traces[i]
+		}
+	}
+	if req == nil || bt == nil {
+		t.Fatalf("missing traces in dump: %+v", d.Traces)
+	}
+	if bt.Link != req.Trace {
+		t.Fatalf("batch link %q != request trace %q", bt.Link, req.Trace)
+	}
+	if got := req.Spans[0].Attrs["batch_trace"]; got != bt.Trace {
+		t.Fatalf("batch_trace attr %v != batch trace id %q", got, bt.Trace)
+	}
+	if bt.Reason != "linked" {
+		t.Fatalf("batch retain reason %q", bt.Reason)
+	}
+}
+
+// TestConcurrentAnnotateAndExport: hedged attempts annotate concurrently
+// with the root ending and a dump running — must not race (run under
+// make race via ./internal/obs/...).
+func TestConcurrentAnnotateAndExport(t *testing.T) {
+	r := NewRecorder(Options{SampleEvery: 1})
+	_, root := r.StartTrace(context.Background(), "request")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := root.StartChild("attempt")
+			for j := 0; j < 50; j++ {
+				sp.AnnotateInt("try", int64(j))
+			}
+			sp.End()
+		}(i)
+	}
+	root.End() // publish while children still annotate
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if err := r.WriteJSON(&buf); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDoubleEndHarmless: ending a span twice keeps the first end time.
+func TestDoubleEndHarmless(t *testing.T) {
+	r := NewRecorder(Options{SampleEvery: 1})
+	_, root := r.StartTrace(context.Background(), "request")
+	root.End()
+	first := r.Snapshot().Traces[0].Spans[0].DurUS
+	time.Sleep(2 * time.Millisecond)
+	root.End()
+	if again := r.Snapshot().Traces[0].Spans[0].DurUS; again != first {
+		t.Fatalf("second End changed duration: %v -> %v", first, again)
+	}
+	if st := r.RecorderStats(); st.Retained != 1 {
+		t.Fatalf("double End published twice: %+v", st)
+	}
+}

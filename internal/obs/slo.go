@@ -1,0 +1,166 @@
+package obs
+
+// Multi-window SLO burn-rate tracking. An SLO tracks good/bad events over
+// a one-hour sliding window of 5-second buckets and exposes the
+// error-budget burn rate — (observed bad fraction) / (allowed bad
+// fraction) — over short (5m) and long (1h) windows. A burn rate of 1
+// consumes the budget exactly at the rate the target allows; the standard
+// multi-window alerting rule pages when BOTH windows burn hot, so a
+// transient blip (short window only) or stale history (long window only)
+// does not page. See RUNBOOK.md for the suggested thresholds.
+//
+// The recording path is one mutex acquisition and integer arithmetic —
+// no allocations, preserving the serve-path allocation pins — and
+// nil-safe: a nil *SLO records nothing.
+
+import (
+	"sync"
+	"time"
+)
+
+// MetricSLOBurnRate is the burn-rate gauge family registered by
+// SLO.Register (labels: slo=<name>, window="5m"|"1h").
+const MetricSLOBurnRate = "harp_slo_burn_rate"
+
+const (
+	sloBucketSeconds = 5
+	sloBucketCount   = 720 // 1 hour of 5-second buckets
+	// SLOShortWindow and SLOLongWindow are the two burn-rate windows
+	// Register exposes.
+	SLOShortWindow = 5 * time.Minute
+	SLOLongWindow  = time.Hour
+)
+
+// SLO tracks one objective. Safe for concurrent use; nil disables.
+type SLO struct {
+	name   string
+	target float64
+	now    func() time.Time // injectable for tests
+
+	mu   sync.Mutex
+	good [sloBucketCount]int64
+	bad  [sloBucketCount]int64
+	last int64 // absolute bucket number of the newest bucket written
+}
+
+// NewSLO builds an SLO named name (the slo= label value) with the given
+// success-fraction target (e.g. 0.999 = three nines). Targets outside
+// (0, 1) are clamped to sane bounds so the burn rate stays finite.
+func NewSLO(name string, target float64) *SLO {
+	if target <= 0 {
+		target = 0.5
+	}
+	if target >= 1 {
+		target = 0.999999
+	}
+	return &SLO{name: name, target: target, now: time.Now}
+}
+
+// Name returns the SLO's name. Nil-safe.
+func (s *SLO) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Record tallies one event against the objective. Nil-safe, no
+// allocations.
+func (s *SLO) Record(good bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	b := s.advanceLocked()
+	if good {
+		s.good[b%sloBucketCount]++
+	} else {
+		s.bad[b%sloBucketCount]++
+	}
+	s.mu.Unlock()
+}
+
+// advanceLocked rolls the bucket ring forward to the current bucket,
+// zeroing every bucket skipped since the last write, and returns the
+// current absolute bucket number. Caller holds s.mu.
+func (s *SLO) advanceLocked() int64 {
+	b := s.now().Unix() / sloBucketSeconds
+	if s.last == 0 {
+		s.last = b
+		return b
+	}
+	gap := b - s.last
+	if gap > sloBucketCount {
+		gap = sloBucketCount
+	}
+	for i := int64(1); i <= gap; i++ {
+		idx := (s.last + i) % sloBucketCount
+		s.good[idx] = 0
+		s.bad[idx] = 0
+	}
+	if b > s.last {
+		s.last = b
+	}
+	return b
+}
+
+// Counts returns the good/bad tallies within the trailing window.
+// Nil-safe.
+func (s *SLO) Counts(window time.Duration) (good, bad int64) {
+	if s == nil {
+		return 0, 0
+	}
+	n := int64(window / (sloBucketSeconds * time.Second))
+	if n <= 0 {
+		n = 1
+	}
+	if n > sloBucketCount {
+		n = sloBucketCount
+	}
+	s.mu.Lock()
+	b := s.advanceLocked()
+	for i := int64(0); i < n; i++ {
+		idx := (b - i) % sloBucketCount
+		if idx < 0 {
+			idx += sloBucketCount
+		}
+		good += s.good[idx]
+		bad += s.bad[idx]
+	}
+	s.mu.Unlock()
+	return good, bad
+}
+
+// BurnRate returns the error-budget burn rate over the trailing window:
+// (bad / total) / (1 - target). 0 when the window saw no traffic (no
+// traffic burns no budget). Nil-safe.
+func (s *SLO) BurnRate(window time.Duration) float64 {
+	if s == nil {
+		return 0
+	}
+	good, bad := s.Counts(window)
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - s.target)
+}
+
+// Register exposes the SLO's burn rate on reg as MetricSLOBurnRate
+// gauges for the 5m and 1h windows, evaluated at scrape time. No-op on a
+// nil receiver or registry.
+func (s *SLO) Register(reg *Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	for _, w := range []struct {
+		label  string
+		window time.Duration
+	}{{"5m", SLOShortWindow}, {"1h", SLOLongWindow}} {
+		w := w
+		reg.GaugeFunc(MetricSLOBurnRate,
+			"Error-budget burn rate: (bad fraction)/(1-target); 1.0 consumes the budget exactly on schedule.",
+			func() float64 { return s.BurnRate(w.window) },
+			L("slo", s.name), L("window", w.label))
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloAt pins the SLO's clock to a mutable instant for deterministic
+// window arithmetic.
+func sloAt(name string, target float64, t0 *time.Time) *SLO {
+	s := NewSLO(name, target)
+	s.now = func() time.Time { return *t0 }
+	return s
+}
+
+func TestSLOBurnRate(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	s := sloAt("availability", 0.99, &now)
+
+	if br := s.BurnRate(SLOShortWindow); br != 0 {
+		t.Fatalf("empty SLO burn rate = %v, want 0", br)
+	}
+	// 1% bad at a 99% target burns at exactly rate 1.
+	for i := 0; i < 99; i++ {
+		s.Record(true)
+	}
+	s.Record(false)
+	if br := s.BurnRate(SLOShortWindow); math.Abs(br-1) > 1e-9 {
+		t.Fatalf("1%% bad at 99%% target: burn = %v, want 1", br)
+	}
+	// 10% bad burns 10x.
+	now = now.Add(sloBucketSeconds * time.Second)
+	for i := 0; i < 9; i++ {
+		s.Record(true)
+	}
+	s.Record(false)
+	good, bad := s.Counts(SLOLongWindow)
+	if good != 108 || bad != 2 {
+		t.Fatalf("1h counts = %d/%d, want 108/2", good, bad)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	now := time.Unix(2_000_000, 0)
+	s := sloAt("latency", 0.9, &now)
+	for i := 0; i < 10; i++ {
+		s.Record(false)
+	}
+	if _, bad := s.Counts(SLOShortWindow); bad != 10 {
+		t.Fatalf("bad in 5m = %d, want 10", bad)
+	}
+	// 6 minutes later the 5m window is clean but the 1h window still sees
+	// the burn.
+	now = now.Add(6 * time.Minute)
+	if _, bad := s.Counts(SLOShortWindow); bad != 0 {
+		t.Fatalf("bad in 5m after 6min = %d, want 0", bad)
+	}
+	if _, bad := s.Counts(SLOLongWindow); bad != 10 {
+		t.Fatalf("bad in 1h after 6min = %d, want 10", bad)
+	}
+	// 2 hours later everything has aged out, including after a gap far
+	// longer than the ring.
+	now = now.Add(2 * time.Hour)
+	s.Record(true)
+	if good, bad := s.Counts(SLOLongWindow); good != 1 || bad != 0 {
+		t.Fatalf("counts after 2h gap = %d/%d, want 1/0", good, bad)
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Record(true)
+	s.Register(NewRegistry())
+	if br := s.BurnRate(time.Minute); br != 0 {
+		t.Fatalf("nil burn rate = %v", br)
+	}
+	if s.Name() != "" {
+		t.Fatal("nil name")
+	}
+}
+
+func TestSLORegisterExposition(t *testing.T) {
+	now := time.Unix(3_000_000, 0)
+	s := sloAt("availability", 0.5, &now)
+	reg := NewRegistry()
+	s.Register(reg)
+	for i := 0; i < 5; i++ {
+		s.Record(true)
+		s.Record(false)
+	}
+	// 50% bad at a 50% target burns at exactly 1.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		MetricSLOBurnRate + `{slo="availability",window="5m"} 1`,
+		MetricSLOBurnRate + `{slo="availability",window="1h"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSLOTargetClamp(t *testing.T) {
+	for _, target := range []float64{-1, 0, 1, 2} {
+		s := NewSLO("x", target)
+		s.Record(false)
+		if br := s.BurnRate(time.Minute); math.IsInf(br, 0) || math.IsNaN(br) || br <= 0 {
+			t.Fatalf("target %v: burn rate %v not finite positive", target, br)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"harpte/internal/obs/reqtrace"
 )
 
 // ErrOverload tags every load-shedding failure: the request was turned
@@ -62,12 +64,15 @@ func shedReasonLabel(r int) string {
 // admit runs the admission gate: it registers the request as in-flight,
 // then acquires a concurrency slot — immediately, or after a bounded,
 // deadline-aware wait in the queue. It returns admitted=false with a
-// fully-formed shed Decision when the request must be turned away.
-func (s *Server) admit(start time.Time) (dec Decision, admitted bool) {
+// fully-formed shed Decision when the request must be turned away. A
+// queued wait is recorded as a "queue.wait" child of sp; the no-gate and
+// free-slot fast paths never touch the span, preserving the
+// zero-allocation pin.
+func (s *Server) admit(start time.Time, sp *reqtrace.Span) (dec Decision, admitted bool) {
 	s.inflight.Add(1)
 	if s.draining.Load() {
 		s.exitInflight()
-		return s.shed(start, shedDraining, ErrDraining), false
+		return s.shed(start, shedDraining, ErrDraining, sp), false
 	}
 	if s.sem == nil {
 		return Decision{}, true
@@ -81,15 +86,17 @@ func (s *Server) admit(start time.Time) (dec Decision, admitted bool) {
 	if depth := s.queued.Add(1); depth > int64(s.opts.MaxQueueDepth) {
 		s.queued.Add(-1)
 		s.exitInflight()
-		return s.shed(start, shedQueueFull, errQueueFull), false
+		return s.shed(start, shedQueueFull, errQueueFull, sp), false
 	}
 	defer s.queued.Add(-1)
+	qsp := sp.StartChild("queue.wait")
+	defer qsp.End()
 	var expired <-chan time.Time
 	if s.opts.Deadline > 0 {
 		left := s.opts.Deadline - time.Since(start)
 		if left <= 0 {
 			s.exitInflight()
-			return s.shed(start, shedQueueDeadline, errQueueDeadline), false
+			return s.shed(start, shedQueueDeadline, errQueueDeadline, sp), false
 		}
 		timer := time.NewTimer(left)
 		defer timer.Stop()
@@ -100,10 +107,10 @@ func (s *Server) admit(start time.Time) (dec Decision, admitted bool) {
 		return Decision{}, true
 	case <-expired:
 		s.exitInflight()
-		return s.shed(start, shedQueueDeadline, errQueueDeadline), false
+		return s.shed(start, shedQueueDeadline, errQueueDeadline, sp), false
 	case <-s.drainCh:
 		s.exitInflight()
-		return s.shed(start, shedDraining, ErrDraining), false
+		return s.shed(start, shedDraining, ErrDraining, sp), false
 	}
 }
 
@@ -128,11 +135,17 @@ func (s *Server) exitInflight() {
 }
 
 // shed records one turned-away request (tier "shed") and builds its
-// Decision. No splits are produced; Err carries the typed reason.
-func (s *Server) shed(start time.Time, reason int, err error) Decision {
+// Decision. No splits are produced; Err carries the typed reason. A shed
+// is always retained by the flight recorder — a shed storm is exactly
+// when the operator pulls traces.
+func (s *Server) shed(start time.Time, reason int, err error, sp *reqtrace.Span) Decision {
 	s.sheds[reason].Add(1)
 	s.record(TierShed, start)
 	s.tel.shedRecorded(reason)
+	if sp != nil {
+		sp.Annotate("shed_reason", shedReasonLabel(reason))
+		sp.ForceRetain("shed")
+	}
 	return Decision{Tier: TierShed, Err: err}
 }
 

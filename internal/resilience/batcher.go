@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"harpte/internal/core"
+	"harpte/internal/obs/reqtrace"
 	"harpte/internal/te"
 	"harpte/internal/tensor"
 )
@@ -47,6 +48,7 @@ type batchWaiter struct {
 	p      *te.Problem
 	demand *tensor.Dense
 	ch     chan batchResult
+	sp     *reqtrace.Span // the member's tier span; nil when untraced
 }
 
 type pendingBatch struct {
@@ -88,8 +90,8 @@ func newBatcher(srv *Server, maxSize int, linger time.Duration) *batcher {
 // batched result under the caller's remaining budget. budget <= 0 means no
 // deadline. The first member arms the linger timer; the member that fills
 // the batch detaches it and triggers dispatch immediately.
-func (b *batcher) submit(m *core.Model, ctx *core.Context, p *te.Problem, demand *tensor.Dense, budget time.Duration) (*tensor.Dense, error) {
-	w := batchWaiter{p: p, demand: demand, ch: make(chan batchResult, 1)}
+func (b *batcher) submit(m *core.Model, ctx *core.Context, p *te.Problem, demand *tensor.Dense, budget time.Duration, sp *reqtrace.Span) (*tensor.Dense, error) {
+	w := batchWaiter{p: p, demand: demand, ch: make(chan batchResult, 1), sp: sp}
 	key := batchKey{m: m, ctx: ctx}
 
 	b.mu.Lock()
@@ -150,17 +152,37 @@ func (b *batcher) detachLocked(pb *pendingBatch) {
 
 // dispatch runs the batched inference once and broadcasts per-member
 // results. Every member's output is vetted individually, exactly as the
-// unbatched path vets safeInfer output.
+// unbatched path vets safeInfer output. When any member is traced, the
+// shared inference gets its own linked root trace ("batch.dispatch"):
+// one batch serves many requests, so its spans belong to none of them —
+// each traced member instead carries a batch_trace attribute pointing at
+// the shared trace, and the batch trace links back to every member.
 func (b *batcher) dispatch(pb *pendingBatch) {
 	ws := pb.waiters
 	b.dispatches.Add(1)
 	b.batched.Add(int64(len(ws)))
 	b.srv.tel.batchDispatched(len(ws))
+	var batchRoot *reqtrace.Span
+	for i := range ws {
+		if ws[i].sp == nil {
+			continue
+		}
+		if batchRoot == nil {
+			batchRoot = ws[i].sp.NewLinkedRoot("batch.dispatch")
+			batchRoot.AnnotateInt("size", int64(len(ws)))
+		}
+		ws[i].sp.AnnotateTrace("batch_trace", batchRoot.TraceID())
+		batchRoot.AnnotateTrace("member_trace", ws[i].sp.TraceID())
+	}
 	demands := make([]*tensor.Dense, len(ws))
 	for i := range ws {
 		demands[i] = ws[i].demand
 	}
-	outs, err := b.run(pb.key.m, pb.key.ctx, demands)
+	outs, err := b.run(pb.key.m, pb.key.ctx, demands, batchRoot)
+	if err != nil {
+		batchRoot.SetError(err)
+	}
+	batchRoot.End()
 	for i := range ws {
 		if err != nil {
 			ws[i].ch <- batchResult{err: err}
@@ -172,14 +194,14 @@ func (b *batcher) dispatch(pb *pendingBatch) {
 }
 
 // run executes SplitsBatch under a recover guard.
-func (b *batcher) run(m *core.Model, ctx *core.Context, demands []*tensor.Dense) (outs []*tensor.Dense, err error) {
+func (b *batcher) run(m *core.Model, ctx *core.Context, demands []*tensor.Dense, sp *reqtrace.Span) (outs []*tensor.Dense, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			b.srv.tel.panicRecovered()
 			outs, err = nil, fmt.Errorf("batched inference panic: %v", r)
 		}
 	}()
-	outs = m.SplitsBatch(nil, ctx, demands)
+	outs = m.SplitsBatchSpan(nil, ctx, demands, sp)
 	if len(outs) != len(demands) {
 		return nil, fmt.Errorf("batched inference returned %d outputs for %d demands", len(outs), len(demands))
 	}

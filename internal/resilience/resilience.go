@@ -23,6 +23,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -32,6 +33,7 @@ import (
 
 	"harpte/internal/core"
 	"harpte/internal/obs"
+	"harpte/internal/obs/reqtrace"
 	"harpte/internal/te"
 	"harpte/internal/tensor"
 )
@@ -145,6 +147,23 @@ type Options struct {
 	// answer's MLU is within an O(CacheQuantum) relative factor of fresh
 	// inference.
 	CacheQuantum float64
+
+	// SLO, when set, scores every finished request against the serving
+	// objectives (slo.go). Share one SLOSet across servers that share a
+	// registry. Nil disables SLO tracking.
+	SLO *SLOSet
+	// Quality, when set, receives every successfully served (problem,
+	// demand, splits) triple for background sampling against the exact
+	// solver — wire a *verify.QualityMonitor here. Leave nil to disable;
+	// do not store a typed nil pointer in it.
+	Quality QualityProbe
+}
+
+// QualityProbe receives served answers for background quality scoring.
+// Implementations must be non-blocking and allocation-free on the
+// non-sampled path (verify.QualityMonitor.Offer is).
+type QualityProbe interface {
+	Offer(p *te.Problem, demand, splits *tensor.Dense)
 }
 
 // Decision is the outcome of one Serve call.
@@ -560,19 +579,42 @@ func zeroDemand(p *te.Problem) *tensor.Dense {
 // fallback chain as needed. On any non-rejected, non-shed return,
 // Decision.Splits is a finite F×K matrix whose rows each sum to 1.
 func (s *Server) Serve(p *te.Problem, demand *tensor.Dense) Decision {
+	return s.serveOuter(nil, p, demand)
+}
+
+// ServeCtx is Serve with request-trace propagation: when ctx carries a
+// reqtrace span (reqtrace.StartTrace / fleet dispatch), the serving
+// chain annotates it with admission, cache, tier, and inference-stage
+// spans. With no span in ctx it is exactly Serve — the disabled-tracing
+// path allocates nothing.
+func (s *Server) ServeCtx(ctx context.Context, p *te.Problem, demand *tensor.Dense) Decision {
+	return s.serveOuter(reqtrace.FromContext(ctx), p, demand)
+}
+
+func (s *Server) serveOuter(sp *reqtrace.Span, p *te.Problem, demand *tensor.Dense) Decision {
 	start := time.Now()
-	dec, admitted := s.admit(start)
+	dec, admitted := s.admit(start, sp)
 	if !admitted {
 		return dec
 	}
 	defer s.release()
-	return s.serve(start, p, demand)
+	return s.serve(start, p, demand, sp)
+}
+
+// tierSpanName maps neural tiers to constant span names, so opening a
+// tier span never concatenates strings on the serve path.
+func tierSpanName(t Tier) string {
+	if t == TierFull {
+		return "tier.full"
+	}
+	return "tier.reduced-rau"
 }
 
 // serve runs the guarded fallback chain for one admitted request.
-func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense) Decision {
+func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense, sp *reqtrace.Span) Decision {
 	if err := ValidateInput(p, demand); err != nil {
 		s.record(TierRejected, start)
+		sp.SetError(err)
 		return Decision{Tier: TierRejected, Err: err}
 	}
 	// Cache probe before any model work: a hit replays a previously vetted
@@ -581,7 +623,15 @@ func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense) Dec
 	if s.cache != nil {
 		if splits := s.cache.get(p, demand); splits != nil {
 			s.record(TierCached, start)
+			sp.Annotate("cache", "hit")
+			s.offerQuality(p, demand, splits)
 			return Decision{Splits: splits, Tier: TierCached}
+		}
+		sp.Annotate("cache", "miss")
+		if sp != nil {
+			topo, tm := CacheKey(p, demand, s.opts.CacheQuantum)
+			sp.AnnotateInt("cache_key_topo", int64(topo))
+			sp.AnnotateInt("cache_key_tm", int64(tm))
 		}
 	}
 	var dec Decision
@@ -615,26 +665,32 @@ func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense) Dec
 				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: circuit open", tier.t))
 				continue
 			}
+			tsp := sp.StartChild(tierSpanName(tier.t))
 			var splits *tensor.Dense
 			var err error
 			if tier.t == TierFull && s.batch != nil {
-				splits, err = s.batch.submit(tier.m, ctx, p, demand, left)
+				splits, err = s.batch.submit(tier.m, ctx, p, demand, left, tsp)
 			} else {
-				splits, err = s.safeInfer(tier.m, ctx, p, demand, left)
+				splits, err = s.safeInfer(tier.m, ctx, p, demand, left, tsp)
 			}
 			if err != nil {
 				if s.breakers[i].onFailure() {
 					s.tel.breakerTripped(i)
 				}
+				tsp.SetError(err)
+				tsp.End()
 				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: %v", tier.t, err))
 				continue
 			}
+			tsp.End()
 			s.breakers[i].onSuccess()
 			if tier.t == TierFull && s.cache != nil {
 				s.cache.put(p, demand, splits)
 			}
 			dec.Splits, dec.Tier = splits, tier.t
 			s.record(tier.t, start)
+			s.annotateOutcome(sp, &dec)
+			s.offerQuality(p, demand, splits)
 			return dec
 		}
 	}
@@ -644,7 +700,33 @@ func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense) Dec
 	dec.Splits = te.NormalizeRows(te.Rescale(p, p.UniformSplits()))
 	dec.Tier = TierECMP
 	s.record(TierECMP, start)
+	s.annotateOutcome(sp, &dec)
+	s.offerQuality(p, demand, dec.Splits)
 	return dec
+}
+
+// annotateOutcome stamps the answering tier and any degradations onto
+// the request span; a degraded request is always retained by the flight
+// recorder. No-ops (and allocates nothing) when sp is nil.
+func (s *Server) annotateOutcome(sp *reqtrace.Span, dec *Decision) {
+	if sp == nil {
+		return
+	}
+	sp.Annotate("tier", dec.Tier.String())
+	if len(dec.Degraded) > 0 {
+		for _, d := range dec.Degraded {
+			sp.Annotate("degraded", d)
+		}
+		sp.ForceRetain("degraded")
+	}
+}
+
+// offerQuality hands a served answer to the background quality monitor,
+// when one is attached. One interface nil check on the disabled path.
+func (s *Server) offerQuality(p *te.Problem, demand, splits *tensor.Dense) {
+	if s.opts.Quality != nil {
+		s.opts.Quality.Offer(p, demand, splits)
+	}
 }
 
 // contextFor builds (or returns the cached) model context for p,
@@ -674,8 +756,10 @@ func (s *Server) contextFor(m *core.Model, p *te.Problem) (ctx *core.Context, er
 
 // safeInfer runs one model tier under a recover guard and a wall-clock
 // budget, then vets the output. On timeout the inference goroutine is
-// abandoned (it finishes in the background; its result is discarded).
-func (s *Server) safeInfer(m *core.Model, ctx *core.Context, p *te.Problem, demand *tensor.Dense, budget time.Duration) (*tensor.Dense, error) {
+// abandoned (it finishes in the background; its result is discarded, but
+// it keeps annotating sp — the recorder tolerates that, and the span
+// shows up unfinished in a dump taken mid-flight).
+func (s *Server) safeInfer(m *core.Model, ctx *core.Context, p *te.Problem, demand *tensor.Dense, budget time.Duration, sp *reqtrace.Span) (*tensor.Dense, error) {
 	type result struct {
 		splits *tensor.Dense
 		err    error
@@ -688,7 +772,7 @@ func (s *Server) safeInfer(m *core.Model, ctx *core.Context, p *te.Problem, dema
 				ch <- result{err: fmt.Errorf("inference panic: %v", r)}
 			}
 		}()
-		ch <- result{splits: m.Splits(ctx, demand)}
+		ch <- result{splits: m.SplitsSpan(sp, ctx, demand)}
 	}()
 	var r result
 	if budget > 0 {
@@ -760,12 +844,14 @@ func vetSplits(p *te.Problem, splits *tensor.Dense) (*tensor.Dense, error) {
 
 // record tallies one answered request: the authoritative per-tier counts
 // under statMu, mirrored into the registry instruments when telemetry is
-// enabled.
+// enabled, and scored against the serving SLOs when attached.
 func (s *Server) record(t Tier, start time.Time) {
+	elapsed := time.Since(start)
 	s.statMu.Lock()
 	s.counts[t]++
 	s.statMu.Unlock()
-	s.tel.record(t, time.Since(start))
+	s.tel.record(t, elapsed)
+	s.opts.SLO.recordServe(t, elapsed)
 }
 
 // TierCounts returns how many requests each tier has served since the

@@ -1,0 +1,139 @@
+package verify
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"harpte/internal/lp"
+	"harpte/internal/obs"
+	"harpte/internal/tensor"
+)
+
+// TestQualityMonitorScoresOptimalAsOne: feeding the simplex optimum back
+// to the monitor must score a ratio of ~1, land in the lowest histogram
+// buckets, and drive the OnSample hook with good=true.
+func TestQualityMonitorScoresOptimalAsOne(t *testing.T) {
+	p, d := randomInstance(3, 3)
+	opt, err := lp.SolveWithOptions(p, d, lp.Options{Method: "simplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratios []float64
+	var goods []bool
+	q := NewQualityMonitor(QualityOptions{
+		SampleEvery: 2,
+		OnSample: func(ratio float64, good bool) {
+			ratios = append(ratios, ratio)
+			goods = append(goods, good)
+		},
+	})
+	defer q.Close()
+	reg := obs.NewRegistry()
+	q.EnableTelemetry(reg)
+	for i := 0; i < 8; i++ {
+		q.Offer(p, d, opt.Splits)
+	}
+	q.Drain()
+
+	st := q.Stats()
+	if st.Offered != 8 || st.Sampled != 4 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want offered 8 / sampled 4 / dropped 0", st)
+	}
+	if len(ratios) != 4 {
+		t.Fatalf("OnSample fired %d times, want 4", len(ratios))
+	}
+	for i, r := range ratios {
+		if r < 0.999 || r > 1.001 {
+			t.Fatalf("optimal splits scored ratio %v, want ~1", r)
+		}
+		if !goods[i] {
+			t.Fatalf("optimal sample %d marked bad", i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, MetricQualityMLURatio+`_bucket{le="1.02"} 4`) {
+		t.Fatalf("optimal samples not in the 1.02 bucket:\n%s", out)
+	}
+	if !strings.Contains(out, MetricQualitySamples+" 4") {
+		t.Fatalf("sample counter missing:\n%s", out)
+	}
+}
+
+// TestQualityMonitorFlagsRegression: uniform (ECMP-style) splits on a
+// skewed instance must score a ratio meaningfully above 1 and, past the
+// objective, mark the sample bad.
+func TestQualityMonitorFlagsRegression(t *testing.T) {
+	// Scan instances for one where uniform splits are notably suboptimal.
+	for i := 0; i < 12; i++ {
+		p, d := randomInstance(i, 4)
+		uniform := tensor.New(p.NumFlows(), p.Tunnels.K)
+		for f := 0; f < p.NumFlows(); f++ {
+			for j := 0; j < p.Tunnels.K; j++ {
+				uniform.Set(f, j, 1/float64(p.Tunnels.K))
+			}
+		}
+		opt, err := lp.SolveWithOptions(p, d, lp.Options{Method: "simplex"})
+		if err != nil || opt.MLU <= 0 {
+			continue
+		}
+		trueRatio := p.MLU(uniform, d) / opt.MLU
+		if trueRatio < 1.3 {
+			continue
+		}
+		var got float64
+		var good bool
+		q := NewQualityMonitor(QualityOptions{
+			SampleEvery:    1,
+			RatioObjective: 1.25,
+			OnSample:       func(r float64, g bool) { got, good = r, g },
+		})
+		defer q.Close()
+		q.Offer(p, d, uniform)
+		q.Drain()
+		if got < 1.3 {
+			t.Fatalf("monitor scored %v, direct computation says %v", got, trueRatio)
+		}
+		if good {
+			t.Fatalf("ratio %v past objective 1.25 marked good", got)
+		}
+		if w := q.Stats().WorstRatio; w != got {
+			t.Fatalf("worst ratio %v != sample ratio %v", w, got)
+		}
+		return
+	}
+	t.Fatal("no instance with suboptimal uniform splits found")
+}
+
+// TestQualityMonitorNilAndDrop: nil monitors ignore offers; a full queue
+// sheds instead of blocking the caller.
+func TestQualityMonitorNilAndDrop(t *testing.T) {
+	var q *QualityMonitor
+	q.Offer(nil, nil, nil)
+	q.Drain()
+	q.Close()
+	if st := q.Stats(); st != (QualityStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+
+	p, d := randomInstance(1, 3)
+	opt := lp.Solve(p, d)
+	// Worker is busy only after it pulls a sample; use depth 1 and flood.
+	qm := NewQualityMonitor(QualityOptions{SampleEvery: 1, QueueDepth: 1})
+	defer qm.Close()
+	for i := 0; i < 64; i++ {
+		qm.Offer(p, d, opt.Splits)
+	}
+	qm.Drain()
+	st := qm.Stats()
+	if st.Sampled+st.Dropped != 64 {
+		t.Fatalf("sampled %d + dropped %d != 64", st.Sampled, st.Dropped)
+	}
+	if st.Sampled == 0 {
+		t.Fatal("everything dropped — queue never accepted a sample")
+	}
+}
