@@ -54,6 +54,8 @@ fuzzsmoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzModelLoad$$' -fuzztime=2s ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzMatMul$$' -fuzztime=2s ./internal/tensor
 	$(GO) test -run='^$$' -fuzz='^FuzzNewCSR$$' -fuzztime=2s ./internal/tensor
+	$(GO) test -run='^$$' -fuzz='^FuzzNewCSRChecked$$' -fuzztime=2s ./internal/tensor
+	$(GO) test -run='^$$' -fuzz='^FuzzConvert32$$' -fuzztime=2s ./internal/tensor
 	$(GO) test -run='^$$' -fuzz='^FuzzSoftmaxRow$$' -fuzztime=2s ./internal/tensor
 	$(GO) test -run='^$$' -fuzz='^FuzzCacheKey$$' -fuzztime=2s ./internal/resilience
 
@@ -81,13 +83,18 @@ benchsmoke:
 # "current" entry of BENCH_1.json; the committed "baseline" entry is
 # preserved for comparison. It then records the serving-throughput
 # ledger BENCH_2.json: batched vs sequential inference (SplitsBatch and
-# the micro-batch collector) and the split-cache hit vs miss path. See
-# the Performance section of the README.
+# the micro-batch collector) and the split-cache hit vs miss path, and
+# the large-topology ledger BENCH_3.json: UsCarrier-scale (158-node) and
+# KDL-scale (754-node) single-snapshot inference on the float64 and
+# float32 precision paths. See the Performance section of the README.
 BENCH_PKGS = ./internal/tensor ./internal/autograd ./internal/core
 BENCH2_RE = 'SplitsBatch16|SplitsSequential16|ServeCache|ServeBatchedBurst|ServeSequentialBurst'
+BENCH3_RE = 'SplitsUsCarrier|SplitsKDL'
 bench:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | \
 		/tmp/benchjson -out BENCH_1.json -cmd "go test -run='^$$' -bench=. -benchmem $(BENCH_PKGS)"
 	$(GO) test -run='^$$' -bench=$(BENCH2_RE) -benchmem ./internal/core ./internal/resilience | \
 		/tmp/benchjson -out BENCH_2.json -cmd "go test -run='^$$' -bench=$(BENCH2_RE) -benchmem ./internal/core ./internal/resilience"
+	$(GO) test -run='^$$' -bench=$(BENCH3_RE) -benchmem ./internal/core | \
+		/tmp/benchjson -out BENCH_3.json -cmd "go test -run='^$$' -bench=$(BENCH3_RE) -benchmem ./internal/core"

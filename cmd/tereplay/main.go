@@ -111,6 +111,8 @@ func main() {
 		traceDump    = flag.String("trace-dump", "", "write the flight-recorder trace dump to this file at exit (\"-\" for stdout)")
 		traceSample  = flag.Int("trace-sample", 64, "flight recorder: probabilistically retain 1-in-N boring traces (errors, sheds, hedge wins and p99-slow requests are always kept)")
 		qualityEvery = flag.Int("quality-every", 0, "re-solve 1-in-N served requests with the simplex oracle and score MLU vs optimal (0 disables)")
+
+		precision = flag.String("precision", "float64", "serving precision: float64 (training arithmetic) or float32 (half-width sparse inference engine)")
 	)
 	flag.Parse()
 
@@ -187,6 +189,22 @@ func main() {
 	res := model.Fit(experiments.HarpSamples(model, trainInst),
 		experiments.HarpSamples(model, valInst), tc)
 	fmt.Printf("trained: best val MLU %.4f\n\n", res.BestValMLU)
+
+	switch *precision {
+	case "float64":
+	case "float32":
+		// Strict weight narrowing: an unrepresentable weight means the
+		// trained model cannot serve half-width, so fail up front rather
+		// than at the first request.
+		if err := model.EnableFloat32Inference(); err != nil {
+			fmt.Fprintln(os.Stderr, "cannot serve in float32:", err)
+			os.Exit(1)
+		}
+		fmt.Println("serving on the float32 inference engine")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -precision %q (want float64 or float32)\n", *precision)
+		os.Exit(1)
+	}
 
 	if *replicas < 1 {
 		*replicas = 1

@@ -71,6 +71,7 @@ const (
 	opSmoothMax
 	opSoftmaxRows
 	opCSRMul
+	opCSRMulT
 	opSquash
 	opLog1p
 	opSliceCols
@@ -465,6 +466,8 @@ func (t *Tensor) backstep() {
 		}
 	case opCSRMul:
 		t.csr.MulDenseTAcc(t.a.Grad, t.Grad)
+	case opCSRMulT:
+		t.csr.MulDenseAcc(t.a.Grad, t.Grad)
 	case opSquash:
 		for i := range t.a.Grad.Data {
 			d := 1 + t.a.Val.Data[i]
@@ -757,6 +760,18 @@ func (tp *Tape) CSRMul(c *tensor.CSR, x *Tensor) *Tensor {
 	out := tp.buf(c.Rows, x.Cols())
 	c.MulDense(out, x.Val)
 	t := tp.node1(opCSRMul, out, x)
+	t.csr = c
+	return t
+}
+
+// CSRMulT returns cᵀ × x for a constant sparse matrix c — the transpose
+// direction of the edge↔tunnel incidence product (tunnel scatter → edge
+// gather and back) without materializing a transposed CSR. Backward:
+// dx += c·dout.
+func (tp *Tape) CSRMulT(c *tensor.CSR, x *Tensor) *Tensor {
+	out := tp.buf(c.Cols, x.Cols())
+	c.MulDenseT(out, x.Val)
+	t := tp.node1(opCSRMulT, out, x)
 	t.csr = c
 	return t
 }

@@ -162,6 +162,35 @@ func TestGradCSRMul(t *testing.T) {
 	})
 }
 
+func TestGradCSRMulT(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := tensor.NewCSR(3, 4, []tensor.COO{
+		tensor.E(0, 0, 1.5), tensor.E(0, 3, -2), tensor.E(1, 1, 0.7), tensor.E(2, 0, 0.3), tensor.E(2, 2, 1.1),
+	})
+	x := randParam(rng, 3, 2)
+	checkGrads(t, "csrmult", []*Tensor{x}, func(tp *Tape) *Tensor {
+		y := tp.CSRMulT(c, x) // 4x2
+		return tp.SumAll(tp.Mul(y, y))
+	})
+}
+
+// TestGradCSRIncidenceRoundTrip composes both incidence directions the way
+// the RAU does: tunnel traffic → edge loads (CSRMul) → per-tunnel
+// bottleneck signal (CSRMulT), and checks the chained gradient.
+func TestGradCSRIncidenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	inc := tensor.NewCSR(4, 6, []tensor.COO{ // 4 edges, 6 tunnels
+		tensor.E(0, 0, 1), tensor.E(1, 0, 1), tensor.E(1, 1, 1),
+		tensor.E(2, 2, 1), tensor.E(2, 3, 1), tensor.E(3, 4, 1), tensor.E(0, 5, 1),
+	})
+	x := randParam(rng, 6, 1)
+	checkGrads(t, "csr-roundtrip", []*Tensor{x}, func(tp *Tape) *Tensor {
+		loads := tp.CSRMul(inc, x)      // edge loads
+		back := tp.CSRMulT(inc, loads)  // per-tunnel sum of its edge loads
+		return tp.SumAll(tp.Mul(back, back))
+	})
+}
+
 func TestGradSubDivLikePipeline(t *testing.T) {
 	// A miniature of the RAU arithmetic: softmax → weighted loads → max.
 	rng := rand.New(rand.NewSource(18))

@@ -1,0 +1,64 @@
+package autograd
+
+import (
+	"testing"
+
+	"harpte/internal/tensor"
+)
+
+// TestSparsePathZeroSteadyStateAllocs extends the PR-2 arena discipline to
+// the sparse ops: a reused tape running both incidence directions
+// (CSRMul + CSRMulT) forward and backward must allocate nothing once warm.
+func TestSparsePathZeroSteadyStateAllocs(t *testing.T) {
+	if tensor.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc bounds only hold without -race")
+	}
+	inc := tensor.NewCSR(4, 6, []tensor.COO{
+		tensor.E(0, 0, 1), tensor.E(1, 0, 1), tensor.E(1, 1, 1),
+		tensor.E(2, 2, 1), tensor.E(2, 3, 1), tensor.E(3, 4, 1), tensor.E(0, 5, 1),
+	})
+	x := ZeroParam(6, 1)
+	for i := range x.Val.Data {
+		x.Val.Data[i] = float64(i%3) + 0.5
+	}
+	tp := NewReusableTape()
+	run := func() {
+		loads := tp.CSRMul(inc, x)
+		back := tp.CSRMulT(inc, loads)
+		loss := tp.SumAll(tp.Mul(back, back))
+		tp.Backward(loss)
+		x.ZeroGrad()
+		tp.Reset()
+	}
+	run()
+	if n := testing.AllocsPerRun(10, run); n != 0 {
+		t.Errorf("steady-state sparse path allocates %v times per run, want 0", n)
+	}
+}
+
+// TestSparsePathInferenceNoGradBuffers: under inference mode the sparse ops
+// must not touch gradient state and must still allocate nothing once warm.
+func TestSparsePathInferenceZeroAllocs(t *testing.T) {
+	if tensor.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc bounds only hold without -race")
+	}
+	inc := tensor.NewCSR(4, 6, []tensor.COO{
+		tensor.E(0, 0, 1), tensor.E(1, 0, 1), tensor.E(1, 1, 1),
+		tensor.E(2, 2, 1), tensor.E(2, 3, 1), tensor.E(3, 4, 1), tensor.E(0, 5, 1),
+	})
+	x := ZeroParam(6, 1)
+	for i := range x.Val.Data {
+		x.Val.Data[i] = float64(i%3) + 0.5
+	}
+	tp := NewReusableTape()
+	tp.SetInference(true)
+	run := func() {
+		loads := tp.CSRMul(inc, x)
+		_ = tp.CSRMulT(inc, loads)
+		tp.Reset()
+	}
+	run()
+	if n := testing.AllocsPerRun(10, run); n != 0 {
+		t.Errorf("steady-state sparse inference allocates %v times per run, want 0", n)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"harpte/internal/autograd"
 	"harpte/internal/nn"
@@ -154,6 +155,13 @@ type Model struct {
 	// architecture stage. Nil means disabled: Forward then takes one
 	// nil-check per stage and reads no clocks.
 	tele *modelTelemetry
+
+	// mirror32 caches the float32 weight mirror (built by
+	// EnableFloat32Inference or the first SplitsFloat32 call); use32 routes
+	// Splits through it. Separate so benches can run the float32 engine
+	// without flipping the serving default.
+	mirror32 atomic.Pointer[model32]
+	use32    atomic.Bool
 }
 
 // New constructs a HARP model with freshly initialized parameters.
@@ -235,6 +243,13 @@ type probContext struct {
 	edgePos  [][]int          // per tunnel: token row of each edge position
 	avgPool  *tensor.CSR      // T×numTokens mean over each tunnel's edge tokens
 	maxCap   float64
+
+	// Float32 mirrors of the structural constants, built lazily on first
+	// float32-path inference (clamped conversion, so serving never fails on
+	// an extreme but legal capacity). Guarded by c32Once; everything else in
+	// the context stays immutable.
+	c32     *ctxConsts32
+	c32Once sync.Once
 }
 
 // Context precomputes the structural encoding of a problem. Contexts are
@@ -473,9 +488,15 @@ func (m *Model) adjust(tp *autograd.Tape, ctx *probContext, emb embedding, deman
 		for t := 0; t < numTunnels; t++ {
 			f := t / k
 			tun := set.Tunnel(f, t%k)
+			// Ties broken by smallest edge id, not position: edges in
+			// series carry the same tunnel set, so equal-capacity chains
+			// produce exactly equal utilizations, and a position-order
+			// tie-break would make the bottleneck choice — and hence the
+			// splits — depend on the edge order inside the tunnel.
 			best, bestU := 0, math.Inf(-1)
 			for pi, e := range tun.Edges {
-				if uu := util.Val.Data[e]; uu > bestU {
+				uu := util.Val.Data[e]
+				if uu > bestU || (uu == bestU && e < tun.Edges[best]) {
 					bestU = uu
 					best = pi
 				}
@@ -610,6 +631,15 @@ func (m *Model) SplitsSpan(sp *reqtrace.Span, c *Context, demand *tensor.Dense) 
 }
 
 func (m *Model) splits(sp *reqtrace.Span, c *Context, demand *tensor.Dense) *tensor.Dense {
+	// Precision routing: when float32 serving is enabled the whole forward
+	// runs on the float32 engine (infer32.go). The mirror is always non-nil
+	// when use32 is set (EnableFloat32Inference builds it before flipping
+	// the flag), but fall through to float64 defensively rather than panic.
+	if m.use32.Load() {
+		if mm := m.mirror32.Load(); mm != nil {
+			return m.runFloat32(sp, mm, c, demand)
+		}
+	}
 	tp := inferTapes.Get().(*autograd.Tape)
 	out := m.forward(tp, c, demand, sp).Splits.Val.Clone()
 	tp.Reset()

@@ -1,0 +1,281 @@
+package core
+
+// Tests for the float32 inference engine: divergence against the float64
+// source-of-truth path, serving-flag routing, strict weight-overflow
+// rejection, steady-state allocation bounds, and the KDL-scale serving
+// deadline the sparse+float32 path exists to meet.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"harpte/internal/autograd"
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/tunnels"
+)
+
+// float32SplitTol bounds the per-entry divergence between the float32 and
+// float64 split ratios on a small topology: ~1e-7 machine epsilon
+// compounded through the GNN, a two-block SETTRANS, and three RAU
+// iterations. Softmax keeps both outputs in [0,1], so absolute error is the
+// right scale.
+const float32SplitTol = 1e-3
+
+// kdlServingDeadline is the per-snapshot serving budget for a KDL-scale
+// (754-node) topology on the sparse+float32 path — the acceptance bar for
+// the precision mode. Generous vs observed times to stay stable on loaded
+// CI machines.
+const kdlServingDeadline = 500 * time.Millisecond
+
+// TestFloat32SplitsMatchesFloat64 bounds the float32 engine's divergence
+// from the float64 path on Abilene and checks the output is still a valid
+// routing (rows sum to 1).
+func TestFloat32SplitsMatchesFloat64(t *testing.T) {
+	m, ctx, samples := abileneBench(3)
+	for si, s := range samples {
+		want := m.Splits(ctx, s.Demand)
+		got, err := m.SplitsFloat32(ctx, s.Demand)
+		if err != nil {
+			t.Fatalf("sample %d: SplitsFloat32: %v", si, err)
+		}
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("sample %d: shape %dx%d vs %dx%d", si, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for f := 0; f < got.Rows; f++ {
+			sum := 0.0
+			for j := 0; j < got.Cols; j++ {
+				v := got.At(f, j)
+				sum += v
+				if d := math.Abs(v - want.At(f, j)); d > float32SplitTol {
+					t.Fatalf("sample %d: split[%d][%d] float32 %v vs float64 %v (diff %g)",
+						si, f, j, v, want.At(f, j), d)
+				}
+			}
+			if math.Abs(sum-1) > 1e-5 {
+				t.Fatalf("sample %d: flow %d splits sum to %v", si, f, sum)
+			}
+		}
+		mlu64 := ctx.inner.p.MLU(want, s.Demand)
+		mlu32, err := m.MLUFloat32(ctx, s.Demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(mlu32 - mlu64); d > float32SplitTol*math.Max(1, mlu64) {
+			t.Fatalf("sample %d: MLU diverges: float32 %v vs float64 %v", si, mlu32, mlu64)
+		}
+	}
+}
+
+// TestEnableFloat32InferenceRoutesSplits: enabling the precision mode must
+// route Splits through the float32 engine (bit-identical to SplitsFloat32),
+// and disabling must restore the float64 default bit-for-bit.
+func TestEnableFloat32InferenceRoutesSplits(t *testing.T) {
+	m, ctx, samples := abileneBench(1)
+	d := samples[0].Demand
+
+	want64 := m.Splits(ctx, d)
+	want32, err := m.SplitsFloat32(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Float32InferenceEnabled() {
+		t.Fatal("SplitsFloat32 must not flip the serving default")
+	}
+
+	if err := m.EnableFloat32Inference(); err != nil {
+		t.Fatalf("EnableFloat32Inference: %v", err)
+	}
+	if !m.Float32InferenceEnabled() {
+		t.Fatal("flag not set after enable")
+	}
+	got := m.Splits(ctx, d)
+	for i := range got.Data {
+		if got.Data[i] != want32.Data[i] {
+			t.Fatalf("routed Splits differs from SplitsFloat32 at %d: %v vs %v",
+				i, got.Data[i], want32.Data[i])
+		}
+	}
+
+	m.DisableFloat32Inference()
+	back := m.Splits(ctx, d)
+	for i := range back.Data {
+		if back.Data[i] != want64.Data[i] {
+			t.Fatalf("float64 path not restored at %d: %v vs %v", i, back.Data[i], want64.Data[i])
+		}
+	}
+}
+
+// TestEnableFloat32InferenceRejectsOverflow: a weight that narrows to ±Inf
+// means the checkpoint cannot serve in 32-bit; enable must fail with the
+// typed overflow error and leave the float64 default untouched.
+func TestEnableFloat32InferenceRejectsOverflow(t *testing.T) {
+	m, ctx, samples := abileneBench(1)
+	want := m.Splits(ctx, samples[0].Demand)
+
+	m.cls.Val.Data[0] = 1e300
+	err := m.EnableFloat32Inference()
+	if err == nil {
+		t.Fatal("overflowing weight accepted by EnableFloat32Inference")
+	}
+	var oe *tensor.Float32OverflowError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %v is not a *tensor.Float32OverflowError", err)
+	}
+	if m.Float32InferenceEnabled() {
+		t.Fatal("failed enable must not flip the serving flag")
+	}
+	m.cls.Val.Data[0] = want.Data[0] // restore something finite
+	got := m.Splits(ctx, samples[0].Demand)
+	if got.Rows != want.Rows {
+		t.Fatal("float64 path broken after failed enable")
+	}
+}
+
+// TestFloat32InferenceAllocsBounded pins the steady-state allocation count
+// of a float32-path Splits call: the pooled arena absorbs all scratch, so
+// only the returned matrix, its widening, and pool bookkeeping remain.
+func TestFloat32InferenceAllocsBounded(t *testing.T) {
+	if tensor.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc bounds only hold without -race")
+	}
+	m, ctx, samples := abileneBench(1)
+	d := samples[0].Demand
+	if err := m.EnableFloat32Inference(); err != nil {
+		t.Fatal(err)
+	}
+	m.Splits(ctx, d) // populate the arena
+	n := testing.AllocsPerRun(5, func() { m.Splits(ctx, d) })
+	if n > 64 {
+		t.Errorf("steady-state float32 Splits allocates %v times per run, want <= 64", n)
+	}
+}
+
+// kdlProblem builds a KDL-scale (754-node) problem with n random flows and
+// k tunnels per flow.
+func kdlProblem(n, k int, seed int64) *te.Problem {
+	return scaleProblem(topology.KDLScale(seed), n, k, seed)
+}
+
+// scaleProblem picks n random flows on g and computes k tunnels each. Pair
+// selection replicates the experiments harness (core cannot import
+// internal/experiments — it imports core).
+func scaleProblem(g *topology.Graph, n, k int, seed int64) *te.Problem {
+	rng := rand.New(rand.NewSource(seed + 1))
+	seen := map[[2]int]bool{}
+	var pairs [][2]int
+	for len(pairs) < n {
+		u, v := rng.Intn(g.NumNodes), rng.Intn(g.NumNodes)
+		if u == v || seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		pairs = append(pairs, [2]int{u, v})
+	}
+	return te.NewProblem(g, tunnels.ComputeForPairs(g, pairs, k))
+}
+
+// TestUsCarrierScaleTraining is the training half of the scale acceptance:
+// float64 training steps on a synthetic UsCarrier-scale (158-node) problem
+// must run on the sparse kernels without tripping the numerical health
+// guard, and the resulting weights must still narrow cleanly to float32
+// for KDL-scale serving.
+func TestUsCarrierScaleTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("UsCarrier-scale training steps are seconds of work; skipped with -short")
+	}
+	if tensor.RaceEnabled {
+		t.Skip("UsCarrier-scale training is too slow under race instrumentation")
+	}
+	p := scaleProblem(topology.UsCarrierScale(301), 40, 4, 301)
+	m := New(DefaultConfig())
+	ctx := m.Context(p)
+	rng := rand.New(rand.NewSource(303))
+	samples := make([]Sample, 2)
+	for i := range samples {
+		d := tensor.New(p.NumFlows(), 1)
+		for j := range d.Data {
+			d.Data[j] = 1 + 50*rng.Float64()
+		}
+		samples[i] = Sample{Ctx: ctx, Demand: d}
+	}
+	opt := autograd.NewAdam(2e-3)
+	for step := 0; step < 2; step++ {
+		loss, skipped := m.TrainStepChecked(opt, samples)
+		if skipped {
+			t.Fatalf("step %d: health guard tripped at UsCarrier scale", step)
+		}
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			t.Fatalf("step %d: loss %v", step, loss)
+		}
+	}
+	if err := m.EnableFloat32Inference(); err != nil {
+		t.Fatalf("trained weights do not narrow to float32: %v", err)
+	}
+	d := samples[0].Demand
+	got, err := m.SplitsFloat32(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.DisableFloat32Inference()
+	want := m.Splits(ctx, d)
+	for f := 0; f < got.Rows; f++ {
+		for j := 0; j < got.Cols; j++ {
+			if d := math.Abs(got.At(f, j) - want.At(f, j)); d > float32SplitTol {
+				t.Fatalf("post-training split[%d][%d] float32 %v vs float64 %v", f, j, got.At(f, j), want.At(f, j))
+			}
+		}
+	}
+}
+
+// TestKDLScaleFloat32ServingDeadline is the acceptance test for the sparse
+// +float32 serving path: a single split-ratio inference on a KDL-scale
+// topology must finish inside the serving deadline, and the achieved MLU
+// must stay close to the float64 path's.
+func TestKDLScaleFloat32ServingDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("KDL-scale inference is seconds of work; skipped with -short")
+	}
+	if tensor.RaceEnabled {
+		t.Skip("timing bound does not hold under race instrumentation")
+	}
+	p := kdlProblem(60, 4, 401)
+	m := New(DefaultConfig())
+	ctx := m.Context(p)
+	rng := rand.New(rand.NewSource(402))
+	d := tensor.New(p.NumFlows(), 1)
+	for i := range d.Data {
+		d.Data[i] = 1 + 50*rng.Float64()
+	}
+
+	if err := m.EnableFloat32Inference(); err != nil {
+		t.Fatalf("EnableFloat32Inference: %v", err)
+	}
+	m.Splits(ctx, d) // warm: build arena, caches, context constants
+
+	best := time.Duration(math.MaxInt64)
+	var got *tensor.Dense
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		got = m.Splits(ctx, d)
+		if el := time.Since(start); el < best {
+			best = el
+		}
+	}
+	if best > kdlServingDeadline {
+		t.Errorf("KDL-scale float32 inference took %v, deadline %v", best, kdlServingDeadline)
+	}
+
+	mlu32 := p.MLU(got, d)
+	m.DisableFloat32Inference()
+	mlu64 := m.MLU(ctx, d)
+	if d := math.Abs(mlu32 - mlu64); d > 1e-2*math.Max(1, mlu64) {
+		t.Errorf("KDL MLU diverges: float32 %v vs float64 %v", mlu32, mlu64)
+	}
+	t.Logf("KDL-scale: %d nodes, %d flows, float32 inference %v (deadline %v), MLU32 %.4f MLU64 %.4f",
+		p.Graph.NumNodes, p.NumFlows(), best, kdlServingDeadline, mlu32, mlu64)
+}

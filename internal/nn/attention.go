@@ -83,17 +83,49 @@ func addColBlock(dst, blk *tensor.Dense, c0 int) {
 	}
 }
 
-// segState caches the per-segment intermediates needed for backward. The
-// per-head attention matrices live in the layer-wide attnFlat slice
-// (segment si, head hd at index si*heads+hd) so a forward pass costs one
-// slice allocation regardless of how many tunnels the topology has.
-type segState struct {
-	q, k, v, o *tensor.Dense // L×d
+// bucketSegments returns the indices of segs ordered by ascending length
+// (stable within a length) via counting sort on tape scratch. Processing
+// same-length segments consecutively is the length-bucketing that kills the
+// per-segment shape churn: every segment in a bucket checks out identically
+// shaped score scratch, so the arena's shape-keyed pools stay hot and the
+// inner loops run over runs of identical trip counts.
+func bucketSegments(tp *autograd.Tape, segs []Segment) []int {
+	maxL := 0
+	for _, s := range segs {
+		if s.Len() > maxL {
+			maxL = s.Len()
+		}
+	}
+	counts := tp.Ints(maxL + 2)
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, s := range segs {
+		counts[s.Len()+1]++
+	}
+	for l := 1; l < len(counts); l++ {
+		counts[l] += counts[l-1]
+	}
+	order := tp.Ints(len(segs))
+	for i, s := range segs {
+		order[counts[s.Len()]] = i
+		counts[s.Len()]++
+	}
+	return order
 }
 
 // Forward applies attention to x (N×dim) with the given segmentation.
 // Segments must tile rows they cover contiguously; rows outside every
 // segment pass through untouched (gradient included).
+//
+// The layer is sparse-first in its batching: the Q/K/V projections and the
+// output projection run once over the whole N×d stack (one blocked MatMul
+// each instead of one small matmul per tunnel — per-row results are
+// bit-identical because the kernel accumulates each row independently in
+// ascending-k order), per-head column blocks are extracted once per head
+// rather than once per segment per head, and the per-segment score loops
+// walk segments in length-bucketed order (see bucketSegments). Only the
+// L×L score/softmax work remains inherently per-segment.
 //
 // All dense scratch — forward intermediates saved for backward as well as
 // the backward pass's own workspace — comes from tp.Buffer, so on a
@@ -106,9 +138,20 @@ func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs 
 	if x.Cols() != d {
 		panic("nn: SegmentAttention input dim mismatch")
 	}
-	val := tp.Buffer(x.Rows(), d)
+	n := x.Rows()
+	val := tp.Buffer(n, d)
 	copy(val.Data, x.Val.Data) // rows outside segments are identity
-	states := make([]segState, len(segs))
+
+	// Whole-stack projections. Buffers are zeroed, so Acc ≡ assign.
+	q := tp.Buffer(n, d)
+	k := tp.Buffer(n, d)
+	v := tp.Buffer(n, d)
+	tensor.MatMulAcc(q, x.Val, sa.Wq.Val)
+	tensor.MatMulAcc(k, x.Val, sa.Wk.Val)
+	tensor.MatMulAcc(v, x.Val, sa.Wv.Val)
+	o := tp.Buffer(n, d) // rows outside segments stay zero
+
+	order := bucketSegments(tp, segs)
 	attnFlat := make([]*tensor.Dense, len(segs)*h) // L×L softmax weights
 	// View headers are hoisted out of the segment loops: their addresses go
 	// to kernels whose parallel path may hand pointers to goroutines, which
@@ -116,41 +159,46 @@ func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs 
 	// than once per segment. The kernels never retain the pointers (they
 	// join all goroutines before returning), so reassigning per segment is
 	// safe.
-	var xs, ys tensor.Dense
-	for si, s := range segs {
-		xs = rowsView(x.Val, s)
-		L := s.Len()
-		q := tp.Buffer(L, d)
-		k := tp.Buffer(L, d)
-		v := tp.Buffer(L, d)
-		tensor.MatMulAcc(q, &xs, sa.Wq.Val)
-		tensor.MatMulAcc(k, &xs, sa.Wk.Val)
-		tensor.MatMulAcc(v, &xs, sa.Wv.Val)
-		o := tp.Buffer(L, d)
-		for hd := 0; hd < h; hd++ {
-			c0, c1 := hd*dh, (hd+1)*dh
-			qh := tp.Buffer(L, dh)
-			kh := tp.Buffer(L, dh)
-			vh := tp.Buffer(L, dh)
-			colBlockInto(qh, q, c0)
-			colBlockInto(kh, k, c0)
-			colBlockInto(vh, v, c0)
+	var qs, ks, vs, os tensor.Dense
+	for hd := 0; hd < h; hd++ {
+		c0, c1 := hd*dh, (hd+1)*dh
+		qh := tp.Buffer(n, dh)
+		kh := tp.Buffer(n, dh)
+		vh := tp.Buffer(n, dh)
+		oh := tp.Buffer(n, dh)
+		colBlockInto(qh, q, c0)
+		colBlockInto(kh, k, c0)
+		colBlockInto(vh, v, c0)
+		for _, si := range order {
+			s := segs[si]
+			L := s.Len()
+			qs = rowsView(qh, s)
+			ks = rowsView(kh, s)
+			vs = rowsView(vh, s)
+			os = rowsView(oh, s)
 			sc := tp.Buffer(L, L)
-			tensor.MatMulABT(sc, qh, kh)
+			tensor.MatMulABT(sc, &qs, &ks)
 			tensor.ScaleInto(sc, sc, scale)
 			for i := 0; i < L; i++ {
 				softmaxRowInPlace(sc.Row(i))
 			}
 			attnFlat[si*h+hd] = sc
-			oh := tp.Buffer(L, dh)
-			tensor.MatMulAcc(oh, sc, vh)
-			for i := 0; i < L; i++ {
-				copy(o.Row(i)[c0:c1], oh.Row(i))
-			}
+			tensor.MatMulAcc(&os, sc, &vs)
 		}
-		states[si] = segState{q: q, k: k, v: v, o: o}
+		for i := 0; i < n; i++ {
+			copy(o.Row(i)[c0:c1], oh.Row(i))
+		}
+	}
+
+	// One output projection over the stack; covered rows are then copied
+	// into val (uncovered rows keep the identity pass-through).
+	proj := tp.Buffer(n, d)
+	tensor.MatMulAcc(proj, o, sa.Wo.Val)
+	var ys, ps tensor.Dense
+	for _, s := range segs {
 		ys = rowsView(val, s)
-		tensor.MatMul(&ys, o, sa.Wo.Val)
+		ps = rowsView(proj, s)
+		copy(ys.Data, ps.Data)
 	}
 
 	return tp.Custom(val, func(out *autograd.Tensor) {
@@ -175,40 +223,55 @@ func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs 
 				}
 			}
 		}
-		var dy, xs, gs tensor.Dense
-		for si, s := range segs {
-			st := states[si]
-			L := s.Len()
-			dy = rowsView(out.Grad, s)
-			xs = rowsView(x.Val, s)
+		// dY restricted to covered rows (uncovered rows took the identity
+		// path above and must not feed the attention adjoints).
+		dy := tp.Buffer(n, d)
+		var dys, gsrc tensor.Dense
+		for _, s := range segs {
+			dys = rowsView(dy, s)
+			gsrc = rowsView(out.Grad, s)
+			copy(dys.Data, gsrc.Data)
+		}
 
-			// dO = dY·Woᵀ ; dWo += Oᵀ·dY
-			do := tp.Buffer(L, d)
-			tensor.MatMulABT(do, &dy, sa.Wo.Val)
-			if sa.Wo.NeedsGrad() {
-				tensor.MatMulATBAcc(sa.Wo.Grad, st.o, &dy)
-			}
+		// dO = dY·Woᵀ ; dWo += Oᵀ·dY — whole-stack, like the forward.
+		// Uncovered rows of dy and o are zero, so they contribute nothing.
+		do := tp.Buffer(n, d)
+		tensor.MatMulABTAcc(do, dy, sa.Wo.Val)
+		if sa.Wo.NeedsGrad() {
+			tensor.MatMulATBAcc(sa.Wo.Grad, o, dy)
+		}
 
-			dq := tp.Buffer(L, d)
-			dk := tp.Buffer(L, d)
-			dv := tp.Buffer(L, d)
-			for hd := 0; hd < h; hd++ {
-				c0 := hd * dh
+		dq := tp.Buffer(n, d)
+		dk := tp.Buffer(n, d)
+		dv := tp.Buffer(n, d)
+		var dohs, vhs, qhs, khs, dqhs, dkhs, dvhs tensor.Dense
+		for hd := 0; hd < h; hd++ {
+			c0 := hd * dh
+			doh := tp.Buffer(n, dh)
+			qh := tp.Buffer(n, dh)
+			kh := tp.Buffer(n, dh)
+			vh := tp.Buffer(n, dh)
+			colBlockInto(doh, do, c0)
+			colBlockInto(qh, q, c0)
+			colBlockInto(kh, k, c0)
+			colBlockInto(vh, v, c0)
+			dqh := tp.Buffer(n, dh)
+			dkh := tp.Buffer(n, dh)
+			dvh := tp.Buffer(n, dh)
+			for _, si := range order {
+				s := segs[si]
+				L := s.Len()
 				a := attnFlat[si*h+hd]
-				doh := tp.Buffer(L, dh)
-				vh := tp.Buffer(L, dh)
-				qh := tp.Buffer(L, dh)
-				kh := tp.Buffer(L, dh)
-				colBlockInto(doh, do, c0)
-				colBlockInto(vh, st.v, c0)
-				colBlockInto(qh, st.q, c0)
-				colBlockInto(kh, st.k, c0)
+				dohs = rowsView(doh, s)
+				vhs = rowsView(vh, s)
+				qhs = rowsView(qh, s)
+				khs = rowsView(kh, s)
 
 				// dA = dOh·Vhᵀ ; dVh = Aᵀ·dOh
 				da := tp.Buffer(L, L)
-				tensor.MatMulABT(da, doh, vh)
-				dvh := tp.Buffer(L, dh)
-				tensor.MatMulATB(dvh, a, doh)
+				tensor.MatMulABT(da, &dohs, &vhs)
+				dvhs = rowsView(dvh, s)
+				tensor.MatMulATBAcc(&dvhs, a, &dohs) // zeroed rows → assign
 
 				// Softmax backward per row: ds = a ⊙ (da - Σ da⊙a)
 				ds := tp.Buffer(L, L)
@@ -222,31 +285,31 @@ func (sa *SegmentAttention) Forward(tp *autograd.Tape, x *autograd.Tensor, segs 
 						dsr[j] = ar[j] * (dar[j] - dot) * scale
 					}
 				}
-				dqh := tp.Buffer(L, dh)
-				tensor.MatMul(dqh, ds, kh)
-				dkh := tp.Buffer(L, dh)
-				tensor.MatMulATB(dkh, ds, qh)
+				dqhs = rowsView(dqh, s)
+				tensor.MatMulAcc(&dqhs, ds, &khs)
+				dkhs = rowsView(dkh, s)
+				tensor.MatMulATBAcc(&dkhs, ds, &qhs)
+			}
+			addColBlock(dq, dqh, c0)
+			addColBlock(dk, dkh, c0)
+			addColBlock(dv, dvh, c0)
+		}
 
-				addColBlock(dq, dqh, c0)
-				addColBlock(dk, dkh, c0)
-				addColBlock(dv, dvh, c0)
-			}
-
-			if x.NeedsGrad() {
-				gs = rowsView(x.Grad, s)
-				tensor.MatMulABTAcc(&gs, dq, sa.Wq.Val)
-				tensor.MatMulABTAcc(&gs, dk, sa.Wk.Val)
-				tensor.MatMulABTAcc(&gs, dv, sa.Wv.Val)
-			}
-			if sa.Wq.NeedsGrad() {
-				tensor.MatMulATBAcc(sa.Wq.Grad, &xs, dq)
-			}
-			if sa.Wk.NeedsGrad() {
-				tensor.MatMulATBAcc(sa.Wk.Grad, &xs, dk)
-			}
-			if sa.Wv.NeedsGrad() {
-				tensor.MatMulATBAcc(sa.Wv.Grad, &xs, dv)
-			}
+		// Input and weight gradients, whole-stack. Rows outside every
+		// segment have zero dq/dk/dv, so the extra terms vanish.
+		if x.NeedsGrad() {
+			tensor.MatMulABTAcc(x.Grad, dq, sa.Wq.Val)
+			tensor.MatMulABTAcc(x.Grad, dk, sa.Wk.Val)
+			tensor.MatMulABTAcc(x.Grad, dv, sa.Wv.Val)
+		}
+		if sa.Wq.NeedsGrad() {
+			tensor.MatMulATBAcc(sa.Wq.Grad, x.Val, dq)
+		}
+		if sa.Wk.NeedsGrad() {
+			tensor.MatMulATBAcc(sa.Wk.Grad, x.Val, dk)
+		}
+		if sa.Wv.NeedsGrad() {
+			tensor.MatMulATBAcc(sa.Wv.Grad, x.Val, dv)
 		}
 	}, x, sa.Wq, sa.Wk, sa.Wv, sa.Wo)
 }

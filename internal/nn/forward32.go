@@ -1,0 +1,405 @@
+package nn
+
+import (
+	"math"
+
+	"harpte/internal/tensor"
+)
+
+// This file holds the float32 forward-only mirrors of the layers above,
+// used by the serving-precision inference path (train in float64, serve in
+// float32). Each mirror is built once from its float64 layer with strict
+// overflow-rejecting conversion — a weight that does not fit in float32
+// means the checkpoint is unusable for 32-bit serving and construction
+// fails — and is immutable afterwards, so one mirror is shared by every
+// serving goroutine. All activation scratch comes from a per-engine
+// tensor.Arena32, keeping steady-state forward passes allocation-free.
+//
+// Numeric contract: arithmetic accumulates in float32 (the point of the
+// mode is to measure what half-width math does to the answers, bounded by
+// the verify precision oracle), while transcendentals (exp, tanh, sqrt)
+// evaluate in float64 and narrow — that matches SoftmaxRow32 and costs
+// nothing on the matmul-dominated profile.
+
+// Linear32 mirrors Linear.
+type Linear32 struct {
+	W, B *tensor.Dense32
+}
+
+// NewLinear32 narrows a trained Linear with overflow rejection.
+func NewLinear32(l *Linear) (*Linear32, error) {
+	w, err := tensor.ConvertDense32(l.W.Val)
+	if err != nil {
+		return nil, err
+	}
+	b, err := tensor.ConvertDense32(l.B.Val)
+	if err != nil {
+		return nil, err
+	}
+	return &Linear32{W: w, B: b}, nil
+}
+
+// Forward computes xW + b into arena scratch.
+func (l *Linear32) Forward(ar *tensor.Arena32, x *tensor.Dense32) *tensor.Dense32 {
+	out := ar.GetZeroed(x.Rows, l.W.Cols)
+	tensor.MatMulAcc32(out, x, l.W)
+	tensor.AddRowVecInto32(out, out, l.B)
+	return out
+}
+
+func applyAct32(a Activation, x *tensor.Dense32) {
+	switch a {
+	case ActReLU:
+		for i, v := range x.Data {
+			if v < 0 {
+				x.Data[i] = 0
+			}
+		}
+	case ActLeakyReLU:
+		for i, v := range x.Data {
+			if v < 0 {
+				x.Data[i] = 0.01 * v
+			}
+		}
+	case ActTanh:
+		for i, v := range x.Data {
+			x.Data[i] = float32(math.Tanh(float64(v)))
+		}
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// MLP32 mirrors MLP.
+type MLP32 struct {
+	Layers []*Linear32
+	Act    Activation
+}
+
+// NewMLP32 narrows a trained MLP with overflow rejection.
+func NewMLP32(m *MLP) (*MLP32, error) {
+	out := &MLP32{Act: m.Act}
+	for _, l := range m.Layers {
+		l32, err := NewLinear32(l)
+		if err != nil {
+			return nil, err
+		}
+		out.Layers = append(out.Layers, l32)
+	}
+	return out, nil
+}
+
+// Forward applies the MLP; the returned buffer is arena scratch.
+func (m *MLP32) Forward(ar *tensor.Arena32, x *tensor.Dense32) *tensor.Dense32 {
+	for i, l := range m.Layers {
+		x = l.Forward(ar, x)
+		if i+1 < len(m.Layers) {
+			applyAct32(m.Act, x)
+		}
+	}
+	return x
+}
+
+// LayerNorm32 mirrors LayerNorm.
+type LayerNorm32 struct {
+	Gain, Bias *tensor.Dense32
+	Eps        float64
+}
+
+// NewLayerNorm32 narrows a trained LayerNorm with overflow rejection.
+func NewLayerNorm32(ln *LayerNorm) (*LayerNorm32, error) {
+	g, err := tensor.ConvertDense32(ln.Gain.Val)
+	if err != nil {
+		return nil, err
+	}
+	b, err := tensor.ConvertDense32(ln.Bias.Val)
+	if err != nil {
+		return nil, err
+	}
+	return &LayerNorm32{Gain: g, Bias: b, Eps: ln.Eps}, nil
+}
+
+// Forward normalizes each row into arena scratch.
+func (ln *LayerNorm32) Forward(ar *tensor.Arena32, x *tensor.Dense32) *tensor.Dense32 {
+	n, d := x.Rows, x.Cols
+	out := ar.Get(n, d)
+	g := ln.Gain.Data
+	b := ln.Bias.Data
+	df := float32(d)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		var mu float32
+		for _, v := range row {
+			mu += v
+		}
+		mu /= df
+		var va float32
+		for _, v := range row {
+			va += (v - mu) * (v - mu)
+		}
+		va /= df
+		is := float32(1 / math.Sqrt(float64(va)+ln.Eps))
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = (v-mu)*is*g[j] + b[j]
+		}
+	}
+	return out
+}
+
+// rowsView32 returns a no-copy value header over rows [s.Start,s.End).
+func rowsView32(m *tensor.Dense32, s Segment) tensor.Dense32 {
+	return tensor.Dense32{Rows: s.Len(), Cols: m.Cols, Data: m.Data[s.Start*m.Cols : s.End*m.Cols]}
+}
+
+func colBlockInto32(dst, src *tensor.Dense32, c0 int) {
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i), src.Row(i)[c0:c0+dst.Cols])
+	}
+}
+
+// bucketSegments32 is bucketSegments on arena scratch.
+func bucketSegments32(ar *tensor.Arena32, segs []Segment) []int {
+	maxL := 0
+	for _, s := range segs {
+		if s.Len() > maxL {
+			maxL = s.Len()
+		}
+	}
+	counts := ar.Ints(maxL + 2)
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, s := range segs {
+		counts[s.Len()+1]++
+	}
+	for l := 1; l < len(counts); l++ {
+		counts[l] += counts[l-1]
+	}
+	order := ar.Ints(len(segs))
+	for i, s := range segs {
+		order[counts[s.Len()]] = i
+		counts[s.Len()]++
+	}
+	return order
+}
+
+// SegmentAttention32 mirrors SegmentAttention (forward only), with the same
+// length-bucketed whole-stack structure.
+type SegmentAttention32 struct {
+	Heads, Dim     int
+	Wq, Wk, Wv, Wo *tensor.Dense32
+}
+
+// NewSegmentAttention32 narrows a trained SegmentAttention.
+func NewSegmentAttention32(sa *SegmentAttention) (*SegmentAttention32, error) {
+	out := &SegmentAttention32{Heads: sa.Heads, Dim: sa.Dim}
+	var err error
+	if out.Wq, err = tensor.ConvertDense32(sa.Wq.Val); err != nil {
+		return nil, err
+	}
+	if out.Wk, err = tensor.ConvertDense32(sa.Wk.Val); err != nil {
+		return nil, err
+	}
+	if out.Wv, err = tensor.ConvertDense32(sa.Wv.Val); err != nil {
+		return nil, err
+	}
+	if out.Wo, err = tensor.ConvertDense32(sa.Wo.Val); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Forward applies attention within each segment; rows outside every segment
+// pass through unchanged. The returned buffer is arena scratch.
+func (sa *SegmentAttention32) Forward(ar *tensor.Arena32, x *tensor.Dense32, segs []Segment) *tensor.Dense32 {
+	d, h := sa.Dim, sa.Heads
+	dh := d / h
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	if x.Cols != d {
+		panic("nn: SegmentAttention32 input dim mismatch")
+	}
+	n := x.Rows
+	val := ar.Get(n, d)
+	copy(val.Data, x.Data)
+
+	q := ar.GetZeroed(n, d)
+	k := ar.GetZeroed(n, d)
+	v := ar.GetZeroed(n, d)
+	tensor.MatMulAcc32(q, x, sa.Wq)
+	tensor.MatMulAcc32(k, x, sa.Wk)
+	tensor.MatMulAcc32(v, x, sa.Wv)
+	o := ar.GetZeroed(n, d)
+
+	order := bucketSegments32(ar, segs)
+	var qs, ks, vs, os tensor.Dense32
+	for hd := 0; hd < h; hd++ {
+		c0, c1 := hd*dh, (hd+1)*dh
+		qh := ar.Get(n, dh)
+		kh := ar.Get(n, dh)
+		vh := ar.Get(n, dh)
+		oh := ar.GetZeroed(n, dh)
+		colBlockInto32(qh, q, c0)
+		colBlockInto32(kh, k, c0)
+		colBlockInto32(vh, v, c0)
+		for _, si := range order {
+			s := segs[si]
+			L := s.Len()
+			qs = rowsView32(qh, s)
+			ks = rowsView32(kh, s)
+			vs = rowsView32(vh, s)
+			os = rowsView32(oh, s)
+			sc := ar.Get(L, L)
+			tensor.MatMulABT32(sc, &qs, &ks)
+			for i := range sc.Data {
+				sc.Data[i] *= scale
+			}
+			for i := 0; i < L; i++ {
+				row := sc.Row(i)
+				tensor.SoftmaxRow32(row, row)
+			}
+			tensor.MatMulAcc32(&os, sc, &vs)
+		}
+		for i := 0; i < n; i++ {
+			copy(o.Row(i)[c0:c1], oh.Row(i))
+		}
+	}
+
+	proj := ar.GetZeroed(n, d)
+	tensor.MatMulAcc32(proj, o, sa.Wo)
+	var ys, ps tensor.Dense32
+	for _, s := range segs {
+		ys = rowsView32(val, s)
+		ps = rowsView32(proj, s)
+		copy(ys.Data, ps.Data)
+	}
+	return val
+}
+
+// EncoderLayer32 mirrors EncoderLayer.
+type EncoderLayer32 struct {
+	Attn     *SegmentAttention32
+	Norm1    *LayerNorm32
+	Norm2    *LayerNorm32
+	FF1, FF2 *Linear32
+}
+
+// NewEncoderLayer32 narrows a trained EncoderLayer.
+func NewEncoderLayer32(e *EncoderLayer) (*EncoderLayer32, error) {
+	out := &EncoderLayer32{}
+	var err error
+	if out.Attn, err = NewSegmentAttention32(e.Attn); err != nil {
+		return nil, err
+	}
+	if out.Norm1, err = NewLayerNorm32(e.Norm1); err != nil {
+		return nil, err
+	}
+	if out.Norm2, err = NewLayerNorm32(e.Norm2); err != nil {
+		return nil, err
+	}
+	if out.FF1, err = NewLinear32(e.FF1); err != nil {
+		return nil, err
+	}
+	if out.FF2, err = NewLinear32(e.FF2); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Forward applies the pre-norm block: x = x + Attn(LN1(x)); x = x + FFN(LN2(x)).
+func (e *EncoderLayer32) Forward(ar *tensor.Arena32, x *tensor.Dense32, segs []Segment) *tensor.Dense32 {
+	a := e.Attn.Forward(ar, e.Norm1.Forward(ar, x), segs)
+	for i := range a.Data {
+		a.Data[i] += x.Data[i]
+	}
+	f := e.FF1.Forward(ar, e.Norm2.Forward(ar, a))
+	for i, v := range f.Data {
+		if v < 0 {
+			f.Data[i] = 0
+		}
+	}
+	f = e.FF2.Forward(ar, f)
+	for i := range f.Data {
+		f.Data[i] += a.Data[i]
+	}
+	return f
+}
+
+// Encoder32 mirrors Encoder — the float32 SETTRANS stack.
+type Encoder32 struct {
+	Layers []*EncoderLayer32
+}
+
+// NewEncoder32 narrows a trained Encoder.
+func NewEncoder32(e *Encoder) (*Encoder32, error) {
+	out := &Encoder32{}
+	for _, l := range e.Layers {
+		l32, err := NewEncoderLayer32(l)
+		if err != nil {
+			return nil, err
+		}
+		out.Layers = append(out.Layers, l32)
+	}
+	return out, nil
+}
+
+// Forward applies all blocks in order.
+func (e *Encoder32) Forward(ar *tensor.Arena32, x *tensor.Dense32, segs []Segment) *tensor.Dense32 {
+	for _, l := range e.Layers {
+		x = l.Forward(ar, x, segs)
+	}
+	return x
+}
+
+// GCNConv32 mirrors GCNConv.
+type GCNConv32 struct {
+	Lin *Linear32
+}
+
+// GCN32 mirrors GCN: the concatenation of every layer's output.
+type GCN32 struct {
+	Layers []*GCNConv32
+}
+
+// NewGCN32 narrows a trained GCN.
+func NewGCN32(g *GCN) (*GCN32, error) {
+	out := &GCN32{}
+	for _, l := range g.Layers {
+		l32, err := NewLinear32(l.Lin)
+		if err != nil {
+			return nil, err
+		}
+		out.Layers = append(out.Layers, &GCNConv32{Lin: l32})
+	}
+	return out, nil
+}
+
+// OutDim returns the dimensionality of the concatenated node embedding.
+func (g *GCN32) OutDim() int {
+	total := 0
+	for _, l := range g.Layers {
+		total += l.Lin.W.Cols
+	}
+	return total
+}
+
+// Forward returns the V×OutDim concatenation of all layer outputs; aHat is
+// the normalized adjacency narrowed to CSR32.
+func (g *GCN32) Forward(ar *tensor.Arena32, aHat *tensor.CSR32, x *tensor.Dense32) *tensor.Dense32 {
+	n := x.Rows
+	cat := ar.Get(n, g.OutDim())
+	col := 0
+	h := x
+	for _, l := range g.Layers {
+		agg := ar.Get(aHat.Rows, h.Cols)
+		aHat.MulDense32(agg, h)
+		h = l.Lin.Forward(ar, agg)
+		applyAct32(ActReLU, h)
+		w := h.Cols
+		for i := 0; i < n; i++ {
+			copy(cat.Row(i)[col:col+w], h.Row(i))
+		}
+		col += w
+	}
+	return cat
+}

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"harpte/internal/autograd"
+	"harpte/internal/tensor"
+)
+
+func randDense(rng *rand.Rand, rows, cols int) *tensor.Dense {
+	d := tensor.New(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	return d
+}
+
+func maxAbsDiff32(t *testing.T, got *tensor.Dense32, want *tensor.Dense, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		d := math.Abs(float64(got.Data[i]) - want.Data[i])
+		scale := math.Max(1, math.Abs(want.Data[i]))
+		if d/scale > tol {
+			t.Fatalf("float32 mirror diverges at %d: %v vs %v (rel %g)", i, got.Data[i], want.Data[i], d/scale)
+		}
+	}
+}
+
+// TestEncoder32MatchesFloat64 runs the full float32 SETTRANS mirror against
+// the float64 tape forward on the same weights and segmentation, bounding
+// the relative divergence at what ~1e-7 machine epsilon compounds to over a
+// two-block encoder.
+func TestEncoder32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const dim, heads, ff = 16, 4, 32
+	enc := NewEncoder(rng, 2, dim, heads, ff)
+	enc32, err := NewEncoder32(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixed-length segments with an uncovered pass-through row at the end.
+	segs := []Segment{{0, 3}, {3, 8}, {8, 10}, {10, 15}}
+	x := randDense(rng, 16, dim)
+
+	tp := autograd.NewTape()
+	want := enc.Forward(tp, autograd.NewConst(x), segs)
+
+	ar := tensor.NewArena32()
+	x32, err := tensor.ConvertDense32(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := enc32.Forward(ar, x32, segs)
+	maxAbsDiff32(t, got, want.Val, 1e-4)
+
+	// Re-running on a reset arena must give identical bits (determinism of
+	// the serving path) and allocate nothing once warm.
+	ar.Reset()
+	again := enc32.Forward(ar, x32, segs)
+	for i := range got.Data {
+		if got.Data[i] != again.Data[i] {
+			t.Fatalf("float32 forward not deterministic at %d", i)
+		}
+	}
+	if tensor.RaceEnabled {
+		return
+	}
+	ar.Reset()
+	allocs := testing.AllocsPerRun(10, func() {
+		enc32.Forward(ar, x32, segs)
+		ar.Reset()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Encoder32 forward allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestGCN32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := NewGCN(rng, 3, 4, 8)
+	g32, err := NewGCN32(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aHat := tensor.NewCSR(5, 5, []tensor.COO{
+		tensor.E(0, 0, 0.5), tensor.E(0, 1, 0.5), tensor.E(1, 0, 0.3), tensor.E(1, 1, 0.7),
+		tensor.E(2, 2, 1), tensor.E(3, 3, 0.6), tensor.E(3, 4, 0.4), tensor.E(4, 4, 1),
+	})
+	x := randDense(rng, 5, 4)
+
+	tp := autograd.NewTape()
+	want := g.Forward(tp, aHat, autograd.NewConst(x))
+
+	a32, err := aHat.Convert32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x32, _ := tensor.ConvertDense32(x)
+	ar := tensor.NewArena32()
+	got := g32.Forward(ar, a32, x32)
+	maxAbsDiff32(t, got, want.Val, 1e-5)
+}
+
+func TestMLP32AndLayerNorm32MatchFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := NewMLP(rng, ActLeakyReLU, 6, 12, 3)
+	m32, err := NewMLP32(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewLayerNorm(rng, 6)
+	// Non-trivial gain/bias so the mirror exercises both.
+	for i := range ln.Gain.Val.Data {
+		ln.Gain.Val.Data[i] = 1 + 0.1*float64(i)
+		ln.Bias.Val.Data[i] = 0.05 * float64(i)
+	}
+	ln32, err := NewLayerNorm32(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randDense(rng, 7, 6)
+
+	tp := autograd.NewTape()
+	wantN := ln.Forward(tp, autograd.NewConst(x))
+	wantM := m.Forward(tp, wantN)
+
+	ar := tensor.NewArena32()
+	x32, _ := tensor.ConvertDense32(x)
+	gotN := ln32.Forward(ar, x32)
+	maxAbsDiff32(t, gotN, wantN.Val, 1e-4)
+	gotM := m32.Forward(ar, gotN)
+	maxAbsDiff32(t, gotM, wantM.Val, 1e-3)
+}
+
+// TestLinear32RejectsOverflow: a weight outside float32 range must fail
+// mirror construction with the typed overflow error, not saturate silently.
+func TestLinear32RejectsOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	l := NewLinear(rng, 2, 2)
+	l.W.Val.Data[1] = 1e300
+	if _, err := NewLinear32(l); err == nil {
+		t.Fatal("overflowing weight accepted by NewLinear32")
+	}
+}
+
+// TestBucketSegmentsOrder: counting sort must order segments by ascending
+// length, stably, covering every index exactly once.
+func TestBucketSegmentsOrder(t *testing.T) {
+	tp := autograd.NewTape()
+	segs := []Segment{{0, 4}, {4, 6}, {6, 10}, {10, 11}, {11, 13}}
+	order := bucketSegments(tp, segs)
+	wantOrder := []int{3, 1, 4, 0, 2} // lengths 1, 2, 2 (stable), 4, 4 (stable)
+	if len(order) != len(wantOrder) {
+		t.Fatalf("order length %d, want %d", len(order), len(wantOrder))
+	}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("order = %v, want %v", order, wantOrder)
+		}
+	}
+}

@@ -71,6 +71,11 @@ func FuzzCacheKey(f *testing.F) {
 	f.Add(uint8(4), uint8(10), []byte{1, 2, 3, 4, 5, 6, 7, 8})
 	f.Add(uint8(0), uint8(0), []byte{0})
 	f.Add(uint8(7), uint8(255), []byte("\x00\x00\x00\x00\x00\x00\xf0\x7f")) // NaN bits
+	// float32 round-trip seeds: 0.1 (not float32-representable, so the
+	// first narrowing perturbs it) and float64(MaxFloat32) (the largest
+	// value that narrows without clamping).
+	f.Add(uint8(5), uint8(9), []byte{0x9a, 0x99, 0x99, 0x99, 0x99, 0x99, 0xb9, 0x3f})
+	f.Add(uint8(5), uint8(9), []byte{0x00, 0x00, 0x00, 0xe0, 0xff, 0xff, 0xef, 0x47})
 	f.Fuzz(func(t *testing.T, nodes, qRaw uint8, data []byte) {
 		quantum := float64(1+int(qRaw)%500) / 1000 // 0.001 .. 0.5
 		p := fuzzProblem(nodes, data, 1)
@@ -115,6 +120,22 @@ func FuzzCacheKey(f *testing.F) {
 			if _, ms := CacheKey(p, scaled, quantum); ms == m1 {
 				t.Fatalf("4x-scaled demand collides: %x", ms)
 			}
+		}
+
+		// Float32 round-trip fixed point: the first narrowing may move a
+		// value across a bucket edge (allowed — it is an epsilon-sized
+		// perturbation), but narrowing an already-narrowed demand is the
+		// identity, so a replica that stores demands in float32 must key
+		// identically no matter how many times the demand re-enters.
+		r1 := tensor.ClampDense32(d).ToDense()
+		r2 := tensor.ClampDense32(r1).ToDense()
+		t4, m4 := CacheKey(p, r1, quantum)
+		t5, m5 := CacheKey(p, r2, quantum)
+		if t4 != t5 || m4 != m5 {
+			t.Fatalf("float32 round-trip keys differ: (%x,%x) vs (%x,%x)", t4, m4, t5, m5)
+		}
+		if t4 != t1 {
+			t.Fatalf("demand narrowing changed the topology hash: %x vs %x", t4, t1)
 		}
 	})
 }

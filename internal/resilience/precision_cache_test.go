@@ -1,0 +1,113 @@
+package resilience
+
+// Precision-agnostic caching: the cache key is a function of the problem
+// and the float64 request demand only, so switching the model between the
+// float64 and float32 serving engines must neither miss nor collide with
+// existing entries, and serving on either path must leave the topology
+// fingerprint (and the CSR structure it is computed over) untouched.
+
+import (
+	"math"
+	"testing"
+
+	"harpte/internal/core"
+	"harpte/internal/tensor"
+)
+
+// TestCacheKeyPrecisionAgnostic: running the float32 engine (which builds
+// clamped CSR mirrors aliasing the problem's sparse index structure) must
+// not perturb the fingerprint or the cache key.
+func TestCacheKeyPrecisionAgnostic(t *testing.T) {
+	p := twoPathProblem()
+	d := demand(p, 4, 2)
+	topoBefore, tmBefore := CacheKey(p, d, 0)
+
+	m := core.New(tinyConfig())
+	ctx := m.Context(p)
+	m.Splits(ctx, d)
+	if _, err := m.SplitsFloat32(ctx, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableFloat32Inference(); err != nil {
+		t.Fatal(err)
+	}
+	m.Splits(ctx, d)
+
+	topoAfter, tmAfter := CacheKey(p, d, 0)
+	if topoBefore != topoAfter || tmBefore != tmAfter {
+		t.Fatalf("cache key changed after float32 serving: (%x,%x) vs (%x,%x)",
+			topoBefore, tmBefore, topoAfter, tmAfter)
+	}
+	if err := p.Incidence().Validate(); err != nil {
+		t.Fatalf("incidence CSR corrupted by float32 mirror construction: %v", err)
+	}
+}
+
+// TestCacheKeyFloat32RoundTripFixedPoint: a demand that has already been
+// narrowed to float32 (a replica storing demands half-width) must key
+// stably — one narrowing may move a value across a bucket edge, but a
+// second pass through float32 is the identity, so the key cannot flip-flop.
+func TestCacheKeyFloat32RoundTripFixedPoint(t *testing.T) {
+	p := twoPathProblem()
+	// 0.1 and 4.3 are not float32-representable; MaxFloat32 is the edge.
+	d := demand(p, 0.1, 4.3)
+	d.Data[0] = math.MaxFloat32
+
+	r1 := tensor.ClampDense32(d).ToDense()
+	r2 := tensor.ClampDense32(r1).ToDense()
+	for i := range r1.Data {
+		if r1.Data[i] != r2.Data[i] {
+			t.Fatalf("float32 narrowing not idempotent at %d: %v vs %v", i, r1.Data[i], r2.Data[i])
+		}
+	}
+	t1, m1 := CacheKey(p, r1, 0)
+	t2, m2 := CacheKey(p, r2, 0)
+	if t1 != t2 || m1 != m2 {
+		t.Fatalf("round-tripped demand keys differ: (%x,%x) vs (%x,%x)", t1, m1, t2, m2)
+	}
+}
+
+// TestFloat32ServeHitsFloat64CacheEntry: an answer cached by the float64
+// path must be replayed when the same request arrives after the model
+// switches to float32 serving, and vice versa — the precision mode may
+// never split the cache.
+func TestFloat32ServeHitsFloat64CacheEntry(t *testing.T) {
+	p := twoPathProblem()
+	d := demand(p, 4, 2)
+
+	m := core.New(tinyConfig())
+	srv := NewServer(m, Options{CacheEntries: 8})
+	first := srv.Serve(p, d)
+	if first.Tier != TierFull {
+		t.Fatalf("cold float64 request tier %v, want full", first.Tier)
+	}
+	if err := m.EnableFloat32Inference(); err != nil {
+		t.Fatal(err)
+	}
+	second := srv.Serve(p, d)
+	if second.Tier != TierCached {
+		t.Fatalf("float32-mode request tier %v, want cached (dense-path entry missed)", second.Tier)
+	}
+	for i := range first.Splits.Data {
+		if second.Splits.Data[i] != first.Splits.Data[i] {
+			t.Fatalf("cached split %d = %v, float64 original %v", i, second.Splits.Data[i], first.Splits.Data[i])
+		}
+	}
+
+	// Opposite order: cache populated by the float32 engine, hit by float64.
+	m2 := core.New(tinyConfig())
+	if err := m2.EnableFloat32Inference(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(m2, Options{CacheEntries: 8})
+	if dec := srv2.Serve(p, d); dec.Tier != TierFull {
+		t.Fatalf("cold float32 request tier %v, want full", dec.Tier)
+	}
+	m2.DisableFloat32Inference()
+	if dec := srv2.Serve(p, d); dec.Tier != TierCached {
+		t.Fatalf("float64-mode request tier %v, want cached (sparse-path entry missed)", dec.Tier)
+	}
+	if st := srv2.Stats(); st.Cache.Hits != 1 || st.Cache.Size != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit over 1 entry", st.Cache)
+	}
+}

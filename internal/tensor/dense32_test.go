@@ -1,0 +1,367 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// firstOverflow64 is the smallest positive float64 that narrows to +Inf in
+// float32 under round-to-nearest: the midpoint between MaxFloat32 and the
+// next (unrepresentable) float32 step. Everything strictly below it rounds
+// to MaxFloat32; it and everything above round to +Inf.
+const firstOverflow64 = 3.4028235677973366e38
+
+func TestConvert32ExactBoundary(t *testing.T) {
+	// Just-representable values must convert cleanly.
+	ok := []float64{0, 1.5, -2.25, math.MaxFloat32, -math.MaxFloat32,
+		math.Nextafter(firstOverflow64, 0), -math.Nextafter(firstOverflow64, 0)}
+	dst := make([]float32, len(ok))
+	if err := Convert32(dst, ok); err != nil {
+		t.Fatalf("in-range values rejected: %v", err)
+	}
+	if dst[3] != math.MaxFloat32 || dst[5] != math.MaxFloat32 {
+		t.Fatalf("boundary values altered: %v %v", dst[3], dst[5])
+	}
+
+	// The first overflowing float64 (and beyond) must be rejected with the
+	// typed error naming the index.
+	for _, v := range []float64{firstOverflow64, -firstOverflow64, 1e39, math.MaxFloat64} {
+		src := []float64{1, v}
+		err := Convert32(make([]float32, 2), src)
+		var oe *Float32OverflowError
+		if !errors.As(err, &oe) {
+			t.Fatalf("overflowing %g not rejected: err=%v", v, err)
+		}
+		if oe.Index != 1 || oe.Value != v {
+			t.Fatalf("error carries %d/%g, want 1/%g", oe.Index, oe.Value, v)
+		}
+	}
+
+	// Non-finite inputs are pass-through, not overflow.
+	nf := []float64{math.Inf(1), math.Inf(-1), math.NaN()}
+	dst = make([]float32, 3)
+	if err := Convert32(dst, nf); err != nil {
+		t.Fatalf("non-finite pass-through rejected: %v", err)
+	}
+	if !math.IsInf(float64(dst[0]), 1) || !math.IsInf(float64(dst[1]), -1) || !math.IsNaN(float64(dst[2])) {
+		t.Fatalf("non-finite not preserved: %v", dst)
+	}
+}
+
+func TestClamp32Saturates(t *testing.T) {
+	src := []float64{firstOverflow64, -firstOverflow64, 1e300, -1e300, 2.5, math.Inf(1), math.NaN()}
+	dst := make([]float32, len(src))
+	Clamp32(dst, src)
+	if dst[0] != math.MaxFloat32 || dst[1] != -math.MaxFloat32 ||
+		dst[2] != math.MaxFloat32 || dst[3] != -math.MaxFloat32 {
+		t.Fatalf("finite overflow not saturated: %v", dst[:4])
+	}
+	if dst[4] != 2.5 {
+		t.Fatalf("in-range value altered: %v", dst[4])
+	}
+	if !math.IsInf(float64(dst[5]), 1) || !math.IsNaN(float64(dst[6])) {
+		t.Fatalf("non-finite not preserved: %v %v", dst[5], dst[6])
+	}
+}
+
+// TestSoftmaxRow32MaskedSemantics pins the PR-4 masked-softmax contract on
+// the float32 mirror: empty row no-op, all-(-Inf) row becomes all-zero
+// (never NaN), +Inf logits split uniformly, NaN propagates, and ordinary
+// rows are probability vectors.
+func TestSoftmaxRow32MaskedSemantics(t *testing.T) {
+	SoftmaxRow32(nil, nil) // empty row must not panic
+
+	inf := float32(math.Inf(1))
+	ninf := float32(math.Inf(-1))
+	nan := float32(math.NaN())
+
+	allMasked := []float32{ninf, ninf, ninf}
+	SoftmaxRow32(allMasked, allMasked)
+	for i, v := range allMasked {
+		if v != 0 {
+			t.Fatalf("all-(-Inf) row entry %d = %v, want 0", i, v)
+		}
+	}
+
+	plus := []float32{inf, 1, inf, ninf}
+	SoftmaxRow32(plus, plus)
+	want := []float32{0.5, 0, 0.5, 0}
+	for i := range plus {
+		if plus[i] != want[i] {
+			t.Fatalf("+Inf row = %v, want %v", plus, want)
+		}
+	}
+
+	withNaN := []float32{1, nan, 2}
+	SoftmaxRow32(withNaN, withNaN)
+	hasNaN := false
+	for _, v := range withNaN {
+		if math.IsNaN(float64(v)) {
+			hasNaN = true
+		}
+	}
+	if !hasNaN {
+		t.Fatalf("NaN input did not propagate: %v", withNaN)
+	}
+
+	row := []float32{0.5, -1, 3}
+	SoftmaxRow32(row, row)
+	var sum float32
+	for _, v := range row {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", row)
+		}
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-6 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+
+	// Cross-check against the float64 kernel on the same logits.
+	logits := []float64{-2, 0.25, 1.75, -0.5}
+	d64 := make([]float64, len(logits))
+	SoftmaxRow(d64, logits)
+	l32 := make([]float32, len(logits))
+	Clamp32(l32, logits)
+	SoftmaxRow32(l32, l32)
+	for i := range logits {
+		if math.Abs(float64(l32[i])-d64[i]) > 1e-6 {
+			t.Fatalf("float32 softmax diverges at %d: %v vs %v", i, l32[i], d64[i])
+		}
+	}
+}
+
+func TestDense32KernelsMatchFloat64(t *testing.T) {
+	a64 := New(5, 7)
+	b64 := New(7, 3)
+	for i := range a64.Data {
+		a64.Data[i] = math.Sin(float64(i)*1.3) * 2
+	}
+	for i := range b64.Data {
+		b64.Data[i] = math.Cos(float64(i)*0.7) * 3
+	}
+	a32, err := ConvertDense32(a64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b32, err := ConvertDense32(b64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := New(5, 3)
+	MatMul(want, a64, b64)
+	got := New32(5, 3)
+	MatMul32(got, a32, b32)
+	for i := range got.Data {
+		if math.Abs(float64(got.Data[i])-want.Data[i]) > 1e-4 {
+			t.Fatalf("MatMul32 diverges at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	// ABT against explicit transpose product.
+	c64 := New(4, 7)
+	for i := range c64.Data {
+		c64.Data[i] = float64(i%5) - 2
+	}
+	c32, _ := ConvertDense32(c64)
+	gotABT := New32(5, 4)
+	MatMulABT32(gotABT, a32, c32)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			var s float64
+			for k := 0; k < 7; k++ {
+				s += a64.At(i, k) * c64.At(j, k)
+			}
+			if math.Abs(float64(gotABT.At(i, j))-s) > 1e-4 {
+				t.Fatalf("MatMulABT32 diverges at (%d,%d): %v vs %v", i, j, gotABT.At(i, j), s)
+			}
+		}
+	}
+
+	// Row-vector broadcast add.
+	v32 := New32(1, 3)
+	v32.Data[0], v32.Data[1], v32.Data[2] = 1, -2, 3
+	out := New32(5, 3)
+	AddRowVecInto32(out, got, v32)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			if out.At(i, j) != got.At(i, j)+v32.Data[j] {
+				t.Fatalf("AddRowVecInto32 wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCSR32MatchesFloat64(t *testing.T) {
+	entries := []COO{E(0, 1, 2), E(2, 0, -1.5), E(2, 3, 4), E(1, 2, 0.25), E(0, 1, 1)}
+	c := NewCSR(3, 4, entries)
+	c32, err := c.Convert32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c32.NNZ() != c.NNZ() {
+		t.Fatalf("NNZ mismatch: %d vs %d", c32.NNZ(), c.NNZ())
+	}
+	if !c32.IsFinite() {
+		t.Fatal("finite CSR reported non-finite")
+	}
+	x64 := New(4, 2)
+	for i := range x64.Data {
+		x64.Data[i] = float64(i) - 3.5
+	}
+	x32, _ := ConvertDense32(x64)
+	want := New(3, 2)
+	c.MulDense(want, x64)
+	got := New32(3, 2)
+	c32.MulDense32(got, x32)
+	for i := range got.Data {
+		if math.Abs(float64(got.Data[i])-want.Data[i]) > 1e-5 {
+			t.Fatalf("CSR32 MulDense32 diverges at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	// Overflowing values must be rejected by Convert32 and saturated by Clamp32.
+	big := NewCSR(1, 1, []COO{E(0, 0, 1e300)})
+	if _, err := big.Convert32(); err == nil {
+		t.Fatal("overflowing CSR value accepted by Convert32")
+	}
+	clamped := big.Clamp32()
+	if clamped.Val[0] != math.MaxFloat32 {
+		t.Fatalf("Clamp32 did not saturate: %v", clamped.Val[0])
+	}
+	if !clamped.IsFinite() {
+		t.Fatal("clamped CSR reported non-finite")
+	}
+}
+
+func TestCSRCheckedTypedErrors(t *testing.T) {
+	cases := []struct {
+		rows, cols int
+		entries    []COO
+	}{
+		{-1, 3, nil},
+		{3, -2, nil},
+		{3, 3, []COO{E(3, 0, 1)}},
+		{3, 3, []COO{E(0, 3, 1)}},
+		{3, 3, []COO{E(-1, 0, 1)}},
+		{0, 0, []COO{E(0, 0, 1)}},
+	}
+	for _, tc := range cases {
+		_, err := NewCSRChecked(tc.rows, tc.cols, tc.entries)
+		var be *CSRBoundsError
+		if !errors.As(err, &be) {
+			t.Fatalf("NewCSRChecked(%d,%d,%v) err=%v, want *CSRBoundsError", tc.rows, tc.cols, tc.entries, err)
+		}
+	}
+	// Empty matrix with no entries is legal.
+	c, err := NewCSRChecked(0, 0, nil)
+	if err != nil || c.NNZ() != 0 {
+		t.Fatalf("empty CSR rejected: %v", err)
+	}
+}
+
+func TestCSRValidateCatchesCorruption(t *testing.T) {
+	good := NewCSR(2, 3, []COO{E(0, 0, 1), E(0, 2, 2), E(1, 1, 3)})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid CSR rejected: %v", err)
+	}
+	corrupt := []func(*CSR){
+		func(c *CSR) { c.RowPtr = c.RowPtr[:len(c.RowPtr)-1] },
+		func(c *CSR) { c.RowPtr[1] = 5 },
+		func(c *CSR) { c.ColIdx[1] = 0 }, // duplicates column 0 in row 0
+		func(c *CSR) { c.ColIdx[2] = 9 },
+		func(c *CSR) { c.Val = c.Val[:2] },
+	}
+	for i, mut := range corrupt {
+		c := NewCSR(2, 3, []COO{E(0, 0, 1), E(0, 2, 2), E(1, 1, 3)})
+		mut(c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("corruption %d not caught", i)
+		}
+	}
+}
+
+func TestMulDenseAccAccumulates(t *testing.T) {
+	c := NewCSR(2, 3, []COO{E(0, 0, 2), E(1, 2, -1)})
+	x := New(3, 2)
+	for i := range x.Data {
+		x.Data[i] = float64(i + 1)
+	}
+	base := New(2, 2)
+	for i := range base.Data {
+		base.Data[i] = 10
+	}
+	dst := New(2, 2)
+	copy(dst.Data, base.Data)
+	c.MulDenseAcc(dst, x)
+	prod := New(2, 2)
+	c.MulDense(prod, x)
+	for i := range dst.Data {
+		if dst.Data[i] != base.Data[i]+prod.Data[i] {
+			t.Fatalf("MulDenseAcc wrong at %d: %v, want %v", i, dst.Data[i], base.Data[i]+prod.Data[i])
+		}
+	}
+}
+
+func TestArena32Reuse(t *testing.T) {
+	a := NewArena32()
+	b1 := a.Get(4, 5)
+	b2 := a.Get(4, 5)
+	if b1 == b2 {
+		t.Fatal("arena returned the same buffer twice before Reset")
+	}
+	b1.Data[0] = 42
+	a.Reset()
+	r1 := a.Get(4, 5)
+	r2 := a.Get(4, 5)
+	if r1 != b1 || r2 != b2 {
+		t.Fatal("arena did not recycle buffers after Reset")
+	}
+	z := a.GetZeroed(4, 5)
+	for _, v := range z.Data {
+		if v != 0 {
+			t.Fatal("GetZeroed returned dirty buffer")
+		}
+	}
+
+	// Steady-state checkout must not allocate.
+	a.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Get(4, 5)
+		a.Get(4, 5)
+		a.Reset()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state arena checkout allocates %.1f/op", allocs)
+	}
+}
+
+func TestWidenRoundTrip(t *testing.T) {
+	src := New(3, 3)
+	for i := range src.Data {
+		src.Data[i] = math.Sqrt(float64(i)) * 1.0625
+	}
+	d32, err := ConvertDense32(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := d32.ToDense()
+	back, err := ConvertDense32(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back.Data {
+		if back.Data[i] != d32.Data[i] {
+			t.Fatalf("widen/narrow round trip not bit-stable at %d", i)
+		}
+	}
+	into := New(3, 3)
+	d32.WidenInto(into)
+	for i := range into.Data {
+		if into.Data[i] != wide.Data[i] {
+			t.Fatalf("WidenInto diverges from ToDense at %d", i)
+		}
+	}
+}

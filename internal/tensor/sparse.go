@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // CSR is a compressed-sparse-row matrix used for constant structural
 // operators: GCN-normalized adjacency, tunnel-edge incidence, and the like.
@@ -18,13 +21,46 @@ type COO struct {
 	Val      float64
 }
 
+// CSRBoundsError is the typed error NewCSRChecked returns for an entry
+// outside the declared shape (or a negative shape). Carrying the offending
+// coordinates lets parsers attribute the failure to their input instead of
+// panicking deep inside a kernel.
+type CSRBoundsError struct {
+	Row, Col   int // offending entry (-1,-1 for a bad shape)
+	Rows, Cols int // declared shape
+}
+
+func (e *CSRBoundsError) Error() string {
+	if e.Row < 0 && e.Col < 0 {
+		return fmt.Sprintf("tensor: invalid CSR shape %dx%d", e.Rows, e.Cols)
+	}
+	return fmt.Sprintf("tensor: CSR entry (%d,%d) out of bounds %dx%d", e.Row, e.Col, e.Rows, e.Cols)
+}
+
 // NewCSR builds a CSR matrix from coordinate entries. Duplicate (row,col)
-// entries are summed. Entries are not required to be sorted.
+// entries are summed and unsorted entries are normalized (each row ends up
+// with strictly increasing column indices) — COO input is never trusted to
+// be canonical. Out-of-bounds entries panic; use NewCSRChecked when the
+// entries come from untrusted input.
 func NewCSR(rows, cols int, entries []COO) *CSR {
+	c, err := NewCSRChecked(rows, cols, entries)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// NewCSRChecked is NewCSR with a typed error instead of a panic for
+// out-of-bounds entries or a negative shape. The same normalization
+// applies: duplicates summed, columns sorted per row, empty rows valid.
+func NewCSRChecked(rows, cols int, entries []COO) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, &CSRBoundsError{Row: -1, Col: -1, Rows: rows, Cols: cols}
+	}
 	counts := make([]int, rows+1)
 	for _, e := range entries {
 		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
-			panic(fmt.Sprintf("tensor: CSR entry (%d,%d) out of bounds %dx%d", e.Row, e.Col, rows, cols))
+			return nil, &CSRBoundsError{Row: e.Row, Col: e.Col, Rows: rows, Cols: cols}
 		}
 		counts[e.Row+1]++
 	}
@@ -43,7 +79,41 @@ func NewCSR(rows, cols int, entries []COO) *CSR {
 	}
 	c := &CSR{Rows: rows, Cols: cols, RowPtr: counts, ColIdx: colIdx, Val: val}
 	c.sumDuplicates()
-	return c
+	return c, nil
+}
+
+// Validate checks the structural invariants every kernel in this file
+// assumes: RowPtr has Rows+1 monotone entries bracketing ColIdx/Val, and
+// each row's column indices are strictly increasing and in range. NewCSR
+// output always validates; this is the defense for CSR values assembled by
+// hand or deserialized.
+func (c *CSR) Validate() error {
+	if c.Rows < 0 || c.Cols < 0 {
+		return &CSRBoundsError{Row: -1, Col: -1, Rows: c.Rows, Cols: c.Cols}
+	}
+	if len(c.RowPtr) != c.Rows+1 {
+		return fmt.Errorf("tensor: CSR RowPtr length %d, want %d", len(c.RowPtr), c.Rows+1)
+	}
+	if len(c.ColIdx) != len(c.Val) {
+		return fmt.Errorf("tensor: CSR ColIdx/Val length mismatch %d vs %d", len(c.ColIdx), len(c.Val))
+	}
+	if c.RowPtr[0] != 0 || c.RowPtr[c.Rows] != len(c.ColIdx) {
+		return fmt.Errorf("tensor: CSR RowPtr bounds [%d,%d], want [0,%d]", c.RowPtr[0], c.RowPtr[c.Rows], len(c.ColIdx))
+	}
+	for i := 0; i < c.Rows; i++ {
+		if c.RowPtr[i] > c.RowPtr[i+1] {
+			return fmt.Errorf("tensor: CSR RowPtr not monotone at row %d", i)
+		}
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			if c.ColIdx[p] < 0 || c.ColIdx[p] >= c.Cols {
+				return &CSRBoundsError{Row: i, Col: c.ColIdx[p], Rows: c.Rows, Cols: c.Cols}
+			}
+			if p > c.RowPtr[i] && c.ColIdx[p] <= c.ColIdx[p-1] {
+				return fmt.Errorf("tensor: CSR row %d columns not strictly increasing", i)
+			}
+		}
+	}
+	return nil
 }
 
 // sumDuplicates sorts each row by column and merges repeated column indices
@@ -123,6 +193,24 @@ func (c *CSR) NNZ() int { return len(c.Val) }
 // E is a convenience constructor for a COO entry.
 func E(row, col int, val float64) COO { return COO{Row: row, Col: col, Val: val} }
 
+// MulDenseAcc computes dst += C × x without zeroing dst first — the
+// adjoint of MulDenseT, used by the CSRMulT backward.
+func (c *CSR) MulDenseAcc(dst, x *Dense) {
+	if c.Cols != x.Rows || dst.Rows != c.Rows || dst.Cols != x.Cols {
+		panic("tensor: CSR MulDenseAcc shape mismatch")
+	}
+	for i := 0; i < c.Rows; i++ {
+		drow := dst.Row(i)
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			v := c.Val[p]
+			xrow := x.Row(c.ColIdx[p])
+			for j := range drow {
+				drow[j] += v * xrow[j]
+			}
+		}
+	}
+}
+
 // MulDenseTAcc computes dst += Cᵀ × x without zeroing dst first.
 func (c *CSR) MulDenseTAcc(dst, x *Dense) {
 	if c.Rows != x.Rows || dst.Rows != c.Cols || dst.Cols != x.Cols {
@@ -138,4 +226,70 @@ func (c *CSR) MulDenseTAcc(dst, x *Dense) {
 			}
 		}
 	}
+}
+
+// ---- float32 sparse mirror ----
+
+// CSR32 is the float32 mirror of CSR for the serving-precision path: same
+// structure (shared index layout semantics), narrowed values. Like CSR it
+// carries no gradients; it multiplies float32 activations.
+type CSR32 struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float32
+}
+
+// Convert32 narrows the values with overflow rejection. The index slices
+// are aliased, not copied: CSR matrices are immutable once built.
+func (c *CSR) Convert32() (*CSR32, error) {
+	val := make([]float32, len(c.Val))
+	if err := Convert32(val, c.Val); err != nil {
+		return nil, err
+	}
+	return &CSR32{Rows: c.Rows, Cols: c.Cols, RowPtr: c.RowPtr, ColIdx: c.ColIdx, Val: val}, nil
+}
+
+// Clamp32 narrows the values, saturating finite overflow to ±MaxFloat32.
+// Index slices are aliased as in Convert32.
+func (c *CSR) Clamp32() *CSR32 {
+	val := make([]float32, len(c.Val))
+	Clamp32(val, c.Val)
+	return &CSR32{Rows: c.Rows, Cols: c.Cols, RowPtr: c.RowPtr, ColIdx: c.ColIdx, Val: val}
+}
+
+// MulDense32 computes dst = C × x for dense float32 x. dst must be
+// C.Rows×x.Cols and must not alias x.
+func (c *CSR32) MulDense32(dst, x *Dense32) {
+	if c.Cols != x.Rows || dst.Rows != c.Rows || dst.Cols != x.Cols {
+		panic("tensor: CSR32 MulDense32 shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < c.Rows; i++ {
+		drow := dst.Row(i)
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			v := c.Val[p]
+			xrow := x.Row(c.ColIdx[p])
+			for j := range drow {
+				drow[j] += v * xrow[j]
+			}
+		}
+	}
+}
+
+// NNZ returns the number of stored entries.
+func (c *CSR32) NNZ() int { return len(c.Val) }
+
+// IsFinite reports whether every stored value is finite — the cheap
+// structural health check the float32 engine runs after clamped
+// conversions (a NaN capacity would otherwise surface as NaN splits much
+// later).
+func (c *CSR32) IsFinite() bool {
+	for _, v := range c.Val {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
 }

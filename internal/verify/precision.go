@@ -1,0 +1,74 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+)
+
+// The precision oracle bounds what the float32 serving path is allowed to
+// do to the model's answers. The float64 tape path is the source of truth;
+// the float32 engine trades precision for memory traffic, and this check is
+// the contract on that trade: the reduced-precision splits must still be a
+// valid routing, stay entrywise close to the float64 splits, and achieve an
+// MLU within tolerance of the float64 one.
+
+// DefaultPrecisionTol is the divergence budget for float32 inference:
+// float32 epsilon (~1.2e-7) compounded through the GNN, SETTRANS, and the
+// RAU loop. Softmax keeps splits in [0,1], so the entrywise comparison is
+// absolute; the MLU comparison is relative.
+const DefaultPrecisionTol = 1e-3
+
+// PrecisionDivergenceError reports where the reduced-precision output left
+// its budget. Flow/Tunnel locate an entrywise divergence; Flow == -1 means
+// the achieved MLUs diverged instead (Got/Want then hold the MLUs).
+type PrecisionDivergenceError struct {
+	Flow, Tunnel int
+	Got, Want    float64 // reduced-precision vs reference value
+	Tol          float64
+}
+
+func (e *PrecisionDivergenceError) Error() string {
+	if e.Flow < 0 {
+		return fmt.Sprintf("verify: precision divergence: MLU %.9g vs reference %.9g (tol %g)",
+			e.Got, e.Want, e.Tol)
+	}
+	return fmt.Sprintf("verify: precision divergence: split[%d][%d] %.9g vs reference %.9g (tol %g)",
+		e.Flow, e.Tunnel, e.Got, e.Want, e.Tol)
+}
+
+// CheckPrecisionDivergence compares a reduced-precision split matrix
+// against the full-precision reference on the same problem and demand. It
+// first requires got to be a valid routing on its own (the precision mode
+// may never excuse an invalid answer), then bounds the entrywise split
+// divergence at tol and the achieved-MLU divergence at tol relative.
+// tol <= 0 selects DefaultPrecisionTol. Divergences return a typed
+// *PrecisionDivergenceError.
+func CheckPrecisionDivergence(p *te.Problem, demand, want, got *tensor.Dense, tol float64) error {
+	if tol <= 0 {
+		tol = DefaultPrecisionTol
+	}
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		return fmt.Errorf("verify: precision check shape mismatch: %dx%d vs %dx%d",
+			got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	if err := CheckRouting(p, got, demand); err != nil {
+		return err
+	}
+	for f := 0; f < got.Rows; f++ {
+		for k := 0; k < got.Cols; k++ {
+			g, w := got.At(f, k), want.At(f, k)
+			if math.Abs(g-w) > tol {
+				return &PrecisionDivergenceError{Flow: f, Tunnel: k, Got: g, Want: w, Tol: tol}
+			}
+		}
+	}
+	mluW := p.MLU(want, demand)
+	mluG := p.MLU(got, demand)
+	if math.Abs(mluG-mluW) > tol*math.Max(1, mluW) {
+		return &PrecisionDivergenceError{Flow: -1, Tunnel: -1, Got: mluG, Want: mluW, Tol: tol}
+	}
+	return nil
+}
