@@ -1,11 +1,11 @@
 # Tier-1 verification gate plus extras. `make check` is what CI should run.
 GO ?= go
 
-.PHONY: ci check vet build test race benchsmoke bench obssmoke tracesmoke verify fuzzsmoke
+.PHONY: ci check vet build test race benchsmoke bench obssmoke tracesmoke verify fuzzsmoke scenariosmoke
 
 # ci is the hosted-CI entry point (.github/workflows/ci.yml): the full
 # check gate, ordered fastest-fail-first.
-ci: build vet test race fuzzsmoke obssmoke tracesmoke benchsmoke verify
+ci: build vet test race fuzzsmoke obssmoke tracesmoke scenariosmoke benchsmoke verify
 
 # check runs static analysis, the full build, the full test suite, the
 # race detector on internal/core (exercises ParallelTrainStep's shared-
@@ -15,8 +15,9 @@ ci: build vet test race fuzzsmoke obssmoke tracesmoke benchsmoke verify
 # zero-allocation pin), a one-iteration bench smoke that compiles and
 # executes every benchmark once so the perf harness can never silently
 # rot, the differential-oracle suite (internal/verify), and a short
-# fuzzing pass over every fuzz target.
-check: vet build test race obssmoke tracesmoke benchsmoke verify fuzzsmoke
+# fuzzing pass over every fuzz target, and the correlated-disaster
+# scenario smoke (scenariosmoke).
+check: vet build test race obssmoke tracesmoke scenariosmoke benchsmoke verify fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -31,10 +32,22 @@ test:
 # step, obs's scrape-while-write registry, resilience's Serve/Reload/Drain
 # churn hammer plus the breaker half-open contention pin, chaos's
 # fault-injecting filesystem and replica-fault injectors under torture,
-# the fleet dispatcher's chaos torture (hedges, retries, rolling reload
-# mid-burst), and the differential-oracle suite.
+# the seed-replayable scenario player, the fleet dispatcher's chaos
+# tortures (hedges, retries, rolling reload mid-burst, and the
+# correlated-disaster scenario), and the differential-oracle suite.
 race:
-	$(GO) test -race ./internal/core ./internal/obs ./internal/resilience ./internal/chaos ./internal/chaos/replica ./internal/fleet ./internal/verify
+	$(GO) test -race ./internal/core ./internal/obs ./internal/resilience ./internal/chaos ./internal/chaos/replica ./internal/chaos/scenario ./internal/fleet ./internal/verify
+
+# scenariosmoke replays the seed-pinned correlated-disaster script against
+# a live fleet under the race detector: SRLG fiber cut, 40x flash crowd,
+# sustained shift, adversarial demands ascended through the model, and a
+# maintenance wave — asserting zero hangs, vetted splits on every answer,
+# a bounded MLU ratio on non-partitioned steps, and hostile demotion off
+# the neural tiers and split cache. The OOD guard's serve-path contract
+# (classification, demotion tiers, cache bypass, fail-open) rides along.
+scenariosmoke:
+	$(GO) test -race -count=1 -run 'TestFleetScenarioTorture' ./internal/fleet
+	$(GO) test -count=1 -run 'TestOOD|TestAdversarialTM|TestFailSRLG' ./internal/resilience ./internal/verify ./internal/topology
 
 # verify runs the differential-oracle suite: autograd gradients vs central
 # finite differences, simplex optima vs duality/complementary-slackness

@@ -20,6 +20,7 @@
 //	         [-batch-max N] [-batch-linger D] [-cache-entries N] [-shard]
 //	         [-load-duration D] [-open-loop-rate R] [-load-workers N]
 //	         [-trace-dump FILE] [-trace-sample N] [-quality-every N]
+//	         [-scenario FILE|auto]
 //
 // With -replicas N > 1 the replay serves through internal/fleet instead
 // of a single server: N replicas of the trained model behind the
@@ -56,6 +57,19 @@
 // requests with the exact simplex oracle in the background and reports
 // the achieved/optimal MLU ratio — the live answer to "how far from
 // optimal is what we are serving".
+//
+// -scenario runs a correlated-disaster drill after the replay (and load
+// phase, if any): a seed-replayable script of SRLG fiber cuts, flash
+// crowds, sustained demand shifts, adversarial traffic matrices
+// (gradient-ascended against the trained weights), and maintenance waves
+// that quarantine fleet replicas (ignored with -replicas 1). Pass a
+// scenario JSON file, or "auto" for the canned everything-at-once script.
+// The drill arms the out-of-distribution serving guard: its envelope is
+// trained on the scenario's own benign traffic immediately before the
+// drill, so suspect/hostile demotions in the summary line are
+// script-induced, and the replay and load phases run unguarded. The
+// summary reports quiet vs disaster NormMLU (MLU degradation), shed
+// rate, and the guard's verdict counts.
 package main
 
 import (
@@ -68,6 +82,7 @@ import (
 	"sync"
 	"time"
 
+	"harpte/internal/chaos/scenario"
 	"harpte/internal/core"
 	"harpte/internal/dataset"
 	"harpte/internal/experiments"
@@ -113,6 +128,8 @@ func main() {
 		qualityEvery = flag.Int("quality-every", 0, "re-solve 1-in-N served requests with the simplex oracle and score MLU vs optimal (0 disables)")
 
 		precision = flag.String("precision", "float64", "serving precision: float64 (training arithmetic) or float32 (half-width sparse inference engine)")
+
+		scenarioSpec = flag.String("scenario", "", "run a correlated-disaster drill after the replay: a scenario JSON file, or \"auto\" for the canned SRLG-cut + flash-crowd + adversarial + maintenance script")
 	)
 	flag.Parse()
 
@@ -209,6 +226,13 @@ func main() {
 	if *replicas < 1 {
 		*replicas = 1
 	}
+	// The OOD guard is shared by every replica; its profile envelope is
+	// installed only when the -scenario drill starts, so the replay and
+	// load phases serve unguarded (an empty guard fails open).
+	var guard *resilience.OODGuard
+	if *scenarioSpec != "" {
+		guard = resilience.NewOODGuard()
+	}
 	// Replicas share the trained model (inference is concurrency-safe and
 	// the weights are immutable behind each server's atomic swap); each
 	// replica still gets its own guards, breakers, and reload generation.
@@ -226,6 +250,7 @@ func main() {
 			CacheEntries:     *cacheEnt,
 			SLO:              slos,
 			Quality:          qm,
+			OOD:              guard,
 		})
 		if reg != nil {
 			// Same metric names resolve to shared counters, so the
@@ -233,6 +258,16 @@ func main() {
 			servers[i].EnableTelemetry(reg)
 		}
 		backends[i] = fleet.Local{S: servers[i]}
+	}
+	// Scenario maintenance waves quarantine replicas through these shims;
+	// they are transparent pass-throughs until a wave marks one down.
+	var maintShims []*maintShim
+	if *scenarioSpec != "" && *replicas > 1 {
+		maintShims = make([]*maintShim, len(backends))
+		for i := range backends {
+			maintShims[i] = &maintShim{inner: backends[i]}
+			backends[i] = maintShims[i]
+		}
 	}
 	srv := servers[0]
 	var fl *fleet.Fleet
@@ -352,6 +387,14 @@ func main() {
 		printServingStats(servers, *cacheEnt, *batchMax)
 	}
 
+	if *scenarioSpec != "" {
+		err := runScenarioDrill(*scenarioSpec, pool[0].p, model, guard, serveOne, fl, maintShims, *replicas, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tereplay: scenario:", err)
+			os.Exit(1)
+		}
+	}
+
 	if qm != nil {
 		qm.Drain()
 		qst := qm.Stats()
@@ -385,6 +428,183 @@ func main() {
 type loadRequest struct {
 	p *te.Problem
 	d *tensor.Dense
+}
+
+// maintShim gates a fleet replica behind a maintenance switch: scenario
+// maintenance waves mark it down, it fails fast, and the fleet's health
+// checks move it out of rotation until the wave releases it.
+type maintShim struct {
+	inner fleet.Replica
+	mu    sync.Mutex
+	down  bool
+}
+
+var errMaintenance = fmt.Errorf("replica down for planned maintenance")
+
+func (m *maintShim) setDown(down bool) {
+	m.mu.Lock()
+	m.down = down
+	m.mu.Unlock()
+}
+
+func (m *maintShim) isDown() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down
+}
+
+func (m *maintShim) Serve(p *te.Problem, d *tensor.Dense) (resilience.Decision, error) {
+	if m.isDown() {
+		return resilience.Decision{}, errMaintenance
+	}
+	return m.inner.Serve(p, d)
+}
+
+func (m *maintShim) Reload(path string) error {
+	if m.isDown() {
+		return errMaintenance
+	}
+	return m.inner.Reload(path)
+}
+
+func (m *maintShim) Drain(ctx context.Context) error {
+	if m.isDown() {
+		return nil // already out of rotation
+	}
+	return m.inner.Drain(ctx)
+}
+
+// runScenarioDrill replays a correlated-disaster scenario against the live
+// serving path: SRLG fiber cuts reshape the topology, flash crowds and
+// sustained shifts bend the traffic, adversarial windows serve demands
+// gradient-ascended against the trained weights (verify.AdversarialTM),
+// and maintenance waves quarantine fleet replicas. The OOD guard's
+// envelope is trained on the scenario's own benign series immediately
+// before the drill, so every demotion in the summary is script-induced.
+func runScenarioDrill(spec string, base *te.Problem, model *core.Model, guard *resilience.OODGuard,
+	serve func(*te.Problem, *tensor.Dense) resilience.Decision,
+	fl *fleet.Fleet, maint []*maintShim, replicas int, seed int64) error {
+	var sc scenario.Scenario
+	if spec == "auto" {
+		sc = scenario.Auto(base, replicas, 30, seed)
+	} else {
+		var err error
+		sc, err = scenario.ParseFile(spec)
+		if err != nil {
+			return err
+		}
+	}
+	tcfg := traffic.DefaultSeriesConfig(float64(base.Graph.NumNodes) * 10)
+
+	// The adversary attacks the weights actually serving; contexts are
+	// cached per damage state (the drill is sequential).
+	ctxs := map[uint64]*core.Context{}
+	adversary := func(p *te.Problem, benign *tensor.Dense) (*tensor.Dense, error) {
+		c, ok := ctxs[p.Fingerprint()]
+		if !ok {
+			c = model.Context(p)
+			ctxs[p.Fingerprint()] = c
+		}
+		res, err := verify.AdversarialTM(p, benign, func(d *tensor.Dense) (*tensor.Dense, error) {
+			return model.Splits(c, d), nil
+		}, verify.AdversaryOptions{Steps: 8})
+		if err != nil {
+			return nil, err
+		}
+		return res.Demand, nil
+	}
+	pl, err := scenario.NewPlayer(sc, scenario.Config{Problem: base, Traffic: tcfg, Adversary: adversary})
+	if err != nil {
+		return err
+	}
+
+	// Arm the guard on exactly the benign series the player perturbs, so
+	// quiet steps stay in-profile by construction.
+	if sc.Total > 0 {
+		tcfg.Total = sc.Total // mirror NewPlayer's override
+	}
+	profile := resilience.NewOODProfile()
+	demands := make([]*tensor.Dense, 0, sc.Steps)
+	for _, tm := range traffic.Series(base.Graph, sc.Steps, tcfg, sc.Seed) {
+		demands = append(demands, traffic.DemandVector(tm, base.Tunnels.Flows))
+	}
+	if err := profile.ObserveSeries(base, demands); err != nil {
+		return err
+	}
+	guard.SetProfile(profile)
+
+	fmt.Printf("\nscenario %q: %d steps, seed %d\n", sc.Name, sc.Steps, sc.Seed)
+	fmt.Println("  t  events                                    tier         HARP-MLU  optimal   NormMLU")
+	var quiet, disaster []float64
+	shed := 0
+	for t := 0; t < pl.Steps(); t++ {
+		step, err := pl.Step(t)
+		if err != nil {
+			return err
+		}
+		for _, r := range step.Quarantine {
+			if r < len(maint) {
+				maint[r].setDown(true)
+			}
+		}
+		for _, r := range step.Release {
+			if r < len(maint) {
+				maint[r].setDown(false)
+			}
+		}
+		if fl != nil && len(step.Quarantine)+len(step.Release) > 0 {
+			// Let the health checker observe the new replica state so the
+			// wave moves fleet membership, not just error rates.
+			for i := 0; i < 4; i++ {
+				fl.CheckHealth()
+			}
+		}
+		events := strings.Join(step.Labels, ",")
+		dec := serve(step.Problem, step.Demand)
+		if dec.Splits == nil {
+			shed++
+			fmt.Printf("%4d  %-41s %-12s (no answer: %v)\n", t, events, dec.Tier, dec.Err)
+			continue
+		}
+		// Rescale off dead tunnels — the controller-install convention —
+		// before scoring, so cut-window MLU reflects installed routing.
+		mlu := step.Problem.MLU(te.Rescale(step.Problem, dec.Splits), step.Demand)
+		opt := lp.Solve(step.Problem, step.Demand).MLU
+		norm := te.NormMLU(mlu, opt)
+		if !step.Partitioned {
+			if len(step.Labels) == 0 {
+				quiet = append(quiet, norm)
+			} else {
+				disaster = append(disaster, norm)
+			}
+		}
+		fmt.Printf("%4d  %-41s %-12s %8.4f  %8.4f  %7.3f\n", t, events, dec.Tier, mlu, opt, norm)
+	}
+
+	quietMean, disasterMean := mean(quiet), mean(disaster)
+	degradation := 0.0
+	if quietMean > 0 {
+		degradation = disasterMean / quietMean
+	}
+	st := guard.Stats()
+	total := pl.Steps()
+	fmt.Printf("scenario summary: quiet NormMLU %.3f (n=%d), disaster NormMLU %.3f (n=%d), MLU degradation %.2fx, shed %d/%d (%.1f%%), ood suspect=%d hostile=%d demotions=%d cache-bypasses=%d\n",
+		quietMean, len(quiet), disasterMean, len(disaster), degradation,
+		shed, total, 100*float64(shed)/float64(total),
+		st.Suspect, st.Hostile, st.SuspectDemotions+st.HostileDemotions, st.CacheBypasses)
+	return nil
+}
+
+// mean returns the arithmetic mean, 0 for an empty sample.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
 }
 
 // percentileRow formats p50/p99/p999 of a latency sample.

@@ -1,0 +1,261 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+)
+
+// Adversary transforms a benign per-flow demand (F×1) into an
+// adversarially chosen one for the same problem. Callers typically wire
+// verify.AdversarialTM with the model under test; the hook keeps this
+// package below core in the build graph.
+type Adversary func(p *te.Problem, benign *tensor.Dense) (*tensor.Dense, error)
+
+// Config wires a scenario to a concrete serving setup.
+type Config struct {
+	// Problem is the base (undamaged) TE problem; its tunnel set is
+	// reused for damaged topologies — failed links keep
+	// topology.FailedCapacity, so tunnel structure survives and
+	// te.Rescale steers traffic off dead tunnels, the same convention as
+	// the rest of the perturbation battery.
+	Problem *te.Problem
+	// Traffic configures the base demand series. Scenario.Total, when
+	// set, overrides Traffic.Total.
+	Traffic traffic.SeriesConfig
+	// Adversary, when non-nil, supplies demands for adversarial windows.
+	Adversary Adversary
+}
+
+// Step is one expanded timeline step: the (possibly damaged) problem,
+// the demand to serve, and the fleet actions taking effect at this step.
+type Step struct {
+	T       int
+	Problem *te.Problem
+	Demand  *tensor.Dense
+	// Hostile marks steps inside an adversarial window — the ground
+	// truth an OOD guard is judged against.
+	Hostile bool
+	// Partitioned marks steps whose active cuts disconnect the topology;
+	// no TE scheme can bound MLU there, so tortures skip ratio asserts.
+	Partitioned bool
+	// Labels lists the active events ("fiber-cut:conduit-3", ...).
+	Labels []string
+	// Quarantine and Release list replica indices entering/leaving
+	// maintenance exactly at this step.
+	Quarantine, Release []int
+}
+
+// Player deterministically expands a scenario into steps. Safe for
+// sequential use; Step may be called in any order and repeatedly.
+type Player struct {
+	sc     Scenario
+	cfg    Config
+	series []*tensor.Dense
+
+	// problems caches one rebuilt problem per set of active fiber cuts
+	// (bitmask over event indices), so fingerprints stay stable across
+	// steps sharing a damage state — which is what lets the serving
+	// cache and topology sharding behave as they would in production.
+	problems    map[uint64]*te.Problem
+	partitioned map[uint64]bool
+}
+
+// NewPlayer validates the scenario against the base problem and
+// precomputes the base traffic series.
+func NewPlayer(sc Scenario, cfg Config) (*Player, error) {
+	if cfg.Problem == nil {
+		return nil, errors.New("scenario: Config.Problem is required")
+	}
+	if sc.Steps <= 0 {
+		return nil, fmt.Errorf("scenario %q: steps must be positive", sc.Name)
+	}
+	if err := Validate(sc, cfg.Problem.Graph); err != nil {
+		return nil, err
+	}
+	cuts := 0
+	for _, e := range sc.Events {
+		if e.Kind == KindFiberCut {
+			cuts++
+		}
+	}
+	if cuts > 64 {
+		return nil, fmt.Errorf("scenario %q: %d fiber-cut events exceed the 64-cut mask", sc.Name, cuts)
+	}
+	if sc.Total > 0 {
+		cfg.Traffic.Total = sc.Total
+	}
+	if cfg.Traffic.Total <= 0 {
+		cfg.Traffic = traffic.DefaultSeriesConfig(float64(cfg.Problem.Graph.NumNodes) * 10)
+	}
+	return &Player{
+		sc:          sc,
+		cfg:         cfg,
+		series:      traffic.Series(cfg.Problem.Graph, sc.Steps, cfg.Traffic, sc.Seed),
+		problems:    map[uint64]*te.Problem{0: cfg.Problem},
+		partitioned: map[uint64]bool{},
+	}, nil
+}
+
+// Steps returns the timeline length.
+func (pl *Player) Steps() int { return pl.sc.Steps }
+
+// Step expands timeline step t.
+func (pl *Player) Step(t int) (Step, error) {
+	if t < 0 || t >= pl.sc.Steps {
+		return Step{}, fmt.Errorf("scenario %q: step %d outside [0,%d)", pl.sc.Name, t, pl.sc.Steps)
+	}
+	out := Step{T: t}
+
+	// Damage state: all fiber cuts active at t, as a bitmask over the
+	// scenario's cut events in order.
+	var mask uint64
+	cutIdx := 0
+	for _, e := range pl.sc.Events {
+		if e.Kind != KindFiberCut {
+			continue
+		}
+		if e.active(t, pl.sc.Steps) {
+			mask |= 1 << uint(cutIdx)
+		}
+		cutIdx++
+	}
+	p, err := pl.problemFor(mask)
+	if err != nil {
+		return Step{}, err
+	}
+	out.Problem = p
+	out.Partitioned = pl.partitioned[mask]
+	if out.Partitioned {
+		out.Labels = append(out.Labels, "partitioned")
+	}
+
+	// Demand: base series entry transformed by the active demand events,
+	// in script order.
+	tm := pl.series[t]
+	for i, e := range pl.sc.Events {
+		if !e.active(t, pl.sc.Steps) {
+			continue
+		}
+		switch e.Kind {
+		case KindFiberCut:
+			out.Labels = append(out.Labels, "fiber-cut:"+e.SRLG.Name)
+		case KindSustainedShift:
+			// The target regime is a pure function of (scenario seed,
+			// event index), so every replay blends toward the same one.
+			rng := rand.New(rand.NewSource(pl.sc.Seed ^ int64(i+1)*0x9e3779b97f4a7c))
+			tm = traffic.SustainedShift(tm, pl.cfg.Problem.Graph, e.Alpha, rng)
+			out.Labels = append(out.Labels, "sustained-shift")
+		case KindFlashCrowd:
+			tm = traffic.FlashCrowd(tm, e.Dst, e.Scale)
+			out.Labels = append(out.Labels, fmt.Sprintf("flash-crowd:%d", e.Dst))
+		case KindAdversarial:
+			out.Hostile = true
+			out.Labels = append(out.Labels, "adversarial")
+		case KindMaintenance:
+			out.Labels = append(out.Labels, "maintenance")
+		}
+	}
+	out.Demand = traffic.DemandVector(tm, p.Tunnels.Flows)
+	if out.Hostile && pl.cfg.Adversary != nil {
+		d, err := pl.cfg.Adversary(p, out.Demand)
+		if err != nil {
+			return Step{}, fmt.Errorf("scenario %q step %d: adversary: %w", pl.sc.Name, t, err)
+		}
+		out.Demand = d
+	}
+
+	// Fleet actions taking effect exactly at t.
+	for _, e := range pl.sc.Events {
+		if e.Kind != KindMaintenance {
+			continue
+		}
+		if e.At == t {
+			out.Quarantine = append(out.Quarantine, e.Replicas...)
+		}
+		if e.Until == t {
+			out.Release = append(out.Release, e.Replicas...)
+		}
+	}
+	return out, nil
+}
+
+// problemFor returns the cached problem for a damage mask, building it on
+// first use by failing every active SRLG on a clone of the base graph.
+func (pl *Player) problemFor(mask uint64) (*te.Problem, error) {
+	if p, ok := pl.problems[mask]; ok {
+		return p, nil
+	}
+	g := pl.cfg.Problem.Graph
+	partitioned := false
+	cutIdx := 0
+	for _, e := range pl.sc.Events {
+		if e.Kind != KindFiberCut {
+			continue
+		}
+		if mask&(1<<uint(cutIdx)) != 0 {
+			failed, err := g.FailSRLG(e.SRLG)
+			var de *topology.DisconnectionError
+			switch {
+			case err == nil:
+				g = failed
+			case errors.As(err, &de):
+				// A real disaster does not stop at the partition
+				// boundary: proceed on the damaged graph and let the
+				// step carry the label.
+				g = failed
+				partitioned = true
+			default:
+				return nil, fmt.Errorf("scenario %q: %w", pl.sc.Name, err)
+			}
+		}
+		cutIdx++
+	}
+	p := te.NewProblem(g, pl.cfg.Problem.Tunnels)
+	pl.problems[mask] = p
+	pl.partitioned[mask] = partitioned
+	return p, nil
+}
+
+// Auto builds a canned correlated-disaster script for the given problem:
+// a mid-run SRLG fiber cut, a 40x flash crowd, a sustained regime shift,
+// an adversarial window, and a maintenance wave over the first two
+// replicas — the representative "everything goes wrong at once" drill
+// used by tereplay -scenario auto and the fleet torture. Deterministic
+// in (problem, replicas, steps, seed).
+func Auto(p *te.Problem, replicas, steps int, seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{Name: "auto-disaster", Seed: seed, Steps: steps}
+	third := steps / 3
+	if third < 1 {
+		third = 1
+	}
+	if groups := p.Graph.RandomSRLGs(1, 3, rng); len(groups) > 0 {
+		sc.Events = append(sc.Events, Event{
+			Kind: KindFiberCut, At: third, Until: 2 * third, SRLG: groups[0],
+		})
+	}
+	nodes := p.Graph.EdgeNodeList()
+	sc.Events = append(sc.Events,
+		Event{Kind: KindFlashCrowd, At: third / 2, Until: 2 * third, Dst: nodes[rng.Intn(len(nodes))], Scale: 40},
+		Event{Kind: KindSustainedShift, At: 2 * third, Alpha: 0.5},
+		Event{Kind: KindAdversarial, At: 2 * third},
+	)
+	if replicas > 0 {
+		n := 2
+		if n > replicas {
+			n = replicas
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sc.Events = append(sc.Events, Event{Kind: KindMaintenance, At: third, Until: 2 * third, Replicas: idx})
+	}
+	return sc
+}

@@ -1,0 +1,186 @@
+// Package scenario scripts correlated disasters over time: the
+// seed-replayable event timelines of ROADMAP item 5. A Scenario is a
+// declarative JSON-serializable script — fiber cuts failing whole
+// shared-risk link groups at once, maintenance waves quarantining
+// replicas, regional flash crowds, sustained demand-regime shifts, and
+// adversarial traffic-matrix windows — and a Player deterministically
+// expands it into per-step (topology, demand) instances plus fleet
+// actions. The same scenario and seed always replay the same disaster,
+// so any torture failure reproduces from the script alone, the same
+// contract as the parent chaos package's injectors.
+//
+// Like every chaos package, this is test/tooling infrastructure:
+// production serving code never imports it. The package sits above
+// topology/traffic/te but below core — adversarial windows take a
+// caller-supplied hook rather than calling the model, mirroring
+// verify.SplitsFunc.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"harpte/internal/topology"
+)
+
+// Kind names one correlated-event type.
+type Kind string
+
+const (
+	// KindFiberCut fails every link of an SRLG for the event window — a
+	// backhoe cutting a conduit that carries N parallel links.
+	KindFiberCut Kind = "fiber-cut"
+	// KindMaintenance quarantines the listed fleet replicas for the
+	// window — a maintenance wave rolling through a site.
+	KindMaintenance Kind = "maintenance"
+	// KindFlashCrowd multiplies all demand into Dst by Scale for the
+	// window — a regional 10–100x single-destination spike.
+	KindFlashCrowd Kind = "flash-crowd"
+	// KindSustainedShift blends the traffic toward a re-drawn gravity
+	// regime (blend factor Alpha) from At onward — a structural traffic
+	// migration, not noise.
+	KindSustainedShift Kind = "sustained-shift"
+	// KindAdversarial replaces the demand with an adversarially chosen
+	// TM for the window (via the Player's Adversary hook; without a
+	// hook the window only marks steps Hostile).
+	KindAdversarial Kind = "adversarial"
+)
+
+// Event is one scripted correlated event. Its window is [At, Until);
+// Until <= 0 means "until the end of the scenario". Maintenance events
+// emit Quarantine actions at At and Release actions at Until.
+type Event struct {
+	Kind  Kind `json:"kind"`
+	At    int  `json:"at"`
+	Until int  `json:"until,omitempty"`
+
+	// SRLG is the risk group a fiber-cut fails.
+	SRLG topology.SRLG `json:"srlg,omitempty"`
+	// Dst and Scale parameterize a flash crowd.
+	Dst   int     `json:"dst,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	// Alpha is the sustained-shift blend factor in (0, 1].
+	Alpha float64 `json:"alpha,omitempty"`
+	// Replicas are the fleet replica indices a maintenance wave takes
+	// down.
+	Replicas []int `json:"replicas,omitempty"`
+}
+
+// active reports whether the event covers step t in a scenario of n steps.
+func (e Event) active(t, n int) bool {
+	until := e.Until
+	if until <= 0 {
+		until = n
+	}
+	return t >= e.At && t < until
+}
+
+// Scenario is a complete disaster script. Steps is the timeline length;
+// Seed drives every random draw (base traffic, shift regimes), so a
+// scenario replays bit-identically.
+type Scenario struct {
+	Name  string `json:"name"`
+	Seed  int64  `json:"seed"`
+	Steps int    `json:"steps"`
+	// Total is the mean aggregate traffic volume per step; 0 lets the
+	// player's config decide.
+	Total  float64 `json:"total,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// Parse reads a JSON scenario and validates its internal consistency
+// (topology-dependent checks happen in Validate, which needs the graph).
+func Parse(r io.Reader) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if sc.Steps <= 0 {
+		return Scenario{}, fmt.Errorf("scenario %q: steps must be positive, got %d", sc.Name, sc.Steps)
+	}
+	for i, e := range sc.Events {
+		if err := checkEvent(e, sc.Steps); err != nil {
+			return Scenario{}, fmt.Errorf("scenario %q event %d: %w", sc.Name, i, err)
+		}
+	}
+	return sc, nil
+}
+
+// ParseFile is Parse on a file path.
+func ParseFile(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Write serializes the scenario as indented JSON.
+func (sc Scenario) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sc)
+}
+
+func checkEvent(e Event, steps int) error {
+	if e.At < 0 || e.At >= steps {
+		return fmt.Errorf("at=%d outside [0,%d)", e.At, steps)
+	}
+	if e.Until > 0 && e.Until <= e.At {
+		return fmt.Errorf("until=%d not after at=%d", e.Until, e.At)
+	}
+	switch e.Kind {
+	case KindFiberCut:
+		if len(e.SRLG.Links) == 0 {
+			return fmt.Errorf("fiber-cut with empty SRLG")
+		}
+	case KindMaintenance:
+		if len(e.Replicas) == 0 {
+			return fmt.Errorf("maintenance with no replicas")
+		}
+	case KindFlashCrowd:
+		if e.Scale <= 0 {
+			return fmt.Errorf("flash-crowd scale %v must be positive", e.Scale)
+		}
+	case KindSustainedShift:
+		if e.Alpha <= 0 || e.Alpha > 1 {
+			return fmt.Errorf("sustained-shift alpha %v outside (0,1]", e.Alpha)
+		}
+	case KindAdversarial:
+		// no parameters beyond the window
+	default:
+		return fmt.Errorf("unknown event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// Validate checks the scenario's topology-dependent references against g:
+// every fiber-cut link must exist and every flash-crowd destination must
+// be a valid node. Replica indices are checked by the caller, which knows
+// the fleet size.
+func Validate(sc Scenario, g *topology.Graph) error {
+	for i, e := range sc.Events {
+		switch e.Kind {
+		case KindFiberCut:
+			for _, l := range e.SRLG.Links {
+				if _, ok := g.EdgeID(l[0], l[1]); !ok {
+					if _, ok := g.EdgeID(l[1], l[0]); !ok {
+						return fmt.Errorf("scenario %q event %d: no link between %d and %d in %s",
+							sc.Name, i, l[0], l[1], g.Name)
+					}
+				}
+			}
+		case KindFlashCrowd:
+			if e.Dst < 0 || e.Dst >= g.NumNodes {
+				return fmt.Errorf("scenario %q event %d: flash-crowd dst %d outside [0,%d)",
+					sc.Name, i, e.Dst, g.NumNodes)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"harpte/internal/te"
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+	"harpte/internal/traffic"
+	"harpte/internal/tunnels"
+)
+
+func baseProblem() *te.Problem {
+	g := topology.New("scenario-base", 6)
+	g.AddBidirectional(0, 1, 100)
+	g.AddBidirectional(1, 2, 100)
+	g.AddBidirectional(2, 3, 100)
+	g.AddBidirectional(3, 4, 100)
+	g.AddBidirectional(4, 5, 100)
+	g.AddBidirectional(5, 0, 100)
+	g.AddBidirectional(0, 3, 60)
+	g.AddBidirectional(1, 4, 60)
+	return te.NewProblem(g, tunnels.Compute(g, 2))
+}
+
+func testScenario() Scenario {
+	return Scenario{
+		Name:  "drill",
+		Seed:  42,
+		Steps: 12,
+		Events: []Event{
+			{Kind: KindFiberCut, At: 4, Until: 8, SRLG: topology.SRLG{Name: "conduit", Links: [][2]int{{0, 1}, {0, 3}}}},
+			{Kind: KindFlashCrowd, At: 2, Until: 10, Dst: 2, Scale: 40},
+			{Kind: KindSustainedShift, At: 6, Alpha: 0.5},
+			{Kind: KindAdversarial, At: 8},
+			{Kind: KindMaintenance, At: 4, Until: 8, Replicas: []int{0, 1}},
+		},
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := testScenario()
+	var buf bytes.Buffer
+	if err := sc.Write(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.Name != sc.Name || got.Seed != sc.Seed || got.Steps != sc.Steps || len(got.Events) != len(sc.Events) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, sc)
+	}
+	if got.Events[0].SRLG.Links[1] != [2]int{0, 3} {
+		t.Fatalf("SRLG links lost in round trip: %+v", got.Events[0].SRLG)
+	}
+}
+
+func TestParseRejectsBadScenarios(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"zero steps", `{"name":"x","steps":0,"events":[]}`, "steps must be positive"},
+		{"unknown kind", `{"steps":5,"events":[{"kind":"asteroid","at":1}]}`, "unknown event kind"},
+		{"at out of range", `{"steps":5,"events":[{"kind":"adversarial","at":9}]}`, "outside"},
+		{"until before at", `{"steps":5,"events":[{"kind":"adversarial","at":3,"until":2}]}`, "not after"},
+		{"empty srlg", `{"steps":5,"events":[{"kind":"fiber-cut","at":1}]}`, "empty SRLG"},
+		{"bad flash scale", `{"steps":5,"events":[{"kind":"flash-crowd","at":1}]}`, "must be positive"},
+		{"bad alpha", `{"steps":5,"events":[{"kind":"sustained-shift","at":1,"alpha":2}]}`, "outside (0,1]"},
+		{"no replicas", `{"steps":5,"events":[{"kind":"maintenance","at":1}]}`, "no replicas"},
+		{"unknown field", `{"steps":5,"blast_radius":3,"events":[]}`, "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.json))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestValidateAgainstTopology(t *testing.T) {
+	p := baseProblem()
+	sc := testScenario()
+	if err := Validate(sc, p.Graph); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	bad := testScenario()
+	bad.Events[0].SRLG.Links = [][2]int{{0, 2}}
+	if err := Validate(bad, p.Graph); err == nil || !strings.Contains(err.Error(), "no link") {
+		t.Fatalf("want missing-link error, got %v", err)
+	}
+	badDst := testScenario()
+	badDst.Events[1].Dst = 99
+	if err := Validate(badDst, p.Graph); err == nil || !strings.Contains(err.Error(), "dst") {
+		t.Fatalf("want bad-dst error, got %v", err)
+	}
+}
+
+func TestPlayerDeterministicReplay(t *testing.T) {
+	p := baseProblem()
+	mk := func() *Player {
+		pl, err := NewPlayer(testScenario(), Config{Problem: p, Traffic: traffic.DefaultSeriesConfig(200)})
+		if err != nil {
+			t.Fatalf("NewPlayer: %v", err)
+		}
+		return pl
+	}
+	a, b := mk(), mk()
+	for t0 := 0; t0 < a.Steps(); t0++ {
+		sa, err := a.Step(t0)
+		if err != nil {
+			t.Fatalf("step %d: %v", t0, err)
+		}
+		sb, _ := b.Step(t0)
+		if sa.Problem.Fingerprint() != sb.Problem.Fingerprint() {
+			t.Fatalf("step %d: fingerprints differ", t0)
+		}
+		for i := range sa.Demand.Data {
+			if sa.Demand.Data[i] != sb.Demand.Data[i] {
+				t.Fatalf("step %d: demands differ at %d", t0, i)
+			}
+		}
+	}
+}
+
+func TestPlayerTimelineSemantics(t *testing.T) {
+	p := baseProblem()
+	pl, err := NewPlayer(testScenario(), Config{Problem: p, Traffic: traffic.DefaultSeriesConfig(200)})
+	if err != nil {
+		t.Fatalf("NewPlayer: %v", err)
+	}
+	base := p.Fingerprint()
+
+	s0, _ := pl.Step(0)
+	if s0.Problem.Fingerprint() != base || len(s0.Labels) != 0 || s0.Hostile {
+		t.Fatalf("step 0 must be undamaged and quiet: %+v", s0)
+	}
+
+	// Fiber cut active on [4,8): fingerprint changes, capacities failed.
+	s5, _ := pl.Step(5)
+	if s5.Problem.Fingerprint() == base {
+		t.Fatalf("step 5: cut did not change fingerprint")
+	}
+	id, _ := s5.Problem.Graph.EdgeID(0, 1)
+	if s5.Problem.Graph.Edges[id].Capacity != topology.FailedCapacity {
+		t.Fatalf("step 5: link 0-1 not failed")
+	}
+	// Same damage state reuses the same problem (stable fingerprint for
+	// the serving cache and sharding).
+	s6, _ := pl.Step(6)
+	if s5.Problem != s6.Problem {
+		t.Fatalf("steps 5 and 6 share a damage state but not a problem")
+	}
+	// Cut heals at 8.
+	s8, _ := pl.Step(8)
+	if s8.Problem.Fingerprint() != base {
+		t.Fatalf("step 8: cut did not heal")
+	}
+
+	// Flash crowd on [2,10): demand into dst 2 scaled 40x vs base series.
+	quiet, _ := NewPlayer(Scenario{Name: "quiet", Seed: 42, Steps: 12}, Config{Problem: p, Traffic: traffic.DefaultSeriesConfig(200)})
+	q3, _ := quiet.Step(3)
+	s3, _ := pl.Step(3)
+	var flows = p.Tunnels.Flows
+	for i, f := range flows {
+		want := q3.Demand.Data[i]
+		if f.Dst == 2 && f.Src != 2 {
+			want *= 40
+		}
+		diff := s3.Demand.Data[i] - want
+		if diff > 1e-9*want || diff < -1e-9*want {
+			t.Fatalf("flow %d (%d->%d): demand %v, want %v", i, f.Src, f.Dst, s3.Demand.Data[i], want)
+		}
+	}
+
+	// Adversarial window from 8 marks hostile and routes through the hook.
+	called := false
+	withAdv, _ := NewPlayer(testScenario(), Config{
+		Problem: p, Traffic: traffic.DefaultSeriesConfig(200),
+		Adversary: func(ap *te.Problem, benign *tensor.Dense) (*tensor.Dense, error) {
+			called = true
+			return benign, nil
+		},
+	})
+	s9, _ := withAdv.Step(9)
+	if !s9.Hostile || !called {
+		t.Fatalf("step 9 must be hostile via the adversary hook (hostile=%v called=%v)", s9.Hostile, called)
+	}
+
+	// Maintenance wave: quarantine exactly at 4, release exactly at 8.
+	s4, _ := pl.Step(4)
+	if len(s4.Quarantine) != 2 || s4.Quarantine[0] != 0 || s4.Quarantine[1] != 1 {
+		t.Fatalf("step 4 quarantine = %v, want [0 1]", s4.Quarantine)
+	}
+	if len(s5.Quarantine) != 0 {
+		t.Fatalf("step 5 must not re-quarantine: %v", s5.Quarantine)
+	}
+	s8b, _ := pl.Step(8)
+	if len(s8b.Release) != 2 {
+		t.Fatalf("step 8 release = %v, want [0 1]", s8b.Release)
+	}
+}
+
+func TestPlayerPartitionedCut(t *testing.T) {
+	// A spur node: cutting its only link partitions the topology. The
+	// player must proceed on the damaged graph and label the steps.
+	g := topology.New("spur", 4)
+	g.AddBidirectional(0, 1, 100)
+	g.AddBidirectional(1, 2, 100)
+	g.AddBidirectional(0, 2, 100)
+	g.AddBidirectional(0, 3, 100)
+	p := te.NewProblem(g, tunnels.Compute(g, 2))
+	sc := Scenario{
+		Name: "partition", Seed: 1, Steps: 4,
+		Events: []Event{{Kind: KindFiberCut, At: 1, Until: 3, SRLG: topology.SRLG{Name: "spur", Links: [][2]int{{0, 3}}}}},
+	}
+	pl, err := NewPlayer(sc, Config{Problem: p, Traffic: traffic.DefaultSeriesConfig(50)})
+	if err != nil {
+		t.Fatalf("NewPlayer: %v", err)
+	}
+	s1, err := pl.Step(1)
+	if err != nil {
+		t.Fatalf("partitioned step must not error: %v", err)
+	}
+	if !s1.Partitioned {
+		t.Fatalf("step 1 must be marked partitioned: %+v", s1)
+	}
+	s0, _ := pl.Step(0)
+	if s0.Partitioned {
+		t.Fatalf("step 0 must not be partitioned")
+	}
+}
+
+func TestAutoScenarioIsValidAndReplayable(t *testing.T) {
+	p := baseProblem()
+	sc := Auto(p, 4, 30, 7)
+	if err := Validate(sc, p.Graph); err != nil {
+		t.Fatalf("Auto produced invalid scenario: %v", err)
+	}
+	sc2 := Auto(p, 4, 30, 7)
+	if len(sc.Events) != len(sc2.Events) {
+		t.Fatalf("Auto not deterministic")
+	}
+	pl, err := NewPlayer(sc, Config{Problem: p, Traffic: traffic.DefaultSeriesConfig(200)})
+	if err != nil {
+		t.Fatalf("NewPlayer: %v", err)
+	}
+	sawCut, sawHostile := false, false
+	for t0 := 0; t0 < pl.Steps(); t0++ {
+		s, err := pl.Step(t0)
+		if err != nil {
+			t.Fatalf("step %d: %v", t0, err)
+		}
+		if s.Problem.Fingerprint() != p.Fingerprint() {
+			sawCut = true
+		}
+		if s.Hostile {
+			sawHostile = true
+		}
+	}
+	if !sawCut || !sawHostile {
+		t.Fatalf("Auto scenario must include a cut and an adversarial window (cut=%v hostile=%v)", sawCut, sawHostile)
+	}
+}

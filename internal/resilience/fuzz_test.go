@@ -76,6 +76,13 @@ func FuzzCacheKey(f *testing.F) {
 	// value that narrows without clamping).
 	f.Add(uint8(5), uint8(9), []byte{0x9a, 0x99, 0x99, 0x99, 0x99, 0x99, 0xb9, 0x3f})
 	f.Add(uint8(5), uint8(9), []byte{0x00, 0x00, 0x00, 0xe0, 0xff, 0xff, 0xef, 0x47})
+	// Near-boundary quantization seeds: 1.005 and 0.995 sit half a
+	// DefaultCacheQuantum step either side of 1.0, and 100.5 lands exactly
+	// on a bucket edge at quantum 0.01 with peak 100 — the values an
+	// adversary probing the rounding would choose.
+	f.Add(uint8(4), uint8(9), []byte{0x14, 0xae, 0x47, 0xe1, 0x7a, 0x14, 0xf0, 0x3f})
+	f.Add(uint8(4), uint8(9), []byte{0xd7, 0xa3, 0x70, 0x3d, 0x0a, 0xd7, 0xef, 0x3f})
+	f.Add(uint8(4), uint8(9), []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x20, 0x59, 0x40})
 	f.Fuzz(func(t *testing.T, nodes, qRaw uint8, data []byte) {
 		quantum := float64(1+int(qRaw)%500) / 1000 // 0.001 .. 0.5
 		p := fuzzProblem(nodes, data, 1)
@@ -138,4 +145,56 @@ func FuzzCacheKey(f *testing.F) {
 			t.Fatalf("demand narrowing changed the topology hash: %x vs %x", t4, t1)
 		}
 	})
+}
+
+// TestCacheKeyAdversarialNearBoundary pins the quantization contract an
+// attacker probing the cache would try to break: perturbations well inside
+// one quantum step must share a key (that sharing is the cache's whole
+// point — see TestOODHostileNeverServedFromCache for why it is safe even
+// against crafted traffic), while TMs more than one step apart must never
+// collide, no matter how close to a rounding boundary the values land.
+// A collision there would let a planted entry answer other requests.
+func TestCacheKeyAdversarialNearBoundary(t *testing.T) {
+	p := twoPathProblem()
+	q := DefaultCacheQuantum
+	step := q * 100 // peak pinned at 100 in every probe below
+
+	_, base := CacheKey(p, demand(p, 100, 50), q)
+
+	// Sub-quantum probing around the bucket centre must not split the key.
+	for _, off := range []float64{-0.49, -0.25, 0.25, 0.49} {
+		if _, m := CacheKey(p, demand(p, 100, 50+off*step), q); m != base {
+			t.Fatalf("sub-quantum offset %+.2f steps split the key", off)
+		}
+	}
+	// Offsets beyond 1.5 steps round to a different bucket whatever side
+	// of a boundary they land on, so they must always split the key.
+	for _, off := range []float64{1.51, 2, 2.49, 10, 1000} {
+		for _, sign := range []float64{1, -1} {
+			if _, m := CacheKey(p, demand(p, 100, 50+sign*off*step), q); m == base {
+				t.Fatalf("offset %+.2f steps collides with the base key", sign*off)
+			}
+		}
+	}
+
+	// Uniformly rescaling the TM by two quantum steps leaves every
+	// relative bucket index unchanged; only the peak-scale bucket keeps
+	// the keys apart. An attacker replaying a scaled-down flood must not
+	// hit the benign entry.
+	s := math.Pow(1+q, 2)
+	if _, m := CacheKey(p, demand(p, 100*s, 50*s), q); m == base {
+		t.Fatal("two-step rescaled demand collides with the base key")
+	}
+	if _, m := CacheKey(p, demand(p, 100/s, 50/s), q); m == base {
+		t.Fatal("two-step downscaled demand collides with the base key")
+	}
+
+	// An exact-boundary value (bucket edge k+0.5) keys deterministically:
+	// whichever bucket Round picks, repeated hashing picks the same one.
+	edge := demand(p, 100, 50.5)
+	_, e1 := CacheKey(p, edge, q)
+	_, e2 := CacheKey(p, edge.Clone(), q)
+	if e1 != e2 {
+		t.Fatalf("boundary value keys nondeterministically: %x vs %x", e1, e2)
+	}
 }

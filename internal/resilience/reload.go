@@ -133,6 +133,9 @@ type Stats struct {
 	// (all-zero when the corresponding option is disabled).
 	Cache CacheStats
 	Batch BatchStats
+	// OOD snapshots the out-of-distribution guard (all-zero when
+	// Options.OOD is nil).
+	OOD OODStats
 }
 
 // Stats snapshots the operational counters. Counter fields are exact;
@@ -157,6 +160,7 @@ func (s *Server) Stats() Stats {
 	if s.batch != nil {
 		st.Batch = s.batch.stats()
 	}
+	st.OOD = s.opts.OOD.Stats()
 	for _, b := range s.breakers {
 		state, trips, shorts := b.snapshot()
 		st.BreakerTrips += trips

@@ -148,6 +148,13 @@ type Options struct {
 	// inference.
 	CacheQuantum float64
 
+	// OOD, when set, classifies every request's input statistics against
+	// a trained-profile envelope (ood.go) and demotes deviants: suspect
+	// requests skip the full-RAU tier, hostile requests skip every
+	// neural tier and bypass the split cache in both directions. Nil
+	// disables the guard (one nil check on the serve path, no atomics).
+	OOD *OODGuard
+
 	// SLO, when set, scores every finished request against the serving
 	// objectives (slo.go). Share one SLOSet across servers that share a
 	// registry. Nil disables SLO tracking.
@@ -175,6 +182,9 @@ type Decision struct {
 	Tier Tier
 	// Degraded lists, in order, why each higher tier was abandoned.
 	Degraded []string
+	// OOD is the input-profile verdict for this request (OODInProfile
+	// unless Options.OOD classified it otherwise).
+	OOD OODVerdict
 	// Err is non-nil only for TierRejected (wraps ErrInvalidInput) and
 	// TierShed (wraps ErrOverload or ErrDraining).
 	Err error
@@ -290,6 +300,16 @@ const (
 	MetricSplitCacheMisses    = "harp_split_cache_misses_total"
 	MetricSplitCacheEvictions = "harp_split_cache_evictions_total"
 	MetricSplitCacheSize      = "harp_split_cache_entries"
+
+	// MetricOODRequests counts classified requests by verdict (labels:
+	// verdict="in-profile"|"suspect"|"hostile").
+	MetricOODRequests = "harp_ood_requests_total"
+	// MetricOODDemotions counts requests denied their normal tier by the
+	// OOD guard (labels: verdict="suspect"|"hostile").
+	MetricOODDemotions = "harp_ood_demotions_total"
+	// MetricOODCacheBypasses counts requests that skipped the split
+	// cache (reads and writes) because of their verdict.
+	MetricOODCacheBypasses = "harp_ood_cache_bypasses_total"
 )
 
 // serverTelemetry is the registry-backed half of the tier bookkeeping.
@@ -312,6 +332,10 @@ type serverTelemetry struct {
 	generation *obs.Gauge
 
 	batchSize *obs.Histogram
+
+	oodVerdicts  [numOODVerdicts]*obs.Counter
+	oodDemotions [numOODVerdicts]*obs.Counter
+	oodBypasses  *obs.Counter
 }
 
 func newServerTelemetry(reg *obs.Registry) *serverTelemetry {
@@ -355,6 +379,18 @@ func newServerTelemetry(reg *obs.Registry) *serverTelemetry {
 		t.breakerShorts[i] = reg.Counter(MetricBreakerShortCircuits,
 			"Requests that skipped a neural tier on an open breaker.", l)
 	}
+	for v := OODVerdict(0); v < numOODVerdicts; v++ {
+		t.oodVerdicts[v] = reg.Counter(MetricOODRequests,
+			"Requests classified by the OOD guard, by verdict.",
+			obs.L("verdict", v.String()))
+	}
+	for _, v := range []OODVerdict{OODSuspect, OODHostile} {
+		t.oodDemotions[v] = reg.Counter(MetricOODDemotions,
+			"Requests denied their normal serving tier by the OOD guard.",
+			obs.L("verdict", v.String()))
+	}
+	t.oodBypasses = reg.Counter(MetricOODCacheBypasses,
+		"Requests that skipped the split cache on an OOD verdict.")
 	return t
 }
 
@@ -384,6 +420,24 @@ func (t *serverTelemetry) panicRecovered() {
 func (t *serverTelemetry) batchDispatched(size int) {
 	if t != nil {
 		t.batchSize.Observe(float64(size))
+	}
+}
+
+func (t *serverTelemetry) oodClassified(v OODVerdict) {
+	if t != nil {
+		t.oodVerdicts[v].Inc()
+	}
+}
+
+func (t *serverTelemetry) oodDemoted(v OODVerdict) {
+	if t != nil {
+		t.oodDemotions[v].Inc()
+	}
+}
+
+func (t *serverTelemetry) oodCacheBypassed() {
+	if t != nil {
+		t.oodBypasses.Inc()
 	}
 }
 
@@ -617,24 +671,47 @@ func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense, sp 
 		sp.SetError(err)
 		return Decision{Tier: TierRejected, Err: err}
 	}
-	// Cache probe before any model work: a hit replays a previously vetted
-	// TierFull answer with zero inference and zero allocations. The cached
-	// matrix is shared read-only (see cache.go).
-	if s.cache != nil {
-		if splits := s.cache.get(p, demand); splits != nil {
-			s.record(TierCached, start)
-			sp.Annotate("cache", "hit")
-			s.offerQuality(p, demand, splits)
-			return Decision{Splits: splits, Tier: TierCached}
-		}
-		sp.Annotate("cache", "miss")
-		if sp != nil {
-			topo, tm := CacheKey(p, demand, s.opts.CacheQuantum)
-			sp.AnnotateInt("cache_key_topo", int64(topo))
-			sp.AnnotateInt("cache_key_tm", int64(tm))
+	// OOD classification before any shared state is touched: a hostile
+	// request must not read the split cache (stale shared matrices) and
+	// must not reach the tiers that would write it (cache poisoning).
+	// Disabled, this is one nil pointer check.
+	verdict := OODInProfile
+	if g := s.opts.OOD; g != nil {
+		verdict = g.Classify(p, demand)
+		s.tel.oodClassified(verdict)
+		if verdict != OODInProfile {
+			sp.Annotate("ood", verdict.String())
+			sp.ForceRetain("ood")
+			g.demoted(verdict)
+			s.tel.oodDemoted(verdict)
 		}
 	}
-	var dec Decision
+	// Cache probe before any model work: a hit replays a previously vetted
+	// TierFull answer with zero inference and zero allocations. The cached
+	// matrix is shared read-only (see cache.go). Out-of-profile requests
+	// skip the probe entirely — and, because they never reach TierFull,
+	// the put below as well.
+	if s.cache != nil {
+		if verdict != OODInProfile {
+			s.opts.OOD.bypassedCache()
+			s.tel.oodCacheBypassed()
+			sp.Annotate("cache", "ood-bypass")
+		} else {
+			if splits := s.cache.get(p, demand); splits != nil {
+				s.record(TierCached, start)
+				sp.Annotate("cache", "hit")
+				s.offerQuality(p, demand, splits)
+				return Decision{Splits: splits, Tier: TierCached}
+			}
+			sp.Annotate("cache", "miss")
+			if sp != nil {
+				topo, tm := CacheKey(p, demand, s.opts.CacheQuantum)
+				sp.AnnotateInt("cache_key_topo", int64(topo))
+				sp.AnnotateInt("cache_key_tm", int64(tm))
+			}
+		}
+	}
+	dec := Decision{OOD: verdict}
 	budget := func() (time.Duration, bool) {
 		if s.opts.Deadline <= 0 {
 			return 0, true
@@ -654,6 +731,10 @@ func (s *Server) serve(start time.Time, p *te.Problem, demand *tensor.Dense, sp 
 			t Tier
 			m *core.Model
 		}{{TierFull, pair.full}, {TierReducedRAU, pair.reduced}} {
+			if verdict == OODHostile || (verdict == OODSuspect && tier.t == TierFull) {
+				dec.Degraded = append(dec.Degraded, fmt.Sprintf("%v: ood %s", tier.t, verdict))
+				continue
+			}
 			left, ok := budget()
 			if !ok {
 				s.tel.deadlineExpired()

@@ -1,0 +1,197 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file adds shared-risk link groups (SRLGs) to the perturbation
+// battery. A fiber conduit, a landing station, or a line card carries
+// several logical links; when the shared component fails, every link in
+// the group fails together. Independent single-link failures (perturb.go)
+// miss exactly this correlated failure mode, which ROADMAP item 5 calls
+// out as the dominant source of production WAN pain.
+
+// ErrEmptySRLG is returned by FailSRLG for a group with no links: an empty
+// risk group is always a scenario-authoring bug, not a no-op.
+var ErrEmptySRLG = errors.New("topology: empty SRLG")
+
+// SRLG names a shared-risk link group: a set of undirected links that fail
+// together because they share a physical component (conduit, amplifier
+// site, line card). Links are (u,v) node pairs; direction is irrelevant
+// since a physical cut severs both directions.
+type SRLG struct {
+	Name  string
+	Links [][2]int
+}
+
+// Normalize returns a copy of the group with each link ordered u < v and
+// duplicates removed, in a deterministic order. FailSRLG accepts
+// unnormalized groups; Normalize is for callers that want a canonical form
+// (e.g. to compare or serialize groups).
+func (s SRLG) Normalize() SRLG {
+	seen := make(map[[2]int]bool, len(s.Links))
+	out := SRLG{Name: s.Name}
+	for _, l := range s.Links {
+		a, b := l[0], l[1]
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if !seen[key] {
+			seen[key] = true
+			out.Links = append(out.Links, key)
+		}
+	}
+	sort.Slice(out.Links, func(i, j int) bool {
+		if out.Links[i][0] != out.Links[j][0] {
+			return out.Links[i][0] < out.Links[j][0]
+		}
+		return out.Links[i][1] < out.Links[j][1]
+	})
+	return out
+}
+
+// DisconnectionError reports that failing an SRLG would isolate
+// previously-active nodes or split the active topology into disconnected
+// components. No TE scheme — the LP optimum included — can route around a
+// partition, so callers must decide explicitly whether to proceed with
+// the (still usable) failed graph or drop the scenario.
+type DisconnectionError struct {
+	// Group is the name of the SRLG whose failure partitions the graph.
+	Group string
+	// Isolated lists previously-active nodes left with no active links,
+	// in ascending order. It is empty when the graph splits into multiple
+	// components without fully isolating any single node.
+	Isolated []int
+}
+
+func (e *DisconnectionError) Error() string {
+	if len(e.Isolated) > 0 {
+		return fmt.Sprintf("topology: SRLG %q isolates nodes %v", e.Group, e.Isolated)
+	}
+	return fmt.Sprintf("topology: SRLG %q disconnects the active topology", e.Group)
+}
+
+// FailSRLG returns a copy of g with every link in the group failed (both
+// directions set to FailedCapacity, the §5.1 convention that keeps
+// gradients and tunnel structure alive). Overlapping or duplicated links
+// within the group are fine — failing a failed link is idempotent.
+//
+// Errors:
+//   - ErrEmptySRLG (wrapped) for a group with no links.
+//   - a plain error naming the group and link when a listed link does not
+//     exist in g; the graph is nil.
+//   - *DisconnectionError when the cut isolates previously-active nodes or
+//     partitions the active topology. The failed graph is still returned
+//     alongside the error so disaster scenarios can choose to proceed.
+func (g *Graph) FailSRLG(group SRLG) (*Graph, error) {
+	if len(group.Links) == 0 {
+		return nil, fmt.Errorf("SRLG %q: %w", group.Name, ErrEmptySRLG)
+	}
+	out := g.Clone()
+	for _, l := range group.Links {
+		found := false
+		for i := range out.Edges {
+			e := &out.Edges[i]
+			if (e.Src == l[0] && e.Dst == l[1]) || (e.Src == l[1] && e.Dst == l[0]) {
+				e.Capacity = FailedCapacity
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("SRLG %q: no link between nodes %d and %d in %s (%d nodes)",
+				group.Name, l[0], l[1], g.Name, g.NumNodes)
+		}
+	}
+	if err := disconnection(g, out, group.Name); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// disconnection compares active-node sets before and after a correlated
+// failure and returns a *DisconnectionError if the cut isolated nodes or
+// split the surviving topology.
+func disconnection(before, after *Graph, group string) error {
+	activeBefore := before.activeNodes()
+	activeAfter := after.activeNodes()
+	var isolated []int
+	for n := range activeBefore {
+		if !activeAfter[n] {
+			isolated = append(isolated, n)
+		}
+	}
+	if len(isolated) > 0 {
+		sort.Ints(isolated)
+		return &DisconnectionError{Group: group, Isolated: isolated}
+	}
+	if !after.Connected() {
+		return &DisconnectionError{Group: group}
+	}
+	return nil
+}
+
+// NodeSRLG returns the risk group of every link incident to the given
+// node — the "maintenance on a site" / "router chassis loss" group. The
+// group is empty (and FailSRLG will reject it) if the node has no links.
+func (g *Graph) NodeSRLG(node int) SRLG {
+	s := SRLG{Name: fmt.Sprintf("node-%d", node)}
+	for _, l := range g.UndirectedLinks() {
+		if l[0] == node || l[1] == node {
+			s.Links = append(s.Links, l)
+		}
+	}
+	return s
+}
+
+// LinkSRLGs inverts a set of groups into a link→group-names map with links
+// normalized u < v: the lookup a scenario player or an operator tool needs
+// to answer "which conduits does this link ride?". Links appearing in no
+// group are absent from the map.
+func LinkSRLGs(groups []SRLG) map[[2]int][]string {
+	out := make(map[[2]int][]string)
+	for _, grp := range groups {
+		for _, l := range grp.Normalize().Links {
+			out[l] = append(out[l], grp.Name)
+		}
+	}
+	return out
+}
+
+// RandomSRLGs draws n synthetic risk groups from g, each modeling a
+// conduit cut near a random node: up to maxLinks of the node's incident
+// links fail together. Groups whose failure would isolate a node or
+// partition the graph are redrawn (bounded attempts), mirroring
+// SingleLinkFailures' exclusion of unroutable scenarios; if g is so
+// fragile that no survivable group exists, fewer than n groups are
+// returned. Deterministic for a given rng state.
+func (g *Graph) RandomSRLGs(n, maxLinks int, rng *rand.Rand) []SRLG {
+	if maxLinks < 1 {
+		maxLinks = 1
+	}
+	var out []SRLG
+	for attempt := 0; len(out) < n && attempt < 50*n; attempt++ {
+		node := rng.Intn(g.NumNodes)
+		incident := g.NodeSRLG(node).Links
+		if len(incident) == 0 {
+			continue
+		}
+		k := 1 + rng.Intn(maxLinks)
+		if k > len(incident) {
+			k = len(incident)
+		}
+		perm := rng.Perm(len(incident))
+		s := SRLG{Name: fmt.Sprintf("conduit-%d-%d", node, len(out))}
+		for _, i := range perm[:k] {
+			s.Links = append(s.Links, incident[i])
+		}
+		if _, err := g.FailSRLG(s); err != nil {
+			continue
+		}
+		out = append(out, s.Normalize())
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package topology
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// spurGraph builds a triangle 0-1-2 with a single-homed spur node 3
+// hanging off node 0: failing 0-3 (or all of node 3's links) isolates 3.
+func spurGraph() *Graph {
+	g := New("spur", 4)
+	g.AddBidirectional(0, 1, 100)
+	g.AddBidirectional(1, 2, 100)
+	g.AddBidirectional(0, 2, 100)
+	g.AddBidirectional(0, 3, 100)
+	return g
+}
+
+// barbellGraph builds two triangles joined by a single bridge 2-3:
+// cutting the bridge partitions the graph without isolating any node.
+func barbellGraph() *Graph {
+	g := New("barbell", 6)
+	g.AddBidirectional(0, 1, 100)
+	g.AddBidirectional(1, 2, 100)
+	g.AddBidirectional(0, 2, 100)
+	g.AddBidirectional(3, 4, 100)
+	g.AddBidirectional(4, 5, 100)
+	g.AddBidirectional(3, 5, 100)
+	g.AddBidirectional(2, 3, 100)
+	return g
+}
+
+func TestFailSRLG(t *testing.T) {
+	cases := []struct {
+		name    string
+		graph   func() *Graph
+		group   SRLG
+		wantErr func(t *testing.T, g *Graph, err error)
+		// failed lists links that must be at FailedCapacity on success
+		// (also checked when a DisconnectionError still returns a graph).
+		failed [][2]int
+	}{
+		{
+			name:   "single link",
+			graph:  spurGraph,
+			group:  SRLG{Name: "one", Links: [][2]int{{0, 1}}},
+			failed: [][2]int{{0, 1}},
+		},
+		{
+			name:   "two links at once",
+			graph:  barbellGraph,
+			group:  SRLG{Name: "pair", Links: [][2]int{{0, 1}, {3, 4}}},
+			failed: [][2]int{{0, 1}, {3, 4}},
+		},
+		{
+			name:   "overlapping duplicate links are idempotent",
+			graph:  spurGraph,
+			group:  SRLG{Name: "dup", Links: [][2]int{{0, 1}, {1, 0}, {0, 1}}},
+			failed: [][2]int{{0, 1}},
+		},
+		{
+			name:  "empty group",
+			graph: spurGraph,
+			group: SRLG{Name: "empty"},
+			wantErr: func(t *testing.T, g *Graph, err error) {
+				if !errors.Is(err, ErrEmptySRLG) {
+					t.Fatalf("want ErrEmptySRLG, got %v", err)
+				}
+				if g != nil {
+					t.Fatalf("empty group must not return a graph")
+				}
+			},
+		},
+		{
+			name:  "unknown link",
+			graph: spurGraph,
+			group: SRLG{Name: "ghost", Links: [][2]int{{1, 3}}},
+			wantErr: func(t *testing.T, g *Graph, err error) {
+				if err == nil || g != nil {
+					t.Fatalf("want error and nil graph, got g=%v err=%v", g, err)
+				}
+				var de *DisconnectionError
+				if errors.As(err, &de) {
+					t.Fatalf("unknown link must not be a DisconnectionError: %v", err)
+				}
+			},
+		},
+		{
+			name:  "group failing all links of a node isolates it",
+			graph: spurGraph,
+			group: SRLG{Name: "chassis", Links: [][2]int{{0, 3}}},
+			wantErr: func(t *testing.T, g *Graph, err error) {
+				var de *DisconnectionError
+				if !errors.As(err, &de) {
+					t.Fatalf("want *DisconnectionError, got %v", err)
+				}
+				if len(de.Isolated) != 1 || de.Isolated[0] != 3 {
+					t.Fatalf("want isolated=[3], got %v", de.Isolated)
+				}
+				if g == nil {
+					t.Fatalf("disconnection must still return the failed graph")
+				}
+			},
+			failed: [][2]int{{0, 3}},
+		},
+		{
+			name:  "bridge cut partitions without isolating",
+			graph: barbellGraph,
+			group: SRLG{Name: "bridge", Links: [][2]int{{2, 3}}},
+			wantErr: func(t *testing.T, g *Graph, err error) {
+				var de *DisconnectionError
+				if !errors.As(err, &de) {
+					t.Fatalf("want *DisconnectionError, got %v", err)
+				}
+				if len(de.Isolated) != 0 {
+					t.Fatalf("partition without isolation: want empty Isolated, got %v", de.Isolated)
+				}
+			},
+			failed: [][2]int{{2, 3}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := tc.graph()
+			got, err := base.FailSRLG(tc.group)
+			if tc.wantErr != nil {
+				if err == nil {
+					t.Fatalf("want error, got nil")
+				}
+				tc.wantErr(t, got, err)
+			} else if err != nil {
+				t.Fatalf("FailSRLG: %v", err)
+			}
+			if got != nil {
+				for _, l := range tc.failed {
+					for dir := 0; dir < 2; dir++ {
+						u, v := l[0], l[1]
+						if dir == 1 {
+							u, v = v, u
+						}
+						id, ok := got.EdgeID(u, v)
+						if !ok {
+							t.Fatalf("edge %d->%d missing from result", u, v)
+						}
+						if got.Edges[id].Capacity != FailedCapacity {
+							t.Errorf("edge %d->%d capacity = %v, want FailedCapacity", u, v, got.Edges[id].Capacity)
+						}
+					}
+				}
+			}
+			// The perturbation contract: the input graph is never mutated.
+			for i, e := range base.Edges {
+				if e.Capacity != 100 {
+					t.Fatalf("input graph mutated: edge %d capacity %v", i, e.Capacity)
+				}
+			}
+		})
+	}
+}
+
+func TestNodeSRLGCoversAllIncidentLinks(t *testing.T) {
+	g := spurGraph()
+	s := g.NodeSRLG(0)
+	if len(s.Links) != 3 {
+		t.Fatalf("node 0 has 3 undirected links, group has %d: %v", len(s.Links), s.Links)
+	}
+	// Failing all of node 0's links must isolate node 0 — and also node 3,
+	// whose only link rides the same group.
+	_, err := g.FailSRLG(s)
+	var de *DisconnectionError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DisconnectionError, got %v", err)
+	}
+	want := []int{0, 3}
+	if len(de.Isolated) != len(want) || de.Isolated[0] != want[0] || de.Isolated[1] != want[1] {
+		t.Fatalf("want isolated=%v, got %v", want, de.Isolated)
+	}
+}
+
+func TestSRLGNormalizeAndLinkMap(t *testing.T) {
+	s := SRLG{Name: "g", Links: [][2]int{{2, 1}, {1, 2}, {0, 1}}}
+	n := s.Normalize()
+	if len(n.Links) != 2 || n.Links[0] != [2]int{0, 1} || n.Links[1] != [2]int{1, 2} {
+		t.Fatalf("Normalize: got %v", n.Links)
+	}
+	m := LinkSRLGs([]SRLG{
+		{Name: "a", Links: [][2]int{{1, 0}}},
+		{Name: "b", Links: [][2]int{{0, 1}, {1, 2}}},
+	})
+	if got := m[[2]int{0, 1}]; len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("link (0,1) groups = %v, want [a b]", got)
+	}
+	if got := m[[2]int{1, 2}]; len(got) != 1 || got[0] != "b" {
+		t.Fatalf("link (1,2) groups = %v, want [b]", got)
+	}
+}
+
+func TestRandomSRLGsSurvivableAndDeterministic(t *testing.T) {
+	g := barbellGraph()
+	a := g.RandomSRLGs(8, 2, rand.New(rand.NewSource(7)))
+	b := g.RandomSRLGs(8, 2, rand.New(rand.NewSource(7)))
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Links) != len(b[i].Links) {
+			t.Fatalf("non-deterministic group %d: %v vs %v", i, a[i], b[i])
+		}
+		for j := range a[i].Links {
+			if a[i].Links[j] != b[i].Links[j] {
+				t.Fatalf("non-deterministic group %d link %d", i, j)
+			}
+		}
+	}
+	// Every drawn group must be survivable by construction.
+	for _, s := range a {
+		if _, err := g.FailSRLG(s); err != nil {
+			t.Fatalf("RandomSRLGs returned unsurvivable group %v: %v", s, err)
+		}
+	}
+}

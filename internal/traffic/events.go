@@ -1,0 +1,52 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"harpte/internal/tensor"
+	"harpte/internal/topology"
+)
+
+// This file adds the correlated demand events of ROADMAP item 5: regional
+// flash crowds (10–100x single-destination spikes) and sustained regime
+// shifts (the gravity weights themselves change, not just the noise around
+// them). Both return modified copies, matching the perturbation contract
+// in topology/perturb.go, so a base series can be shared across scenarios.
+
+// FlashCrowd returns a copy of tm with every demand into dst scaled by
+// the given factor — a regional flash crowd (breaking news, a game
+// launch) where one destination suddenly attracts 10–100x its usual
+// traffic from everywhere. scale < 1 models the inverse (a regional
+// brown-out). The diagonal is untouched.
+func FlashCrowd(tm *tensor.Dense, dst int, scale float64) *tensor.Dense {
+	out := tm.Clone()
+	for i := 0; i < out.Rows; i++ {
+		if i == dst {
+			continue
+		}
+		out.Set(i, dst, out.At(i, dst)*scale)
+	}
+	return out
+}
+
+// SustainedShift returns a copy of tm blended toward a re-drawn gravity
+// regime: alpha=0 returns tm unchanged, alpha=1 returns a pure new-regime
+// matrix with the same total volume. Unlike per-snapshot noise, the shift
+// is structural — node masses are re-drawn from the seeded rng — so a
+// ramp of increasing alphas models a sustained traffic migration (a new
+// datacenter region coming online, a product launch moving users). The
+// same rng state always produces the same target regime.
+func SustainedShift(tm *tensor.Dense, g *topology.Graph, alpha float64, rng *rand.Rand) *tensor.Dense {
+	if alpha <= 0 {
+		return tm.Clone()
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	target := Gravity(g.NumNodes, GravityWeights(g, rng), TotalVolume(tm))
+	out := tm.Clone()
+	for i := range out.Data {
+		out.Data[i] = (1-alpha)*out.Data[i] + alpha*target.Data[i]
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"harpte/internal/topology"
+)
+
+func eventsGraph() *topology.Graph {
+	g := topology.New("events", 4)
+	g.AddBidirectional(0, 1, 100)
+	g.AddBidirectional(1, 2, 100)
+	g.AddBidirectional(2, 3, 100)
+	g.AddBidirectional(3, 0, 100)
+	return g
+}
+
+func TestFlashCrowdScalesOneDestination(t *testing.T) {
+	g := eventsGraph()
+	rng := rand.New(rand.NewSource(1))
+	tm := Gravity(g.NumNodes, GravityWeights(g, rng), 100)
+	out := FlashCrowd(tm, 2, 50)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := tm.At(i, j)
+			if j == 2 && i != 2 {
+				want *= 50
+			}
+			if math.Abs(out.At(i, j)-want) > 1e-12 {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, out.At(i, j), want)
+			}
+		}
+	}
+	// Input untouched.
+	if tm.At(0, 2) == out.At(0, 2) {
+		t.Fatalf("flash crowd did not scale (0,2)")
+	}
+}
+
+func TestSustainedShiftPreservesVolumeAndIsDeterministic(t *testing.T) {
+	g := eventsGraph()
+	tm := Gravity(g.NumNodes, GravityWeights(g, rand.New(rand.NewSource(1))), 100)
+	a := SustainedShift(tm, g, 0.5, rand.New(rand.NewSource(9)))
+	b := SustainedShift(tm, g, 0.5, rand.New(rand.NewSource(9)))
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("non-deterministic shift at %d", i)
+		}
+	}
+	if math.Abs(TotalVolume(a)-TotalVolume(tm)) > 1e-9*TotalVolume(tm) {
+		t.Fatalf("shift changed total volume: %v vs %v", TotalVolume(a), TotalVolume(tm))
+	}
+	// alpha=0 is the identity; alpha=1 is a genuinely different regime.
+	zero := SustainedShift(tm, g, 0, rand.New(rand.NewSource(9)))
+	for i := range zero.Data {
+		if zero.Data[i] != tm.Data[i] {
+			t.Fatalf("alpha=0 must be identity")
+		}
+	}
+	full := SustainedShift(tm, g, 1, rand.New(rand.NewSource(9)))
+	var diff float64
+	for i := range full.Data {
+		diff += math.Abs(full.Data[i] - tm.Data[i])
+	}
+	if diff == 0 {
+		t.Fatalf("alpha=1 produced an identical matrix")
+	}
+}

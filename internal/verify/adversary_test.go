@@ -1,0 +1,83 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestProjectSimplex(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    []float64
+		total float64
+	}{
+		{"already feasible", []float64{0.25, 0.25, 0.5}, 1},
+		{"needs scaling down", []float64{3, 2, 1}, 1},
+		{"negatives clipped", []float64{-1, 0.5, 2}, 1},
+		{"single entry", []float64{7}, 3},
+		{"scaled total", []float64{10, 0, 5}, 30},
+		{"all negative", []float64{-3, -2, -1}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := append([]float64(nil), tc.in...)
+			ProjectSimplex(v, tc.total)
+			var sum float64
+			for _, x := range v {
+				if x < -1e-12 {
+					t.Fatalf("negative coordinate %v in %v", x, v)
+				}
+				sum += x
+			}
+			if math.Abs(sum-tc.total) > 1e-9 {
+				t.Fatalf("sum %v, want %v (v=%v)", sum, tc.total, v)
+			}
+		})
+	}
+}
+
+// The projection must be the Euclidean-nearest feasible point; check
+// against brute force on random instances (the nearest point among many
+// random feasible candidates is never closer than the projection).
+func TestProjectSimplexIsNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(6)
+		total := 0.5 + 4*rng.Float64()
+		orig := make([]float64, n)
+		for i := range orig {
+			orig[i] = rng.NormFloat64() * 2
+		}
+		proj := append([]float64(nil), orig...)
+		ProjectSimplex(proj, total)
+		dProj := dist2(orig, proj)
+		for trial := 0; trial < 200; trial++ {
+			cand := randSimplex(rng, n, total)
+			if d := dist2(orig, cand); d < dProj-1e-9 {
+				t.Fatalf("candidate %v closer to %v than projection %v (%v < %v)", cand, orig, proj, d, dProj)
+			}
+		}
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += (a[i] - b[i]) * (a[i] - b[i])
+	}
+	return s
+}
+
+func randSimplex(rng *rand.Rand, n int, total float64) []float64 {
+	v := make([]float64, n)
+	var sum float64
+	for i := range v {
+		v[i] = rng.ExpFloat64()
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] *= total / sum
+	}
+	return v
+}
